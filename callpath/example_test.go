@@ -1,0 +1,80 @@
+package callpath_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/callpath"
+)
+
+// ExampleHotPath runs hot-path analysis (the paper's Equation 3) on the
+// Figure 1 worked example.
+func ExampleHotPath() {
+	tree := callpath.Fig1Tree()
+	for _, n := range callpath.HotPath(tree.Root, 0, callpath.DefaultHotPathThreshold) {
+		if n.Kind == callpath.KindRoot {
+			continue
+		}
+		fmt.Printf("%s (%.0f%%)\n", n.Label(), 100*n.Incl.Get(0)/tree.Total(0))
+	}
+	// Output:
+	// m (100%)
+	// f (70%)
+	// g (60%)
+	// g (50%)
+	// h (40%)
+	// loop at file2.c: 8 (40%)
+	// loop at file2.c: 9 (40%)
+	// file2.c: 9 (40%)
+}
+
+// ExampleBuildCallersView reproduces the recursion-aware aggregation of the
+// paper's Figure 2b: the recursive procedure g aggregates to 9 (its exposed
+// instances), not 14 (the naive sum).
+func ExampleBuildCallersView() {
+	tree := callpath.Fig1Tree()
+	cv := callpath.BuildCallersView(tree)
+	for _, r := range cv.Roots {
+		if r.Name == "g" {
+			fmt.Printf("g: inclusive %.0f, exclusive %.0f\n", r.Incl.Get(0), r.Excl.Get(0))
+		}
+	}
+	// Output:
+	// g: inclusive 9, exclusive 4
+}
+
+// ExampleAddDerived defines the paper's floating-point-waste metric
+// (Section V-D) over a measured tree and sorts the flat view by it.
+func ExampleAddDerived() {
+	tree := callpath.Fig1Tree()
+	// Column 0 is "cost"; pretend a peak of 4 units/cycle with no useful
+	// work recorded: waste = cost*4.
+	waste, err := callpath.AddDerived(tree, "waste", "$0*4")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("total waste: %.0f\n", tree.Root.Incl.Get(waste))
+	// Output:
+	// total waste: 40
+}
+
+// ExampleRun measures a built-in workload end to end and reports where its
+// cycles went.
+func ExampleRun() {
+	res, err := callpath.Run(callpath.RunConfig{Workload: "toy"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	tree := res.Experiment.Tree
+	cyc, err := callpath.MetricColumn(tree, "CYCLES")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	path := callpath.HotPath(tree.Root, cyc, callpath.DefaultHotPathThreshold)
+	fmt.Printf("hot path ends at %s\n", path[len(path)-1].Label())
+	// Output:
+	// hot path ends at file2.c: 9
+}

@@ -1,0 +1,93 @@
+// Command hpcobj presents metrics correlated with object code — the
+// text-based object-level view the paper's Section IX describes: annotated
+// disassembly of the synthetic binary with per-instruction sample counts,
+// plus a per-procedure hot ranking.
+//
+// Usage:
+//
+//	hpcobj -w s3d meas/s3d-*.cpprof             # rank procedures
+//	hpcobj -w s3d -proc rhsf meas/s3d-*.cpprof  # annotated disassembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lower"
+	"repro/internal/objview"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcobj:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcobj", flag.ContinueOnError)
+	workload := fs.String("w", "", "workload the profiles came from: "+strings.Join(workloads.Names(), ", "))
+	proc := fs.String("proc", "", "procedure to disassemble (default: rank procedures)")
+	metricName := fs.String("metric", "CYCLES", "metric to rank procedures by")
+	top := fs.Int("top", 10, "procedures to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workload == "" {
+		return fmt.Errorf("missing -w")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no profile files given")
+	}
+	spec, err := workloads.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	im, err := lower.Lower(spec.Program, spec.LowerOpts)
+	if err != nil {
+		return err
+	}
+	var profs []*profile.Profile
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		p, err := profile.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		profs = append(profs, p)
+	}
+	v, err := objview.New(im, profs)
+	if err != nil {
+		return err
+	}
+
+	if *proc != "" {
+		return v.WriteProc(os.Stdout, *proc)
+	}
+
+	mi := -1
+	for i, m := range v.Metrics() {
+		if m.Name == *metricName {
+			mi = i
+		}
+	}
+	if mi < 0 {
+		return fmt.Errorf("metric %q not in profiles", *metricName)
+	}
+	fmt.Printf("procedures by %s:\n", *metricName)
+	for _, pc := range v.HotProcs(mi, *top) {
+		if pc.Counts[mi] == 0 {
+			continue
+		}
+		fmt.Printf("  %-36s %14d\n", pc.Name, pc.Counts[mi])
+	}
+	return nil
+}

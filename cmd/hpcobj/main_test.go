@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func writeProfile(t *testing.T, dir string) string {
+	t.Helper()
+	spec, err := workloads.ByName("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := lower.Lower(spec.Program, spec.LowerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sampler.New(spec.Name, 0, 0, sampler.DefaultEvents(spec.Period))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := sim.New(im, sim.Config{Observer: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "toy.cpprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Profile().Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	var data []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(data), ferr
+}
+
+func TestRanking(t *testing.T) {
+	dir := t.TempDir()
+	prof := writeProfile(t, dir)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-w", "toy", prof})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "procedures by CYCLES") || !strings.Contains(out, "h") {
+		t.Fatalf("ranking output:\n%s", out)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	dir := t.TempDir()
+	prof := writeProfile(t, dir)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-w", "toy", "-proc", "h", prof})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "work") || !strings.Contains(out, "%") {
+		t.Fatalf("disassembly output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	prof := writeProfile(t, dir)
+	cases := [][]string{
+		{},                                      // missing -w
+		{"-w", "toy"},                           // no profiles
+		{"-w", "nosuch", prof},                  // unknown workload
+		{"-w", "toy", "-proc", "ghost", prof},   // unknown proc
+		{"-w", "toy", "-metric", "NOPE", prof},  // unknown metric
+		{"-w", "toy", filepath.Join(dir, "gh")}, // missing profile
+	}
+	for _, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

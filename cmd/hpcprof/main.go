@@ -1,0 +1,114 @@
+// Command hpcprof correlates raw call path profiles with a structure file,
+// producing the experiment database hpcviewer presents — HPCToolkit's
+// hpcprof. Profiles from multiple ranks are merged; per-scope summary
+// statistics (mean/min/max/stddev across ranks) can be added, implementing
+// the scalable finalization step of the paper's Section IV/VII.
+//
+// Usage:
+//
+//	hpcprof -S s3d.hpcstruct [-format binary|xml] [-summaries] \
+//	        -o s3d.db measurements/s3d-*.cpprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expdb"
+	"repro/internal/merge"
+	"repro/internal/metric"
+	"repro/internal/profile"
+	"repro/internal/structfile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcprof", flag.ContinueOnError)
+	structPath := fs.String("S", "", "structure file from hpcstruct (required)")
+	out := fs.String("o", "experiment.db", "output database path")
+	format := fs.String("format", "binary", "database format: binary or xml")
+	summaries := fs.Bool("summaries", false, "add mean/min/max/stddev summary columns across ranks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *structPath == "" {
+		return fmt.Errorf("missing -S structure file")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no profile files given")
+	}
+	if *format != "binary" && *format != "xml" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	sf, err := os.Open(*structPath)
+	if err != nil {
+		return err
+	}
+	doc, err := structfile.ReadXML(sf)
+	sf.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *structPath, err)
+	}
+
+	// Stream: read, merge and discard one measurement file at a time, so
+	// arbitrarily many ranks fit in memory (the Section IX concern).
+	acc := merge.NewAccumulator(doc)
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		p, err := profile.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", path, err)
+		}
+		if err := acc.Add(p); err != nil {
+			return fmt.Errorf("merging %s: %w", path, err)
+		}
+	}
+
+	res, err := acc.Finish()
+	if err != nil {
+		return err
+	}
+	if *summaries && res.NRanks > 1 {
+		for _, d := range res.Tree.Reg.Columns() {
+			if d.Kind != metric.Raw {
+				continue
+			}
+			if err := res.AddSummaries(d.ID, metric.OpMean, metric.OpMin, metric.OpMax, metric.OpStdDev); err != nil {
+				return err
+			}
+		}
+	}
+	exp := expdb.FromMerge(res)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if *format == "xml" {
+		err = exp.WriteXML(f)
+	} else {
+		err = exp.WriteBinary(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d ranks, %d scopes, %d metric columns)\n",
+		*out, res.NRanks, res.Tree.NumNodes(), res.Tree.Reg.Len())
+	return nil
+}

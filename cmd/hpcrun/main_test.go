@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestRunWritesPerRankProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-w", "toy", "-ranks", "2", "-o", dir}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "toy-*.cpprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("profiles written = %v", matches)
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := profile.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Program != "toy" {
+		t.Fatalf("program = %q", p.Program)
+	}
+	if tot := p.Totals(); tot[0] == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestRunParams(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-w", "pflotran", "-ranks", "1", "-p", "cells=50,species=2", "-o", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                               // missing -w
+		{"-w", "nosuch"},                 // unknown workload
+		{"-w", "toy", "-p", "bad"},       // bad param syntax
+		{"-w", "toy", "-p", "cells=zzz"}, // bad param value
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	got, err := parseParams("a=1, b=2", map[string]int64{"a": 9, "c": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 1 || got["b"] != 2 || got["c"] != 3 {
+		t.Fatalf("params = %v", got)
+	}
+}

@@ -1,0 +1,74 @@
+// Command hpcstruct recovers the static structure of a workload's lowered
+// binary — procedures, loop nests (via dominator analysis of the
+// instruction stream), inlined code and line maps — and writes it as an XML
+// structure document, mirroring HPCToolkit's hpcstruct.
+//
+// Usage:
+//
+//	hpcstruct -w moab [-stats] -o moab.hpcstruct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lower"
+	"repro/internal/structfile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcstruct:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcstruct", flag.ContinueOnError)
+	workload := fs.String("w", "", "workload to analyze: "+strings.Join(workloads.Names(), ", "))
+	out := fs.String("o", "", "output structure file (default <workload>.hpcstruct)")
+	stats := fs.Bool("stats", false, "print scope statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workload == "" {
+		return fmt.Errorf("missing -w; available workloads: %s", strings.Join(workloads.Names(), ", "))
+	}
+	spec, err := workloads.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	im, err := lower.Lower(spec.Program, spec.LowerOpts)
+	if err != nil {
+		return err
+	}
+	doc, err := structfile.Recover(im)
+	if err != nil {
+		return err
+	}
+	name := *out
+	if name == "" {
+		name = spec.Name + ".hpcstruct"
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := doc.WriteXML(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := doc.Stats()
+	fmt.Printf("wrote %s\n", name)
+	if *stats {
+		fmt.Printf("modules=%d files=%d procs=%d loops=%d inlined=%d stmts=%d\n",
+			st.LMs, st.Files, st.Procs, st.Loops, st.Aliens, st.Stmts)
+	}
+	return nil
+}

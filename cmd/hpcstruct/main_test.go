@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/structfile"
+)
+
+func TestRunWritesStructureFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "moab.hpcstruct")
+	if err := run([]string{"-w", "moab", "-stats", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := structfile.ReadXML(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := doc.Stats()
+	if st.Procs == 0 || st.Loops == 0 || st.Aliens == 0 {
+		t.Fatalf("moab structure incomplete: %+v", st)
+	}
+}
+
+func TestRunDefaultOutputName(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := run([]string{"-w", "toy"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("toy.hpcstruct"); err != nil {
+		t.Fatal("default-named file missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -w accepted")
+	}
+	if err := run([]string{"-w", "nosuch"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

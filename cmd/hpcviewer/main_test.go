@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expdb"
+)
+
+// writeDB stores the Figure 1 worked example as a database in both
+// formats and returns the paths.
+func writeDB(t *testing.T, dir string) (binPath, xmlPath string) {
+	t.Helper()
+	e := expdb.New(core.Fig1Tree())
+	binPath = filepath.Join(dir, "fig1.db")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	xmlPath = filepath.Join(dir, "fig1.xml")
+	f, err = os.Create(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return binPath, xmlPath
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	data := make([]byte, 0, 1<<16)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(data), ferr
+}
+
+func TestViewsFromBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	binPath, xmlPath := writeDB(t, dir)
+	for _, db := range []string{binPath, xmlPath} {
+		for _, view := range []string{"cc", "callers", "flat"} {
+			out, err := captureStdout(t, func() error {
+				return run([]string{"-db", db, "-view", view})
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", db, view, err)
+			}
+			if !strings.Contains(out, "cost (I)") {
+				t.Fatalf("%s/%s output:\n%s", db, view, out)
+			}
+		}
+	}
+}
+
+func TestHotPathFlag(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeDB(t, dir)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-db", binPath, "-hotpath", "cost"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hot path (metric cost") {
+		t.Fatalf("hot path banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "file2.c: 9") {
+		t.Fatalf("hot path endpoint missing:\n%s", out)
+	}
+}
+
+func TestDerivedAndSortFlags(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeDB(t, dir)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-db", binPath, "-derived", "double=$0*2", "-metrics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "double") {
+		t.Fatalf("derived metric not listed:\n%s", out)
+	}
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-db", binPath, "-sort", "cost:excl", "-view", "flat", "-flatten", "2"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeDB(t, dir)
+	out := filepath.Join(dir, "report.html")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-db", binPath, "-html", out, "-hotpath", "cost"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{"<!DOCTYPE html>", "Calling Context View", "Callers View", "Flat View", "hot"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("HTML report missing %q", want)
+		}
+	}
+}
+
+func TestViewerErrors(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeDB(t, dir)
+	bad := filepath.Join(dir, "bad.db")
+	if err := os.WriteFile(bad, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},                                      // missing -db
+		{"-db", filepath.Join(dir, "ghost")},    // missing file
+		{"-db", bad},                            // garbage file
+		{"-db", binPath, "-view", "martian"},    // bad view
+		{"-db", binPath, "-sort", "NOPE"},       // bad sort metric
+		{"-db", binPath, "-hotpath", "NOPE"},    // bad hotpath metric
+		{"-db", binPath, "-derived", "novalue"}, // bad derived
+	}
+	for _, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Combustion: analyze the S3D turbulent-combustion analogue the way the
+// paper does in Figures 3 and 6 — hot-path analysis pinpoints the
+// reaction-rate bottleneck in context, then derived floating-point waste
+// and relative-efficiency metrics rank the tuning opportunities.
+//
+// Run with: go run ./examples/combustion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/callpath"
+)
+
+// peak models the processor's peak FLOPs per cycle for the waste metric
+// (Section V-D).
+const peak = 4
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("combustion: ")
+
+	res, err := callpath.Run(callpath.RunConfig{Workload: "s3d"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := res.Experiment.Tree
+	cycles, err := callpath.MetricColumn(tree, "CYCLES")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Figure 3: hot path through dynamic and static context. ---
+	fmt.Println("=== Hot path over cycles (Figure 3) ===")
+	path := callpath.HotPath(tree.Root, cycles, callpath.DefaultHotPathThreshold)
+	hl := map[*callpath.Node]bool{}
+	for _, n := range path {
+		hl[n] = true
+		if n.Kind == callpath.KindRoot {
+			continue
+		}
+		fmt.Printf("  %-42s %5.1f%% of cycles\n", n.Label(), 100*n.Incl.Get(cycles)/tree.Total(cycles))
+	}
+	fmt.Println("\nNote how the path interleaves procedure frames with the loops")
+	fmt.Println("containing their call sites (Section III-D.2), and ends at the")
+	fmt.Println("chemistry routine that dominates the run.")
+
+	// --- Figure 6: derived waste and efficiency metrics. ---
+	waste, err := callpath.AddDerived(tree, "fpwaste", fmt.Sprintf("$%d*%d - $1", cycles, peak))
+	if err != nil {
+		log.Fatal(err)
+	}
+	releff, err := callpath.AddDerived(tree, "releff", fmt.Sprintf("$1 / ($%d*%d)", cycles, peak))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fv := callpath.BuildFlatView(tree)
+	for _, lm := range fv.Roots {
+		if err := callpath.ApplyDerived(tree.Reg, lm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Flatten to loop level so loops in different routines compare
+	// directly (Section III-C / Figure 6).
+	scopes := callpath.FlattenN(fv.Roots, 3)
+	var loops []*callpath.Node
+	for _, s := range scopes {
+		if s.Kind == callpath.KindLoop {
+			loops = append(loops, s)
+		}
+	}
+	callpath.SortScopes(loops, callpath.SortSpec{MetricID: waste, Exclusive: true})
+
+	fmt.Println("\n=== Loops ranked by floating-point waste (Figure 6) ===")
+	totalWaste := tree.Root.Incl.Get(waste)
+	fmt.Printf("%-36s %14s %8s %8s\n", "loop", "waste", "share", "releff")
+	for _, l := range loops {
+		w := l.Excl.Get(waste)
+		if w <= 0 {
+			continue
+		}
+		fmt.Printf("%-36s %14.3g %7.1f%% %8.2f\n", l.Label(), w, 100*w/totalWaste, l.Excl.Get(releff))
+	}
+	fmt.Println("\nThe memory-bound flux-diffusion loop tops the ranking at ~6%")
+	fmt.Println("efficiency (a fat tuning target); the exponential's loop runs at")
+	fmt.Println("~39% (already fairly tight) — exactly Figure 6's reading.")
+
+	// Render the CCV with the hot path highlighted, top-2 children per
+	// scope to keep the view focused (Section V-A's top-down focus).
+	fmt.Println("\n=== Calling Context View, hot path highlighted ===")
+	err = callpath.RenderTree(os.Stdout, tree, callpath.RenderOptions{
+		Columns: []callpath.RenderColumn{
+			{MetricID: cycles, Inclusive: true},
+			{MetricID: cycles, Inclusive: false},
+			{MetricID: waste, Inclusive: true},
+		},
+		TopN:      2,
+		MaxDepth:  9,
+		Highlight: hl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

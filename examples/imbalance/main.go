@@ -1,0 +1,89 @@
+// Imbalance: reproduce the paper's PFLOTRAN load-imbalance study (Figure 7,
+// Section VI-C). The workload runs on many SPMD ranks with an uneven
+// domain partition; sorting by total idleness and running hot-path
+// analysis drills into the main iteration loop, and the per-rank series at
+// that context is shown as the scatter / sorted / histogram triple of
+// Figure 7.
+//
+// Run with: go run ./examples/imbalance [-ranks 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/callpath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imbalance: ")
+	ranks := flag.Int("ranks", 32, "number of SPMD ranks")
+	flag.Parse()
+
+	res, err := callpath.Run(callpath.RunConfig{
+		Workload:  "pflotran",
+		Ranks:     *ranks,
+		Summaries: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := res.Experiment.Tree
+	idle, err := callpath.MetricColumn(tree, "IDLE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := callpath.MetricColumn(tree, "CYCLES")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (paper): sort by total inclusive idleness summed over all
+	// MPI processes and run hot path analysis to find the imbalanced
+	// context.
+	fmt.Println("=== Hot path over total idleness (Figure 7's drill-down) ===")
+	path := callpath.HotPath(tree.Root, idle, callpath.DefaultHotPathThreshold)
+	var labels []string
+	for _, n := range path {
+		if n.Kind == callpath.KindRoot {
+			continue
+		}
+		labels = append(labels, n.Label())
+		fmt.Printf("  %-42s idleness %5.1f%%\n", n.Label(), 100*n.Incl.Get(idle)/tree.Total(idle))
+	}
+
+	// Step 2: per-rank analysis of the work at the imbalanced context.
+	// (flow_solve under the time-stepping loop carries the skewed work.)
+	scope := []string{"main", "stepper_run", "loop at timestepper.F90: 384", "flow_solve"}
+	rep, err := res.AnalyzeImbalance(scope, "CYCLES", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Per-rank work distribution (Figure 7's three graphs) ===")
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: the summary columns let the merged view expose the same
+	// story without one column per rank (Section VII).
+	fmt.Println("=== Merged view with summary statistics across ranks ===")
+	meanCol, _ := callpath.MetricColumn(tree, "CYCLES (mean)")
+	maxCol, _ := callpath.MetricColumn(tree, "CYCLES (max)")
+	err = callpath.RenderTree(os.Stdout, tree, callpath.RenderOptions{
+		Columns: []callpath.RenderColumn{
+			{MetricID: cycles, Inclusive: true},
+			{MetricID: idle, Inclusive: true},
+			{MetricID: meanCol, Inclusive: true},
+			{MetricID: maxCol, Inclusive: true},
+		},
+		MaxDepth: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nimbalance factor (max/mean - 1) at %s: %.2f\n",
+		scope[len(scope)-1], rep.ImbalanceFactor())
+}

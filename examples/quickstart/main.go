@@ -1,0 +1,71 @@
+// Quickstart: run the paper's Figure 1 toy program through the whole
+// pipeline — sampled execution, structure recovery, correlation — and
+// present the result in the three complementary views of Section III, plus
+// a hot path (Section V-C).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/callpath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// Measure the "toy" workload: one rank, default sampling period.
+	res, err := callpath.Run(callpath.RunConfig{Workload: "toy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := res.Experiment.Tree
+	cycles, err := callpath.MetricColumn(tree, "CYCLES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := callpath.RenderOptions{
+		Columns: []callpath.RenderColumn{
+			{MetricID: cycles, Inclusive: true},
+			{MetricID: cycles, Inclusive: false},
+		},
+	}
+
+	fmt.Println("=== Calling Context View (top-down, Section III-A) ===")
+	if err := callpath.RenderTree(os.Stdout, tree, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Callers View (bottom-up, Section III-B) ===")
+	cv := callpath.BuildCallersView(tree)
+	if err := callpath.RenderCallers(os.Stdout, cv, tree, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Flat View (static structure, Section III-C) ===")
+	fv := callpath.BuildFlatView(tree)
+	if err := callpath.RenderFlat(os.Stdout, fv, tree, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== Hot path (Equation 3, t = 50%) ===")
+	for i, n := range callpath.HotPath(tree.Root, cycles, callpath.DefaultHotPathThreshold) {
+		if n.Kind == callpath.KindRoot {
+			continue
+		}
+		fmt.Printf("%*s%s  (%.1f%% of cycles)\n", 2*i, "", n.Label(),
+			100*n.Incl.Get(cycles)/tree.Total(cycles))
+	}
+
+	// The paper's worked example (Figure 2) is also available as an
+	// exact, hand-placed tree:
+	fig1 := callpath.Fig1Tree()
+	fmt.Println("\n=== The paper's Figure 2a worked example (exact) ===")
+	if err := callpath.RenderTree(os.Stdout, fig1, callpath.RenderOptions{}); err != nil {
+		log.Fatal(err)
+	}
+}

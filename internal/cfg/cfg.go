@@ -1,0 +1,418 @@
+// Package cfg recovers control-flow structure from lowered code: it builds
+// a basic-block control-flow graph per procedure, computes dominators with
+// the Cooper-Harvey-Kennedy iterative algorithm, and identifies natural
+// loops from back edges. This is the analytical heart of the hpcstruct
+// substitute: loop scopes shown in the paper's views (Figures 2, 3, 5, 6)
+// are *recovered* here from branch structure, not copied from the source
+// model.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) within one procedure.
+type Block struct {
+	ID    int
+	Start int32
+	End   int32
+	Succs []int
+	Preds []int
+}
+
+// Graph is the CFG of one procedure.
+type Graph struct {
+	Image  *isa.Image
+	ProcID int32
+	Blocks []*Block
+	// blockOf maps an instruction offset (relative to the proc start) to
+	// its block ID.
+	blockOf []int
+	idom    []int // computed on demand; -1 root/unreachable
+	rpo     []int
+}
+
+// Build constructs the CFG for procedure procID of im.
+func Build(im *isa.Image, procID int32) (*Graph, error) {
+	if procID < 0 || int(procID) >= len(im.Procs) {
+		return nil, fmt.Errorf("cfg: proc index %d out of range", procID)
+	}
+	sym := im.Procs[procID]
+	n := sym.End - sym.Start
+	g := &Graph{Image: im, ProcID: procID, blockOf: make([]int, n)}
+	if n == 0 {
+		return g, nil
+	}
+
+	// Pass 1: identify leaders.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := sym.Start; i < sym.End; i++ {
+		in := &im.Code[i]
+		switch in.Op {
+		case isa.OpJump, isa.OpBrZ, isa.OpBrCond:
+			leader[in.Target-sym.Start] = true
+			if i+1 < sym.End {
+				leader[i+1-sym.Start] = true
+			}
+		case isa.OpRet:
+			if i+1 < sym.End {
+				leader[i+1-sym.Start] = true
+			}
+		}
+	}
+
+	// Pass 2: materialize blocks.
+	for off := int32(0); off < n; off++ {
+		if leader[off] {
+			g.Blocks = append(g.Blocks, &Block{ID: len(g.Blocks), Start: sym.Start + off})
+		}
+		g.blockOf[off] = len(g.Blocks) - 1
+	}
+	for bi, b := range g.Blocks {
+		if bi+1 < len(g.Blocks) {
+			b.End = g.Blocks[bi+1].Start
+		} else {
+			b.End = sym.End
+		}
+	}
+
+	// Pass 3: edges.
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for bi, b := range g.Blocks {
+		last := &im.Code[b.End-1]
+		switch last.Op {
+		case isa.OpJump:
+			addEdge(bi, g.blockOf[last.Target-sym.Start])
+		case isa.OpBrZ, isa.OpBrCond:
+			addEdge(bi, g.blockOf[last.Target-sym.Start])
+			if b.End < sym.End {
+				addEdge(bi, g.blockOf[b.End-sym.Start])
+			}
+		case isa.OpRet:
+			// no successors
+		default:
+			if b.End < sym.End {
+				addEdge(bi, g.blockOf[b.End-sym.Start])
+			}
+		}
+	}
+	return g, nil
+}
+
+// BlockAt returns the block containing the given absolute instruction
+// index, or nil.
+func (g *Graph) BlockAt(idx int32) *Block {
+	sym := g.Image.Procs[g.ProcID]
+	if idx < sym.Start || idx >= sym.End || len(g.Blocks) == 0 {
+		return nil
+	}
+	return g.Blocks[g.blockOf[idx-sym.Start]]
+}
+
+// reversePostorder computes an RPO over blocks reachable from block 0.
+func (g *Graph) reversePostorder() []int {
+	if g.rpo != nil {
+		return g.rpo
+	}
+	n := len(g.Blocks)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS to avoid recursion depth issues on long chains.
+	type frame struct {
+		b    int
+		next int
+	}
+	if n == 0 {
+		return nil
+	}
+	stack := []frame{{b: 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Blocks[f.b].Succs) {
+			s := g.Blocks[f.b].Succs[f.next]
+			f.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	g.rpo = rpo
+	return rpo
+}
+
+// Dominators returns the immediate-dominator array: idom[b] is the
+// immediate dominator of block b, -1 for the entry block and for
+// unreachable blocks. Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+// Algorithm".
+func (g *Graph) Dominators() []int {
+	if g.idom != nil {
+		return g.idom
+	}
+	n := len(g.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		g.idom = idom
+		return idom
+	}
+	rpo := g.reversePostorder()
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if rpoNum[p] < 0 || idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[0] = -1
+	g.idom = idom
+	return idom
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *Graph) Dominates(a, b int) bool {
+	idom := g.Dominators()
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || idom[b] == -1 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a recovered natural loop.
+type Loop struct {
+	ID int
+	// Head is the header block.
+	Head int
+	// Blocks is the sorted set of member block IDs (including Head).
+	Blocks []int
+	// Parent/Children give the nesting forest; Parent is nil for
+	// outermost loops.
+	Parent   *Loop
+	Children []*Loop
+	// File and Line locate the loop in the source, taken from the header
+	// block's first instruction (lowering stamps loop-control
+	// instructions with the loop's source line).
+	File int32
+	Line int32
+	// Inline is the inline-provenance node shared by the loop's control
+	// instructions (isa.NoInline when the loop is not inlined code).
+	Inline int32
+	// Depth is the nesting depth (outermost loop = 1).
+	Depth int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// LoopForest is the set of loops of one procedure, with per-instruction
+// innermost-loop resolution.
+type LoopForest struct {
+	// Roots are the outermost loops, ordered by header position.
+	Roots []*Loop
+	// Loops is every loop, indexed by Loop.ID.
+	Loops []*Loop
+	// inner maps instruction offsets (relative to proc start) to the
+	// innermost enclosing loop ID, -1 for none.
+	inner []int
+	proc  isa.ProcSym
+}
+
+// InnermostAt returns the innermost loop containing the absolute
+// instruction index, or nil.
+func (f *LoopForest) InnermostAt(idx int32) *Loop {
+	if idx < f.proc.Start || idx >= f.proc.End {
+		return nil
+	}
+	id := f.inner[idx-f.proc.Start]
+	if id < 0 {
+		return nil
+	}
+	return f.Loops[id]
+}
+
+// Chain returns the loop nest containing idx from outermost to innermost.
+func (f *LoopForest) Chain(idx int32) []*Loop {
+	var chain []*Loop
+	for l := f.InnermostAt(idx); l != nil; l = l.Parent {
+		chain = append(chain, l)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// NaturalLoops identifies back edges (edges u->v where v dominates u),
+// floods each to the natural loop body, merges loops sharing a header, and
+// arranges them into a nesting forest.
+func (g *Graph) NaturalLoops() *LoopForest {
+	sym := g.Image.Procs[g.ProcID]
+	forest := &LoopForest{proc: sym, inner: make([]int, sym.End-sym.Start)}
+	for i := range forest.inner {
+		forest.inner[i] = -1
+	}
+	if len(g.Blocks) == 0 {
+		return forest
+	}
+	g.Dominators()
+
+	// Collect loop bodies per header.
+	bodies := map[int]map[int]bool{} // header block -> member set
+	var headers []int
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !g.Dominates(s, b.ID) {
+				continue
+			}
+			body, ok := bodies[s]
+			if !ok {
+				body = map[int]bool{s: true}
+				bodies[s] = body
+				headers = append(headers, s)
+			}
+			// Flood backwards from the back-edge source until the
+			// header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				stack = append(stack, g.Blocks[x].Preds...)
+			}
+		}
+	}
+	sort.Ints(headers)
+
+	for _, h := range headers {
+		members := make([]int, 0, len(bodies[h]))
+		for b := range bodies[h] {
+			members = append(members, b)
+		}
+		sort.Ints(members)
+		head := g.Blocks[h]
+		first := g.Image.Code[head.Start]
+		l := &Loop{
+			ID:     len(forest.Loops),
+			Head:   h,
+			Blocks: members,
+			File:   first.File,
+			Line:   first.Line,
+			Inline: first.Inline,
+		}
+		forest.Loops = append(forest.Loops, l)
+	}
+
+	// Nesting: the parent of l is the smallest loop that properly
+	// contains l's header and is not l itself.
+	ordered := append([]*Loop(nil), forest.Loops...)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i].Blocks) < len(ordered[j].Blocks) })
+	for _, l := range forest.Loops {
+		var parent *Loop
+		for _, cand := range ordered {
+			// A proper container must be strictly larger and contain
+			// l's header; ordered is ascending by size, so the first
+			// match is the innermost container.
+			if len(cand.Blocks) > len(l.Blocks) && cand.Contains(l.Head) {
+				parent = cand
+				break
+			}
+		}
+		if parent != nil {
+			l.Parent = parent
+			parent.Children = append(parent.Children, l)
+		} else {
+			forest.Roots = append(forest.Roots, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		sort.Slice(l.Children, func(i, j int) bool { return l.Children[i].Head < l.Children[j].Head })
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	sort.Slice(forest.Roots, func(i, j int) bool { return forest.Roots[i].Head < forest.Roots[j].Head })
+	for _, r := range forest.Roots {
+		setDepth(r, 1)
+	}
+
+	// Per-instruction innermost loop: process loops outermost-first so
+	// inner loops overwrite.
+	byDepth := append([]*Loop(nil), forest.Loops...)
+	sort.Slice(byDepth, func(i, j int) bool { return byDepth[i].Depth < byDepth[j].Depth })
+	for _, l := range byDepth {
+		for _, b := range l.Blocks {
+			blk := g.Blocks[b]
+			for i := blk.Start; i < blk.End; i++ {
+				forest.inner[i-sym.Start] = l.ID
+			}
+		}
+	}
+	return forest
+}

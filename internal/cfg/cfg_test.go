@@ -1,0 +1,306 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/prog"
+)
+
+func lowered(t *testing.T, b *prog.Builder, opt lower.Options) *isa.Image {
+	t.Helper()
+	im, err := lower.Lower(b.MustBuild(), opt)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return im
+}
+
+func mainGraph(t *testing.T, im *isa.Image) *Graph {
+	t.Helper()
+	g, err := Build(im, im.ProcByName("main"))
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return g
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("sl").
+		File("a.c").
+		Proc("main", 1, prog.W(2, 1), prog.W(3, 2)).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Fatal("straight-line block should have no successors")
+	}
+}
+
+func TestBuildSingleLoop(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("l1").
+		File("a.c").
+		Proc("main", 1, prog.L(2, 10, prog.W(3, 1))).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	if l.Line != 2 {
+		t.Fatalf("loop line = %d, want 2", l.Line)
+	}
+	if l.Depth != 1 || l.Parent != nil {
+		t.Fatalf("loop nesting wrong: depth=%d", l.Depth)
+	}
+	// The loop body's work instruction is inside the loop.
+	for i, in := range im.Code {
+		if in.Op == isa.OpWork {
+			if forest.InnermostAt(int32(i)) != l {
+				t.Fatal("work instruction not attributed to the loop")
+			}
+		}
+	}
+}
+
+func TestBuildNestedLoops(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("l2").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 10,
+				prog.W(3, 1),
+				prog.L(4, 5, prog.W(5, 1)),
+			)).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(forest.Loops))
+	}
+	if len(forest.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(forest.Roots))
+	}
+	outer := forest.Roots[0]
+	if outer.Line != 2 || len(outer.Children) != 1 {
+		t.Fatalf("outer loop wrong: line=%d children=%d", outer.Line, len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if inner.Line != 4 || inner.Depth != 2 || inner.Parent != outer {
+		t.Fatalf("inner loop wrong: line=%d depth=%d", inner.Line, inner.Depth)
+	}
+	// Chain resolution: the deepest work statement sits in both loops.
+	for i, in := range im.Code {
+		if in.Op == isa.OpWork && in.Line == 5 {
+			chain := forest.Chain(int32(i))
+			if len(chain) != 2 || chain[0] != outer || chain[1] != inner {
+				t.Fatalf("chain at line 5 = %v", chain)
+			}
+		}
+		if in.Op == isa.OpWork && in.Line == 3 {
+			chain := forest.Chain(int32(i))
+			if len(chain) != 1 || chain[0] != outer {
+				t.Fatalf("chain at line 3 = %v", chain)
+			}
+		}
+	}
+}
+
+func TestBuildSiblingLoops(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("l3").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 3, prog.W(3, 1)),
+			prog.L(5, 4, prog.W(6, 1)),
+		).
+		Entry("main"), lower.Options{})
+	forest := mainGraph(t, im).NaturalLoops()
+	if len(forest.Roots) != 2 || len(forest.Loops) != 2 {
+		t.Fatalf("roots=%d loops=%d, want 2/2", len(forest.Roots), len(forest.Loops))
+	}
+	if forest.Roots[0].Line != 2 || forest.Roots[1].Line != 5 {
+		t.Fatalf("root lines = %d,%d", forest.Roots[0].Line, forest.Roots[1].Line)
+	}
+}
+
+func TestTripleNesting(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("l4").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 2,
+				prog.L(3, 2,
+					prog.L(4, 2, prog.W(5, 1))))).
+		Entry("main"), lower.Options{})
+	forest := mainGraph(t, im).NaturalLoops()
+	if len(forest.Loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(forest.Loops))
+	}
+	depths := map[int32]int{}
+	for _, l := range forest.Loops {
+		depths[l.Line] = l.Depth
+	}
+	if depths[2] != 1 || depths[3] != 2 || depths[4] != 3 {
+		t.Fatalf("depths = %v", depths)
+	}
+}
+
+func TestIfNoLoops(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("if").
+		File("a.c").
+		Proc("main", 1,
+			prog.If{Line: 2, Cond: prog.ProbCond{P: 0.5},
+				Then: []prog.Stmt{prog.W(3, 1)},
+				Else: []prog.Stmt{prog.W(4, 1)}},
+		).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 0 {
+		t.Fatalf("if-else produced %d loops", len(forest.Loops))
+	}
+	// Diamond: entry block with two successors that join.
+	if len(g.Blocks) < 3 {
+		t.Fatalf("blocks = %d, want >= 3", len(g.Blocks))
+	}
+	if len(g.Blocks[0].Succs) != 2 {
+		t.Fatalf("entry successors = %d, want 2", len(g.Blocks[0].Succs))
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("dia").
+		File("a.c").
+		Proc("main", 1,
+			prog.W(2, 1),
+			prog.If{Line: 3, Cond: prog.ProbCond{P: 0.5},
+				Then: []prog.Stmt{prog.W(4, 1)},
+				Else: []prog.Stmt{prog.W(5, 1)}},
+			prog.W(6, 1),
+		).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	idom := g.Dominators()
+	if idom[0] != -1 {
+		t.Fatal("entry must have no idom")
+	}
+	// Every other reachable block is dominated by the entry.
+	for b := 1; b < len(g.Blocks); b++ {
+		if !g.Dominates(0, b) {
+			t.Fatalf("entry does not dominate block %d", b)
+		}
+	}
+	// Find the join block (the one containing line 6's work); its idom
+	// must be the branching block (block 0), not either arm.
+	var join int = -1
+	for bi, blk := range g.Blocks {
+		for i := blk.Start; i < blk.End; i++ {
+			if im.Code[i].Op == isa.OpWork && im.Code[i].Line == 6 {
+				join = bi
+			}
+		}
+	}
+	if join < 0 {
+		t.Fatal("join block not found")
+	}
+	if idom[join] != 0 {
+		t.Fatalf("idom(join) = %d, want 0", idom[join])
+	}
+}
+
+func TestDominatesReflexive(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("r").
+		File("a.c").
+		Proc("main", 1, prog.L(2, 3, prog.W(3, 1))).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	for b := range g.Blocks {
+		if !g.Dominates(b, b) {
+			t.Fatalf("Dominates(%d,%d) = false", b, b)
+		}
+	}
+}
+
+func TestLoopInsideInlinedCode(t *testing.T) {
+	// A loop that only exists because an inlined callee contained it:
+	// the recovered loop must carry the inline provenance.
+	im := lowered(t, prog.NewBuilder("inl").
+		File("a.c").
+		InlineProc("kernel", 10, prog.L(11, 8, prog.W(12, 1))).
+		Proc("main", 1, prog.C(2, "kernel")).
+		Entry("main"), lower.Options{Inline: true})
+	g := mainGraph(t, im)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	if l.Inline == isa.NoInline {
+		t.Fatal("inlined loop lost its inline provenance")
+	}
+	if im.Inlines[l.Inline].Proc != "kernel" {
+		t.Fatalf("loop inline proc = %q", im.Inlines[l.Inline].Proc)
+	}
+	if l.Line != 11 {
+		t.Fatalf("loop line = %d, want 11 (callee's line)", l.Line)
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("ba").
+		File("a.c").
+		Proc("main", 1, prog.L(2, 3, prog.W(3, 1))).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	sym := im.Procs[im.ProcByName("main")]
+	for i := sym.Start; i < sym.End; i++ {
+		b := g.BlockAt(i)
+		if b == nil || i < b.Start || i >= b.End {
+			t.Fatalf("BlockAt(%d) wrong", i)
+		}
+	}
+	if g.BlockAt(sym.End) != nil || g.BlockAt(sym.Start-1) != nil {
+		t.Fatal("BlockAt out of range returned a block")
+	}
+}
+
+func TestBuildBadProcIndex(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("x").
+		File("a.c").Proc("main", 1, prog.W(2, 1)).Entry("main"), lower.Options{})
+	if _, err := Build(im, 99); err == nil {
+		t.Fatal("bad proc index accepted")
+	}
+	if _, err := Build(im, -1); err == nil {
+		t.Fatal("negative proc index accepted")
+	}
+}
+
+// Loops guarded by conditionals (if around a loop) are still found, and the
+// conditional's blocks stay out of the loop.
+func TestLoopUnderConditional(t *testing.T) {
+	im := lowered(t, prog.NewBuilder("cl").
+		File("a.c").
+		Proc("main", 1,
+			prog.IfP(2, 0.5,
+				prog.L(3, 4, prog.W(4, 1))),
+			prog.W(6, 1),
+		).
+		Entry("main"), lower.Options{})
+	g := mainGraph(t, im)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	if l.Line != 3 {
+		t.Fatalf("loop line = %d, want 3", l.Line)
+	}
+	// line-6 work is outside the loop
+	for i, in := range im.Code {
+		if in.Op == isa.OpWork && in.Line == 6 && forest.InnermostAt(int32(i)) != nil {
+			t.Fatal("post-loop work attributed to loop")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/metric"
+)
+
+// The Callers View (Section III-B) is the bottom-up view: one root row per
+// procedure aggregating every context it ran in, with children unwinding
+// the call chain upward ("called from ...").
+//
+// Recursion handling (Section IV-B): an instance of procedure p is
+// "exposed" when no proper ancestor frame is also an instance of p; only
+// exposed instances contribute to p's root row, which is why Figure 2b's ga
+// shows 9 (= g1's 6 + g3's 3) and not 14. The generalization to interior
+// rows: instance i contributes its own (inclusive, exclusive) pair to the
+// caller-path trie node at depth d exactly when no ancestor instance shares
+// the same reversed-path prefix of length d. Equivalently, i contributes at
+// depths strictly greater than
+//
+//	D(i) = max over ancestor instances j of lcp(rev(i), rev(j))
+//
+// where rev(x) is x's caller-procedure chain from innermost to outermost.
+// With that rule, Figure 2b reproduces exactly: g2 (an unexposed instance)
+// skips the root but creates the "called from g" subtree with its own cost.
+
+// procID identifies a procedure across contexts.
+type procID struct {
+	name string
+	file string
+}
+
+func frameProc(n *Node) procID { return procID{name: n.Name, file: n.File} }
+
+// CallersView is the bottom-up view. Roots are procedure rows; expanding a
+// root materializes its caller subtrie on demand (Section VII: "the Callers
+// View is constructed dynamically ... we store and process data only when
+// needed").
+type CallersView struct {
+	Reg   *metric.Registry
+	Roots []*Node
+
+	instances map[*Node][]*Node // root row -> frame instances of that proc
+	expanded  map[*Node]bool
+}
+
+// BuildCallersView scans the CCT once, creating one root row per procedure
+// with exposed-aggregate costs. Caller subtries are not built until
+// Expand/ExpandAll — the lazy construction the paper credits for the view's
+// scalability.
+func BuildCallersView(t *Tree) *CallersView {
+	if !t.computed {
+		t.ComputeMetrics()
+	}
+	v := &CallersView{
+		Reg:       t.Reg,
+		instances: map[*Node][]*Node{},
+		expanded:  map[*Node]bool{},
+	}
+	rows := map[procID]*Node{}
+
+	Walk(t.Root, func(n *Node) bool {
+		if n.Kind != KindFrame {
+			return true
+		}
+		id := frameProc(n)
+		row, ok := rows[id]
+		if !ok {
+			row = &Node{Key: Key{Kind: KindProc, Name: n.Name, File: n.File, Line: n.Line},
+				NoSource: n.NoSource}
+			rows[id] = row
+			v.Roots = append(v.Roots, row)
+		}
+		v.instances[row] = append(v.instances[row], n)
+		if exposed(n) {
+			row.Incl.AddVector(&n.Incl)
+			row.Excl.AddVector(&n.Excl)
+		}
+		return true
+	})
+	sort.Slice(v.Roots, func(i, j int) bool { return v.Roots[i].Name < v.Roots[j].Name })
+	return v
+}
+
+// exposed reports whether frame n has no proper ancestor frame of the same
+// procedure.
+func exposed(n *Node) bool {
+	id := frameProc(n)
+	for a := n.Parent; a != nil; a = a.Parent {
+		if a.Kind == KindFrame && frameProc(a) == id {
+			return false
+		}
+	}
+	return true
+}
+
+// Expanded reports whether the root's caller subtrie has been built.
+func (v *CallersView) Expanded(root *Node) bool { return v.expanded[root] }
+
+// Expand materializes the caller subtrie of one root row. Safe to call
+// repeatedly.
+func (v *CallersView) Expand(root *Node) {
+	if v.expanded[root] {
+		return
+	}
+	v.expanded[root] = true
+	for _, inst := range v.instances[root] {
+		rev, ancestors := reversedPath(inst)
+		// D = deepest reversed-path prefix shared with an ancestor
+		// instance; contribute at depths > D only.
+		d0 := -1
+		for _, anc := range ancestors {
+			ra, _ := reversedPath(anc)
+			if l := lcp(rev, ra); l > d0 {
+				d0 = l
+			}
+		}
+		cur := root
+		callee := inst
+		for d := 0; d < len(rev); d++ {
+			caller := rev[d]
+			// Trie levels merge by caller *procedure* (matching the
+			// exposure computation); the call site into the callee is
+			// kept for display.
+			cur = cur.Child(Key{Kind: KindProc, Name: caller.Name, File: caller.File, Line: caller.Line}, true)
+			cur.NoSource = caller.NoSource
+			if cur.CallLine == 0 {
+				cur.CallLine = callee.CallLine
+				cur.CallFile = callee.CallFile
+			}
+			// This trie node covers the reversed-path prefix of length
+			// d+1; the instance contributes when that length exceeds
+			// the deepest prefix shared with an ancestor instance.
+			if d+1 > d0 {
+				cur.Incl.AddVector(&inst.Incl)
+				cur.Excl.AddVector(&inst.Excl)
+			}
+			callee = caller
+		}
+	}
+}
+
+// ExpandAll eagerly builds every caller subtrie.
+func (v *CallersView) ExpandAll() {
+	for _, r := range v.Roots {
+		v.Expand(r)
+	}
+}
+
+// reversedPath returns the caller-frame chain of inst from innermost to
+// outermost, plus the ancestor frames that are instances of the same
+// procedure.
+func reversedPath(inst *Node) (rev []*Node, sameProc []*Node) {
+	id := frameProc(inst)
+	for a := inst.Parent; a != nil; a = a.Parent {
+		if a.Kind != KindFrame {
+			continue
+		}
+		rev = append(rev, a)
+		if frameProc(a) == id {
+			sameProc = append(sameProc, a)
+		}
+	}
+	return rev, sameProc
+}
+
+// lcp returns the length of the longest common prefix of two caller chains,
+// comparing procedure identities.
+func lcp(a, b []*Node) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if frameProc(a[i]) != frameProc(b[i]) {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package core
+
+import "repro/internal/metric"
+
+// Fig1Tree builds the canonical calling context tree of the paper's worked
+// example (Figure 1's two-file program, executed as in Figure 2a), with one
+// metric column "cost" (ID 0). The returned tree reproduces the exact
+// numbers of Figures 2a/2b/2c and anchors the golden tests; it also serves
+// as a small self-contained input for examples and benchmarks.
+//
+// Sample placement (all on metric 0):
+//
+//	m calls f (m:7) and g (m:8); f calls g (f:2); g may recurse (g:3) and
+//	call h (g:4); h runs a doubly nested loop (h:8, h:9).
+//	f's own work:   1 sample at file1.c:2
+//	g1's own work:  1 sample at file2.c:3   (g called from f)
+//	g2's own work:  1 sample at file2.c:4   (g called from g)
+//	g3's own work:  3 samples at file2.c:3  (g called from m)
+//	h's work:       4 samples at file2.c:9, inside loop l2 inside l1
+func Fig1Tree() *Tree {
+	reg := metric.NewRegistry()
+	if _, err := reg.AddRaw("cost", "samples", 1); err != nil {
+		panic(err)
+	}
+	t := NewTree("toy", reg)
+
+	const mod = "toy.exe"
+	frame := func(parent *Node, name, file string, declLine int, callFile string, callLine int) *Node {
+		n := parent.Child(Key{Kind: KindFrame, Name: name, File: file, Line: declLine}, true)
+		n.Mod = mod
+		n.CallFile = callFile
+		n.CallLine = callLine
+		return n
+	}
+	stmt := func(parent *Node, file string, line int, cost float64) *Node {
+		n := parent.Child(Key{Kind: KindStmt, File: file, Line: line}, true)
+		n.Base.Add(0, cost)
+		return n
+	}
+	loop := func(parent *Node, file string, line int) *Node {
+		return parent.Child(Key{Kind: KindLoop, File: file, Line: line}, true)
+	}
+
+	m := frame(t.Root, "m", "file1.c", 6, "", 0)
+	f := frame(m, "f", "file1.c", 1, "file1.c", 7)
+	stmt(f, "file1.c", 2, 1)
+	g1 := frame(f, "g", "file2.c", 2, "file1.c", 2)
+	stmt(g1, "file2.c", 3, 1)
+	g2 := frame(g1, "g", "file2.c", 2, "file2.c", 3)
+	stmt(g2, "file2.c", 4, 1)
+	h := frame(g2, "h", "file2.c", 7, "file2.c", 4)
+	l1 := loop(h, "file2.c", 8)
+	l2 := loop(l1, "file2.c", 9)
+	stmt(l2, "file2.c", 9, 4)
+	g3 := frame(m, "g", "file2.c", 2, "file1.c", 8)
+	stmt(g3, "file2.c", 3, 3)
+
+	t.ComputeMetrics()
+	return t
+}

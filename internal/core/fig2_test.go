@@ -1,0 +1,287 @@
+package core
+
+// Golden tests reproducing Figure 2 of the paper exactly: the calling
+// context tree (2a), the callers tree (2b) and the flat tree (2c), with the
+// inclusive/exclusive cost pairs printed in the figure.
+
+import "testing"
+
+type ie struct{ incl, excl float64 }
+
+func costs(n *Node) ie { return ie{n.Incl.Get(0), n.Excl.Get(0)} }
+
+func child(t *testing.T, n *Node, pred func(*Node) bool, desc string) *Node {
+	t.Helper()
+	var found *Node
+	for _, c := range n.Children {
+		if pred(c) {
+			if found != nil {
+				t.Fatalf("ambiguous child %q under %q", desc, n.Label())
+			}
+			found = c
+		}
+	}
+	if found == nil {
+		t.Fatalf("no child %q under %q (children: %v)", desc, n.Label(), labels(n.Children))
+	}
+	return found
+}
+
+func labels(ns []*Node) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = n.Label()
+	}
+	return out
+}
+
+func frameNamed(name string) func(*Node) bool {
+	return func(n *Node) bool { return n.Kind == KindFrame && n.Name == name }
+}
+func procNamed(name string) func(*Node) bool {
+	return func(n *Node) bool { return n.Kind == KindProc && n.Name == name }
+}
+func loopAt(line int) func(*Node) bool {
+	return func(n *Node) bool { return n.Kind == KindLoop && n.Line == line }
+}
+func callSiteTo(name string) func(*Node) bool {
+	return func(n *Node) bool { return n.Kind == KindCallSite && n.Name == name }
+}
+
+// TestFig2aCallingContextView checks every (inclusive, exclusive) pair of
+// Figure 2a: m 10 0; f 7 1; g1 6 1; g2 5 1; g3 3 3; h 4 4; l1 4 0; l2 4 4.
+func TestFig2aCallingContextView(t *testing.T) {
+	tree := Fig1Tree()
+	m := child(t, tree.Root, frameNamed("m"), "m")
+	f := child(t, m, frameNamed("f"), "f")
+	g1 := child(t, f, frameNamed("g"), "g1")
+	g2 := child(t, g1, frameNamed("g"), "g2")
+	h := child(t, g2, frameNamed("h"), "h")
+	l1 := child(t, h, loopAt(8), "l1")
+	l2 := child(t, l1, loopAt(9), "l2")
+	g3 := child(t, m, frameNamed("g"), "g3")
+
+	want := map[string]struct {
+		n *Node
+		c ie
+	}{
+		"m":  {m, ie{10, 0}},
+		"f":  {f, ie{7, 1}},
+		"g1": {g1, ie{6, 1}},
+		"g2": {g2, ie{5, 1}},
+		"g3": {g3, ie{3, 3}},
+		"h":  {h, ie{4, 4}},
+		"l1": {l1, ie{4, 0}},
+		"l2": {l2, ie{4, 4}},
+	}
+	for name, w := range want {
+		if got := costs(w.n); got != w.c {
+			t.Errorf("%s = (%g, %g), want (%g, %g)", name, got.incl, got.excl, w.c.incl, w.c.excl)
+		}
+	}
+	// Root inclusive is the total cost of the execution.
+	if tree.Total(0) != 10 {
+		t.Errorf("total = %g, want 10", tree.Total(0))
+	}
+}
+
+// TestFig2bCallersView checks every node of Figure 2b:
+//
+//	ga 9 4 ── gb 5 1 ── fc 5 1 ── md 5 1
+//	       ├─ fb 6 1 ── mc 6 1
+//	       └─ ma 3 3
+//	fa 7 1 ── mb 7 1
+//	h  4 4 ── gc 4 4 ── gd 4 4 ── fd 4 4 ── me 4 4
+//	m 10 0
+func TestFig2bCallersView(t *testing.T) {
+	tree := Fig1Tree()
+	v := BuildCallersView(tree)
+	v.ExpandAll()
+
+	if len(v.Roots) != 4 {
+		t.Fatalf("roots = %v, want 4", labels(v.Roots))
+	}
+	byName := map[string]*Node{}
+	for _, r := range v.Roots {
+		byName[r.Name] = r
+	}
+
+	ga, fa, hr, mr := byName["g"], byName["f"], byName["h"], byName["m"]
+	if ga == nil || fa == nil || hr == nil || mr == nil {
+		t.Fatalf("missing roots: %v", labels(v.Roots))
+	}
+
+	// Root rows: exposed-instance aggregates.
+	if got := costs(ga); got != (ie{9, 4}) {
+		t.Errorf("ga = %+v, want {9 4}", got)
+	}
+	if got := costs(fa); got != (ie{7, 1}) {
+		t.Errorf("fa = %+v, want {7 1}", got)
+	}
+	if got := costs(hr); got != (ie{4, 4}) {
+		t.Errorf("h = %+v, want {4 4}", got)
+	}
+	if got := costs(mr); got != (ie{10, 0}) {
+		t.Errorf("m = %+v, want {10 0}", got)
+	}
+	if len(mr.Children) != 0 {
+		t.Errorf("m should have no callers, got %v", labels(mr.Children))
+	}
+
+	// g's callers: g (g2's context), f (g1's), m (g3's).
+	gb := child(t, ga, procNamed("g"), "gb")
+	fb := child(t, ga, procNamed("f"), "fb")
+	ma := child(t, ga, procNamed("m"), "ma")
+	if got := costs(gb); got != (ie{5, 1}) {
+		t.Errorf("gb = %+v, want {5 1}", got)
+	}
+	if got := costs(fb); got != (ie{6, 1}) {
+		t.Errorf("fb = %+v, want {6 1}", got)
+	}
+	if got := costs(ma); got != (ie{3, 3}) {
+		t.Errorf("ma = %+v, want {3 3}", got)
+	}
+
+	fc := child(t, gb, procNamed("f"), "fc")
+	md := child(t, fc, procNamed("m"), "md")
+	if got := costs(fc); got != (ie{5, 1}) {
+		t.Errorf("fc = %+v, want {5 1}", got)
+	}
+	if got := costs(md); got != (ie{5, 1}) {
+		t.Errorf("md = %+v, want {5 1}", got)
+	}
+
+	mc := child(t, fb, procNamed("m"), "mc")
+	if got := costs(mc); got != (ie{6, 1}) {
+		t.Errorf("mc = %+v, want {6 1}", got)
+	}
+
+	// f's caller chain: m.
+	mb := child(t, fa, procNamed("m"), "mb")
+	if got := costs(mb); got != (ie{7, 1}) {
+		t.Errorf("mb = %+v, want {7 1}", got)
+	}
+
+	// h's caller chain: g <- g <- f <- m, all (4,4).
+	gc := child(t, hr, procNamed("g"), "gc")
+	gd := child(t, gc, procNamed("g"), "gd")
+	fd := child(t, gd, procNamed("f"), "fd")
+	me := child(t, fd, procNamed("m"), "me")
+	for name, n := range map[string]*Node{"gc": gc, "gd": gd, "fd": fd, "me": me} {
+		if got := costs(n); got != (ie{4, 4}) {
+			t.Errorf("%s = %+v, want {4 4}", name, got)
+		}
+	}
+}
+
+// TestFig2cFlatView checks Figure 2c:
+//
+//	file2 9 8:  gx 9 4 { hy 4 0, gz 5 1, stmts }, hx 4 4 { l1 4 0 { l2 4 4 } }
+//	file1 10 1: m 10 0 { fy 7 1, gv 3 3 }, fx 7 1 { gy 6 1 }
+func TestFig2cFlatView(t *testing.T) {
+	tree := Fig1Tree()
+	v := BuildFlatView(tree)
+	if len(v.Roots) != 1 {
+		t.Fatalf("modules = %v, want 1", labels(v.Roots))
+	}
+	lm := v.Roots[0]
+	var file1, file2 *Node
+	for _, f := range lm.Children {
+		switch f.Name {
+		case "file1.c":
+			file1 = f
+		case "file2.c":
+			file2 = f
+		}
+	}
+	if file1 == nil || file2 == nil {
+		t.Fatalf("files = %v", labels(lm.Children))
+	}
+	if got := costs(file2); got != (ie{9, 8}) {
+		t.Errorf("file2 = %+v, want {9 8}", got)
+	}
+	if got := costs(file1); got != (ie{10, 1}) {
+		t.Errorf("file1 = %+v, want {10 1}", got)
+	}
+
+	gx := child(t, file2, procNamed("g"), "gx")
+	hx := child(t, file2, procNamed("h"), "hx")
+	if got := costs(gx); got != (ie{9, 4}) {
+		t.Errorf("gx = %+v, want {9 4}", got)
+	}
+	if got := costs(hx); got != (ie{4, 4}) {
+		t.Errorf("hx = %+v, want {4 4}", got)
+	}
+
+	// gx's dynamic rows: the recursive call (gz 5 1) and the call to h
+	// (hy 4 0 — rule for dynamic scopes in the flat view).
+	gz := child(t, gx, callSiteTo("g"), "gz")
+	hy := child(t, gx, callSiteTo("h"), "hy")
+	if got := costs(gz); got != (ie{5, 1}) {
+		t.Errorf("gz = %+v, want {5 1}", got)
+	}
+	if got := costs(hy); got != (ie{4, 0}) {
+		t.Errorf("hy = %+v, want {4 0}", got)
+	}
+
+	// hx's loop nest.
+	l1 := child(t, hx, loopAt(8), "l1")
+	l2 := child(t, l1, loopAt(9), "l2")
+	if got := costs(l1); got != (ie{4, 0}) {
+		t.Errorf("l1 = %+v, want {4 0}", got)
+	}
+	if got := costs(l2); got != (ie{4, 4}) {
+		t.Errorf("l2 = %+v, want {4 4}", got)
+	}
+
+	// file1: m with call-site rows fy (7 1) and gv (3 3); fx with gy (6 1).
+	mx := child(t, file1, procNamed("m"), "m")
+	fx := child(t, file1, procNamed("f"), "fx")
+	if got := costs(mx); got != (ie{10, 0}) {
+		t.Errorf("m = %+v, want {10 0}", got)
+	}
+	if got := costs(fx); got != (ie{7, 1}) {
+		t.Errorf("fx = %+v, want {7 1}", got)
+	}
+	fy := child(t, mx, callSiteTo("f"), "fy")
+	gv := child(t, mx, callSiteTo("g"), "gv")
+	gy := child(t, fx, callSiteTo("g"), "gy")
+	if got := costs(fy); got != (ie{7, 1}) {
+		t.Errorf("fy = %+v, want {7 1}", got)
+	}
+	if got := costs(gv); got != (ie{3, 3}) {
+		t.Errorf("gv = %+v, want {3 3}", got)
+	}
+	if got := costs(gy); got != (ie{6, 1}) {
+		t.Errorf("gy = %+v, want {6 1}", got)
+	}
+
+	// The paper's consistency observation: gx's inclusive cost equals
+	// ga's in the Callers View.
+	cv := BuildCallersView(tree)
+	for _, r := range cv.Roots {
+		if r.Name == "g" && r.Incl.Get(0) != gx.Incl.Get(0) {
+			t.Errorf("callers g (%g) != flat g (%g)", r.Incl.Get(0), gx.Incl.Get(0))
+		}
+	}
+}
+
+// TestNaiveAggregationOvercounts documents why exposed-instance
+// aggregation matters (Section IV-B): naively summing all instances of g
+// counts the recursive chain twice.
+func TestNaiveAggregationOvercounts(t *testing.T) {
+	tree := Fig1Tree()
+	var naiveIncl, naiveExcl float64
+	Walk(tree.Root, func(n *Node) bool {
+		if n.Kind == KindFrame && n.Name == "g" {
+			naiveIncl += n.Incl.Get(0)
+			naiveExcl += n.Excl.Get(0)
+		}
+		return true
+	})
+	if naiveIncl != 14 || naiveExcl != 5 {
+		t.Fatalf("naive sums = (%g, %g), expected the overcounted (14, 5)", naiveIncl, naiveExcl)
+	}
+	// The correct exposed aggregate is (9, 4) — checked in Fig2b/2c
+	// tests — so the naive inclusive overcounts by g2's entire subtree.
+}

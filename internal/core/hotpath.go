@@ -1,0 +1,125 @@
+package core
+
+import "sort"
+
+// Hot path analysis (Section V-C, Equation 3): starting from a scope x,
+// repeatedly descend into the child with the greatest inclusive value of
+// the selected metric while that child accounts for at least threshold t of
+// the parent's inclusive cost. It applies to any subtree and any metric —
+// including derived metrics — and is how Figure 3 finds the
+// chemkin_m_reaction_rate_ bottleneck and Figure 7 finds the imbalanced
+// time-stepping loop.
+
+// DefaultHotPathThreshold is the t = 50% the paper found most useful.
+const DefaultHotPathThreshold = 0.5
+
+// HotPath returns the scopes of H(start) in order, beginning with start
+// itself. metricID selects the inclusive metric column; t is the descent
+// threshold (DefaultHotPathThreshold when <= 0). The path ends at the first
+// scope none of whose children reaches t of its inclusive cost.
+func HotPath(start *Node, metricID int, t float64) []*Node {
+	if start == nil {
+		return nil
+	}
+	if t <= 0 {
+		t = DefaultHotPathThreshold
+	}
+	path := []*Node{start}
+	cur := start
+	for {
+		var best *Node
+		var bestVal float64
+		for _, c := range cur.Children {
+			if v := c.Incl.Get(metricID); best == nil || v > bestVal {
+				best, bestVal = c, v
+			}
+		}
+		if best == nil {
+			return path
+		}
+		parentVal := cur.Incl.Get(metricID)
+		if parentVal <= 0 || bestVal < t*parentVal {
+			return path
+		}
+		path = append(path, best)
+		cur = best
+	}
+}
+
+// Flatten implements the Flat View's flattening operation (Section III-C):
+// each scope with children is elided and replaced by its children; leaves
+// are kept ("applying flattening to a childless scope has no effect").
+// Flattening a list of sibling scopes once removes one layer of hierarchy,
+// enabling direct comparison of, e.g., loops across different routines
+// (Figure 6).
+func Flatten(scopes []*Node) []*Node {
+	var out []*Node
+	for _, s := range scopes {
+		if len(s.Children) == 0 {
+			out = append(out, s)
+			continue
+		}
+		out = append(out, s.Children...)
+	}
+	return out
+}
+
+// FlattenN applies Flatten n times.
+func FlattenN(scopes []*Node, n int) []*Node {
+	for i := 0; i < n; i++ {
+		scopes = Flatten(scopes)
+	}
+	return scopes
+}
+
+// SortSpec selects the column and flavor scopes are ordered by. The zero
+// value — column 0, inclusive, descending — is hpcviewer's default.
+type SortSpec struct {
+	// MetricID is the column to sort by.
+	MetricID int
+	// Exclusive compares exclusive values instead of inclusive ones.
+	Exclusive bool
+	// Ascending inverts the default descending order.
+	Ascending bool
+	// ByLabel sorts A→Z by the scope labels in the navigation pane
+	// instead of a metric column (the capability the paper's footnote 2
+	// notes "arose from design orthogonality"); Ascending is ignored.
+	ByLabel bool
+}
+
+func (s SortSpec) value(n *Node) float64 {
+	if s.Exclusive {
+		return n.Excl.Get(s.MetricID)
+	}
+	return n.Incl.Get(s.MetricID)
+}
+
+// SortScopes orders a sibling list by the spec, breaking ties by label so
+// output is deterministic. The paper's navigation pane keeps every level
+// sorted by the selected metric column (Section V-A).
+func SortScopes(scopes []*Node, spec SortSpec) {
+	if spec.ByLabel {
+		sort.SliceStable(scopes, func(i, j int) bool {
+			return scopes[i].Label() < scopes[j].Label()
+		})
+		return
+	}
+	sort.SliceStable(scopes, func(i, j int) bool {
+		a, b := spec.value(scopes[i]), spec.value(scopes[j])
+		if a != b {
+			if spec.Ascending {
+				return a < b
+			}
+			return a > b
+		}
+		return scopes[i].Label() < scopes[j].Label()
+	})
+}
+
+// SortTree sorts every sibling list in the subtree.
+func SortTree(start *Node, spec SortSpec) {
+	Walk(start, func(n *Node) bool {
+		SortScopes(n.Children, spec)
+		return true
+	})
+}

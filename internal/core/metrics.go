@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// ComputeMetrics performs the initialization step of Section IV-A: it
+// computes presented exclusive costs per Equation 1 and inclusive costs per
+// Equation 2 from the directly attributed Base values.
+//
+// Rules (Equation 1), using the paper's hybrid definition:
+//   - dynamic scopes (frames): exclusive is the sum of Base over every
+//     descendant reachable without crossing another frame — "sum every
+//     descendant statement of x that is not across a call site";
+//   - other static scopes (loops, inlined code): exclusive is the sum of
+//     Base over direct statement children only, so a loop's exclusive
+//     excludes its nested loops (Figure 2a: l1 = 0 while l2 = 4);
+//   - statements keep their Base.
+//
+// Inclusive costs (Equation 2) are the bottom-up sums of Base, so a fused
+// call-site/callee line reports "the cost of the callee and any routine it
+// calls" (Section V-B).
+func (t *Tree) ComputeMetrics() {
+	var visit func(n *Node) (incl, frameLocal *metric.Vector)
+	visit = func(n *Node) (*metric.Vector, *metric.Vector) {
+		incl := n.Base.Clone()
+		frameLocal := n.Base.Clone()
+		for _, c := range n.Children {
+			ci, cf := visit(c)
+			incl.AddVector(ci)
+			if c.Kind != KindFrame {
+				frameLocal.AddVector(cf)
+			}
+		}
+		switch n.Kind {
+		case KindFrame:
+			n.Excl = *frameLocal.Clone()
+		case KindLoop, KindAlien:
+			ex := n.Base.Clone()
+			for _, c := range n.Children {
+				if c.Kind == KindStmt {
+					ex.AddVector(&c.Base)
+				}
+			}
+			n.Excl = *ex
+		case KindStmt:
+			n.Excl = *n.Base.Clone()
+		case KindRoot:
+			n.Excl = metric.Vector{}
+		default:
+			n.Excl = *n.Base.Clone()
+		}
+		n.Incl = *incl.Clone()
+		return incl, frameLocal
+	}
+	visit(t.Root)
+	t.computed = true
+}
+
+// StaticExcl computes a frame's exclusive cost under the *static* rule: the
+// sum of Base over its direct statement children. This is what the Flat
+// View's dynamic call-site rows report (Figure 2c's hy shows 0 because all
+// of h's samples are nested in loops, not direct children).
+func StaticExcl(frame *Node) *metric.Vector {
+	ex := frame.Base.Clone()
+	for _, c := range frame.Children {
+		if c.Kind == KindStmt {
+			ex.AddVector(&c.Base)
+		}
+	}
+	return ex
+}
+
+// ApplyDerived evaluates every Derived column of the registry over each
+// node of the subtree rooted at start, storing results in both the
+// exclusive and inclusive vectors (a derived column is a spreadsheet
+// formula applied row-wise to whichever flavor is displayed, Section V-D).
+func ApplyDerived(reg *metric.Registry, start *Node) error {
+	type compiled struct {
+		id   int
+		expr *metric.Expr
+	}
+	var derived []compiled
+	for _, d := range reg.Columns() {
+		if d.Kind != metric.Derived {
+			continue
+		}
+		e, err := d.Expr()
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		derived = append(derived, compiled{id: d.ID, expr: e})
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	Walk(start, func(n *Node) bool {
+		for _, d := range derived {
+			ev := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Excl.Get(id) }))
+			n.Excl.Set(d.id, ev)
+			iv := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Incl.Get(id) }))
+			n.Incl.Set(d.id, iv)
+		}
+		return true
+	})
+	return nil
+}
+
+// ApplyDerivedTree applies derived metrics to the whole tree.
+func (t *Tree) ApplyDerivedTree() error { return ApplyDerived(t.Reg, t.Root) }

@@ -1,0 +1,291 @@
+// Package core implements the paper's primary contribution: the canonical
+// calling context tree with static structure fused in, hybrid
+// inclusive/exclusive metric attribution (Section IV, Equations 1 and 2),
+// recursion-aware aggregation via exposed instances (Section IV-B), and the
+// three complementary views — Calling Context, Callers and Flat (Section
+// III) — plus hot path analysis (Section V-C, Equation 3) and flattening
+// (Section III-C).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metric"
+)
+
+// Kind classifies scopes. The first group appears in the Calling Context
+// View; the second group appears only in derived views.
+type Kind uint8
+
+const (
+	// KindRoot is the invisible root of a tree.
+	KindRoot Kind = iota
+	// KindFrame is a dynamic scope: the fusion of a call site and its
+	// callee on one line, as hpcviewer presents them (Section V-B). The
+	// entry frame (main) has no call site.
+	KindFrame
+	// KindLoop is a recovered loop.
+	KindLoop
+	// KindAlien is inlined code.
+	KindAlien
+	// KindStmt is a statement; samples initially land here.
+	KindStmt
+
+	// KindLM is a load module (Flat View only).
+	KindLM
+	// KindFile is a source file (Flat View only).
+	KindFile
+	// KindProc is an aggregated procedure: a Flat View procedure row or
+	// a Callers View row (the root row of a procedure, or one of its
+	// transitive callers).
+	KindProc
+	// KindCallSite is a Flat View dynamic row: a call site aggregated
+	// within its static context (the paper's hy/gz/... nodes in Figure
+	// 2c).
+	KindCallSite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindFrame:
+		return "frame"
+	case KindLoop:
+		return "loop"
+	case KindAlien:
+		return "alien"
+	case KindStmt:
+		return "stmt"
+	case KindLM:
+		return "module"
+	case KindFile:
+		return "file"
+	case KindProc:
+		return "proc"
+	case KindCallSite:
+		return "callsite"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Key identifies a child scope within its parent. Two samples fuse into the
+// same scope exactly when their keys match at every level.
+type Key struct {
+	Kind Kind
+	// Name is the procedure name (Frame, Alien, Proc, CallSite), module
+	// name (LM) or file name (File).
+	Name string
+	// File is the source file of the scope (callee's file for frames).
+	File string
+	// Line is the statement line, call-site line, loop header line, or
+	// procedure declaration line.
+	Line int
+	// ID disambiguates scopes beyond source position: the call
+	// instruction address for frames, the loop header address for loops,
+	// the inline-site address for aliens. Zero for hand-built trees.
+	ID uint64
+}
+
+// Node is one scope in a tree (CCT or derived view).
+type Node struct {
+	Key
+	// NoSource marks scopes with no source information (rendered
+	// "plain black" per Section III-D.2).
+	NoSource bool
+	// Mod is the load module containing the scope (used by the Flat
+	// View's top level); set on frames during correlation.
+	Mod string
+	// CallLine is the call-site line for Frame scopes (the caller-side
+	// line), and the inlined call line for Alien scopes.
+	CallLine int
+	// CallFile is the file containing that call site.
+	CallFile string
+
+	Parent   *Node
+	Children []*Node
+	index    map[Key]*Node
+
+	// Base holds directly attributed costs: sample counts at statements
+	// (and barrier samples at dynamic scopes). Views and Equations 1/2
+	// are computed from Base.
+	Base metric.Vector
+	// Excl is the presented exclusive cost (Equation 1 / view rules).
+	Excl metric.Vector
+	// Incl is the presented inclusive cost (Equation 2).
+	Incl metric.Vector
+}
+
+// Child returns the child with the given key, creating it when create is
+// true.
+func (n *Node) Child(k Key, create bool) *Node {
+	if c, ok := n.index[k]; ok {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	if n.index == nil {
+		n.index = map[Key]*Node{}
+	}
+	c := &Node{Key: k, Parent: n}
+	n.index[k] = c
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// EnclosingFrame returns the nearest ancestor (or self) that is a Frame,
+// nil when none exists.
+func (n *Node) EnclosingFrame() *Node {
+	for x := n; x != nil; x = x.Parent {
+		if x.Kind == KindFrame {
+			return x
+		}
+	}
+	return nil
+}
+
+// Path returns the scopes from the root (exclusive) to n (inclusive).
+func (n *Node) Path() []*Node {
+	var path []*Node
+	for x := n; x != nil && x.Kind != KindRoot; x = x.Parent {
+		path = append(path, x)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Label renders the scope the way hpcviewer's navigation pane would:
+// procedures by name, loops as "loop at file:line", statements as
+// "file:line", call sites with the callee name.
+func (n *Node) Label() string {
+	switch n.Kind {
+	case KindRoot:
+		return "<root>"
+	case KindFrame, KindProc, KindCallSite:
+		if n.Name == "" {
+			return "<unknown>"
+		}
+		return n.Name
+	case KindLoop:
+		return fmt.Sprintf("loop at %s: %d", baseName(n.File), n.Line)
+	case KindAlien:
+		return fmt.Sprintf("inlined %s", n.Name)
+	case KindStmt:
+		return fmt.Sprintf("%s: %d", baseName(n.File), n.Line)
+	case KindLM:
+		return n.Name
+	case KindFile:
+		if n.Name == "" {
+			return "<unknown file>"
+		}
+		return n.Name
+	}
+	return "?"
+}
+
+func baseName(path string) string {
+	if path == "" {
+		return "??"
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Tree is a canonical calling context tree plus its metric registry.
+type Tree struct {
+	// Program names the measured program.
+	Program string
+	// Reg is the metric column registry shared by all views of this
+	// tree.
+	Reg *metric.Registry
+	// Root is the invisible root; its children are entry frames.
+	Root *Node
+
+	computed bool
+}
+
+// NewTree creates an empty tree with the given registry (a fresh one when
+// nil).
+func NewTree(program string, reg *metric.Registry) *Tree {
+	if reg == nil {
+		reg = metric.NewRegistry()
+	}
+	return &Tree{Program: program, Reg: reg, Root: &Node{Key: Key{Kind: KindRoot}}}
+}
+
+// AddPath materializes (or finds) the scope chain keys under the root and
+// returns the final node. Intended for tests and tree builders.
+func (t *Tree) AddPath(keys ...Key) *Node {
+	n := t.Root
+	for _, k := range keys {
+		n = n.Child(k, true)
+	}
+	return n
+}
+
+// Walk visits every node under (and including) start in depth-first
+// preorder. Returning false from f prunes the subtree.
+func Walk(start *Node, f func(n *Node) bool) {
+	if !f(start) {
+		return
+	}
+	for _, c := range start.Children {
+		Walk(c, f)
+	}
+}
+
+// NumNodes counts the scopes in the tree, excluding the root.
+func (t *Tree) NumNodes() int {
+	n := -1
+	Walk(t.Root, func(*Node) bool { n++; return true })
+	return n
+}
+
+// Total returns the root's inclusive value of a metric column: the
+// denominator for the percent annotations in every view.
+func (t *Tree) Total(metricID int) float64 {
+	return t.Root.Incl.Get(metricID)
+}
+
+// FindPath descends from the root matching each predicate against child
+// labels, returning nil if any step fails. Convenient for tests:
+// tree.FindPath("main", "loop at a.c: 2", "kernel").
+func (t *Tree) FindPath(labels ...string) *Node {
+	n := t.Root
+	for _, want := range labels {
+		var next *Node
+		for _, c := range n.Children {
+			if c.Label() == want {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		n = next
+	}
+	return n
+}
+
+// FindFirst returns the first node in preorder whose label matches.
+func (t *Tree) FindFirst(label string) *Node {
+	var found *Node
+	Walk(t.Root, func(n *Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.Kind != KindRoot && n.Label() == label {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}

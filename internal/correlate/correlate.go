@@ -1,0 +1,189 @@
+// Package correlate is the hpcprof equivalent: it fuses raw call path
+// profiles (PC tries from the sampler) with recovered static structure
+// (loops, inlined code, line maps) to synthesize the canonical calling
+// context tree the paper's views are built from (Section IV-A: "this data
+// structure is synthesized by hpcprof by integrating information about
+// static program structure into dynamic call chains").
+//
+// Each sampled call path is a list of call-instruction addresses. Every
+// address is resolved against the structure document: the call site's
+// enclosing loops and inlined frames materialize as static scopes *within
+// the caller's frame* — which is how a Calling Context View line like
+// Figure 3's shows "loop at integrate_erk.f90: 82" between two procedure
+// frames — and the callee's identity is taken from the procedure containing
+// the next-deeper address.
+package correlate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/profile"
+	"repro/internal/structfile"
+)
+
+// Correlate builds a canonical CCT for one profile. The tree's metric
+// registry gets one raw column per profile metric, in order.
+func Correlate(doc *structfile.Doc, prof *profile.Profile) (*core.Tree, error) {
+	tree := core.NewTree(prof.Program, metric.NewRegistry())
+	if _, err := Into(tree, doc, prof); err != nil {
+		return nil, err
+	}
+	tree.ComputeMetrics()
+	return tree, nil
+}
+
+// Into correlates a profile into an existing tree, creating any missing
+// metric columns (matched by name) and scopes. It returns the column
+// mapping from profile metric index to registry column. Metric values
+// accumulate, so correlating several ranks into one tree yields the summed
+// profile of Section IV's finalization step.
+func Into(tree *core.Tree, doc *structfile.Doc, prof *profile.Profile) ([]int, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if doc.Fingerprint != 0 && prof.Fingerprint != 0 && doc.Fingerprint != prof.Fingerprint {
+		return nil, fmt.Errorf(
+			"correlate: profile (rank %d) was measured from a different build than the structure document (fingerprint %x vs %x)",
+			prof.Rank, prof.Fingerprint, doc.Fingerprint)
+	}
+	cols := make([]int, len(prof.Metrics))
+	for i, m := range prof.Metrics {
+		if d := tree.Reg.ByName(m.Name); d != nil {
+			cols[i] = d.ID
+			continue
+		}
+		d, err := tree.Reg.AddRaw(m.Name, m.Unit, m.Period)
+		if err != nil {
+			return nil, fmt.Errorf("correlate: %w", err)
+		}
+		cols[i] = d.ID
+	}
+	c := &correlator{tree: tree, doc: doc, prof: prof, cols: cols}
+	if err := c.frame(prof.Root, tree.Root, 0); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+type correlator struct {
+	tree *core.Tree
+	doc  *structfile.Doc
+	prof *profile.Profile
+	cols []int
+}
+
+// frame correlates one raw trie node: it creates the fused
+// call-site/callee Frame scope under parent (materializing the call site's
+// loop and inline context first) and then attributes the node's samples and
+// children inside that frame.
+func (c *correlator) frame(raw *profile.Node, parent *core.Node, callPC uint64) error {
+	framePC, ok := anyPCWithin(raw)
+	if !ok {
+		// An empty frame (no samples anywhere below): nothing to
+		// attribute — performance data is sparse (Section V-A).
+		return nil
+	}
+	calleeRes, ok := c.doc.Resolve(framePC)
+	if !ok {
+		return fmt.Errorf("correlate: PC 0x%x not covered by structure document", framePC)
+	}
+
+	ctx := parent
+	key := core.Key{
+		Kind: core.KindFrame,
+		Name: calleeRes.Proc.Name,
+		File: calleeRes.Proc.File,
+		Line: calleeRes.Proc.Line,
+		ID:   callPC,
+	}
+	var callRes structfile.Resolution
+	if callPC != 0 {
+		callRes, ok = c.doc.Resolve(callPC)
+		if !ok {
+			return fmt.Errorf("correlate: call PC 0x%x not covered by structure document", callPC)
+		}
+		// The loops and inlined frames *containing the call site*
+		// become static scopes between the caller and callee frames
+		// (Section III-D.2).
+		ctx = c.materializeChain(ctx, callRes.Chain)
+	}
+	fr := ctx.Child(key, true)
+	fr.NoSource = calleeRes.Proc.NoSource
+	if calleeRes.LM != nil {
+		fr.Mod = calleeRes.LM.Name
+	}
+	if callPC != 0 && callRes.Stmt != nil {
+		fr.CallLine = callRes.Stmt.Line
+		fr.CallFile = callRes.Stmt.File
+	}
+
+	for _, row := range raw.Samples() {
+		res, ok := c.doc.Resolve(row.PC)
+		if !ok {
+			return fmt.Errorf("correlate: sample PC 0x%x not covered by structure document", row.PC)
+		}
+		sctx := c.materializeChain(fr, res.Chain)
+		stmt := sctx.Child(core.Key{
+			Kind: core.KindStmt,
+			File: res.Stmt.File,
+			Line: res.Stmt.Line,
+		}, true)
+		stmt.NoSource = res.Proc.NoSource
+		for mi, count := range row.Counts {
+			stmt.Base.Add(c.cols[mi], float64(count))
+		}
+	}
+
+	for _, child := range raw.Children() {
+		if err := c.frame(child, fr, child.CallPC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materializeChain creates the loop/alien scopes of a static chain under
+// base and returns the innermost.
+func (c *correlator) materializeChain(base *core.Node, chain []*structfile.Scope) *core.Node {
+	cur := base
+	for _, s := range chain {
+		var key core.Key
+		switch s.Kind {
+		case structfile.KindLoop:
+			key = core.Key{Kind: core.KindLoop, File: s.File, Line: s.Line, ID: scopeID(s)}
+		case structfile.KindAlien:
+			key = core.Key{Kind: core.KindAlien, Name: s.Name, File: s.File, Line: s.Line, ID: scopeID(s)}
+		default:
+			continue
+		}
+		next := cur.Child(key, true)
+		if s.Kind == structfile.KindAlien && next.CallLine == 0 {
+			next.CallLine = s.CallLine
+		}
+		cur = next
+	}
+	return cur
+}
+
+// scopeID returns a stable identifier for a structure scope: its first
+// address. Distinct loops and inline sites occupy distinct address ranges.
+func scopeID(s *structfile.Scope) uint64 {
+	if len(s.Ranges) > 0 {
+		return s.Ranges[0].Lo
+	}
+	return 0
+}
+
+// anyPCWithin finds a PC belonging to the frame itself: a sample PC, or
+// transitively a child's call PC (which lies in this frame's procedure).
+func anyPCWithin(raw *profile.Node) (uint64, bool) {
+	for _, row := range raw.Samples() {
+		return row.PC, true
+	}
+	for _, child := range raw.Children() {
+		return child.CallPC, true
+	}
+	return 0, false
+}

@@ -1,0 +1,440 @@
+package expdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Compact binary database format ("CPDB1"):
+//
+//	magic "CPDB1"
+//	program stringRef? No — header strings precede the table:
+//	  nStrings, strings (uvarint len + bytes)   -- string table
+//	  programRef, ranks
+//	  nMetrics { nameRef unitRef kindByte period formulaRef opByte src }
+//	  node := kindByte nameRef fileRef line id callLine callFileRef modRef
+//	          flags
+//	          nBase   { col, float64bits }*
+//	          nSummary{ col, float64bits }*
+//	          nChildren node*
+//
+// All integers are uvarints except float64 payloads (fixed 8 bytes LE).
+// Strings are interned: names, files and modules repeat across thousands
+// of scopes, which is the main reason this format is much smaller than the
+// XML (Section IX's motivation).
+
+const dbMagic = "CPDB1"
+
+type strTable struct {
+	byVal map[string]uint64
+	vals  []string
+}
+
+func newStrTable() *strTable {
+	t := &strTable{byVal: map[string]uint64{}}
+	t.ref("") // index 0 is always the empty string
+	return t
+}
+
+func (t *strTable) ref(s string) uint64 {
+	if i, ok := t.byVal[s]; ok {
+		return i
+	}
+	i := uint64(len(t.vals))
+	t.byVal[s] = i
+	t.vals = append(t.vals, s)
+	return i
+}
+
+// WriteBinary serializes the experiment in the compact format.
+func (e *Experiment) WriteBinary(w io.Writer) error {
+	// Pass 1: intern every string.
+	tab := newStrTable()
+	tab.ref(e.Program)
+	descs := descsOf(e.Tree.Reg)
+	for _, d := range descs {
+		tab.ref(d.Name)
+		tab.ref(d.Unit)
+		tab.ref(d.Formula)
+	}
+	core.Walk(e.Tree.Root, func(n *core.Node) bool {
+		tab.ref(n.Name)
+		tab.ref(n.File)
+		tab.ref(n.CallFile)
+		tab.ref(n.Mod)
+		return true
+	})
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dbMagic); err != nil {
+		return err
+	}
+	putU := func(v uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putF := func(v float64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := putU(uint64(len(tab.vals))); err != nil {
+		return err
+	}
+	for _, s := range tab.vals {
+		if err := putU(uint64(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	if err := putU(tab.ref(e.Program)); err != nil {
+		return err
+	}
+	if err := putU(uint64(e.NRanks)); err != nil {
+		return err
+	}
+	if err := putU(uint64(len(descs))); err != nil {
+		return err
+	}
+	for _, d := range descs {
+		kindByte := uint64(0)
+		switch d.Kind {
+		case "raw":
+			kindByte = 0
+		case "derived":
+			kindByte = 1
+		case "summary":
+			kindByte = 2
+		case "computed":
+			kindByte = 3
+		default:
+			return fmt.Errorf("expdb: unknown kind %q", d.Kind)
+		}
+		opByte := uint64(0)
+		switch d.Op {
+		case "":
+			opByte = 0
+		case "sum":
+			opByte = 1
+		case "mean":
+			opByte = 2
+		case "min":
+			opByte = 3
+		case "max":
+			opByte = 4
+		case "stddev":
+			opByte = 5
+		default:
+			return fmt.Errorf("expdb: unknown op %q", d.Op)
+		}
+		for _, v := range []uint64{tab.ref(d.Name), tab.ref(d.Unit), kindByte, d.Period, tab.ref(d.Formula), opByte, uint64(d.Source)} {
+			if err := putU(v); err != nil {
+				return err
+			}
+		}
+	}
+
+	inclOv, exclOv := overrideCols(e.Tree.Reg)
+	var writeNode func(n *core.Node) error
+	writeNode = func(n *core.Node) error {
+		flags := uint64(0)
+		if n.NoSource {
+			flags |= 1
+		}
+		hdr := []uint64{
+			uint64(n.Kind),
+			tab.ref(n.Name), tab.ref(n.File), uint64(n.Line), n.ID,
+			uint64(n.CallLine), tab.ref(n.CallFile), tab.ref(n.Mod),
+			flags,
+		}
+		for _, v := range hdr {
+			if err := putU(v); err != nil {
+				return err
+			}
+		}
+		var verr error
+		if err := putU(uint64(n.Base.Len())); err != nil {
+			return err
+		}
+		n.Base.Range(func(id int, v float64) {
+			if verr != nil {
+				return
+			}
+			if verr = putU(uint64(id)); verr == nil {
+				verr = putF(v)
+			}
+		})
+		if verr != nil {
+			return verr
+		}
+		for _, ov := range [][]colVal{overrideValues(&n.Incl, inclOv), overrideValues(&n.Excl, exclOv)} {
+			if err := putU(uint64(len(ov))); err != nil {
+				return err
+			}
+			for _, cv := range ov {
+				if err := putU(uint64(cv.col)); err != nil {
+					return err
+				}
+				if err := putF(cv.val); err != nil {
+					return err
+				}
+			}
+		}
+		if err := putU(uint64(len(n.Children))); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := writeNode(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := putU(uint64(len(e.Tree.Root.Children))); err != nil {
+		return err
+	}
+	for _, c := range e.Tree.Root.Children {
+		if err := writeNode(c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes the compact format and recomputes presented
+// metrics.
+func ReadBinary(r io.Reader) (*Experiment, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(dbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("expdb: %w", err)
+	}
+	if string(magic) != dbMagic {
+		return nil, fmt.Errorf("expdb: bad magic %q", magic)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getF := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+
+	nStr, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nStr > 10_000_000 {
+		return nil, fmt.Errorf("expdb: implausible string count %d", nStr)
+	}
+	strs := make([]string, nStr)
+	for i := range strs {
+		l, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if l > 1<<20 {
+			return nil, fmt.Errorf("expdb: implausible string length %d", l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		strs[i] = string(buf)
+	}
+	getS := func() (string, error) {
+		i, err := getU()
+		if err != nil {
+			return "", err
+		}
+		if i >= uint64(len(strs)) {
+			return "", fmt.Errorf("expdb: string ref %d out of range", i)
+		}
+		return strs[i], nil
+	}
+
+	e := &Experiment{}
+	if e.Program, err = getS(); err != nil {
+		return nil, err
+	}
+	ranks, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if ranks > math.MaxInt32 {
+		return nil, fmt.Errorf("expdb: implausible rank count %d", ranks)
+	}
+	e.NRanks = int(ranks)
+
+	nm, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	if nm > 4096 {
+		return nil, fmt.Errorf("expdb: implausible metric count %d", nm)
+	}
+	descs := make([]metricDesc, nm)
+	kindNames := []string{"raw", "derived", "summary", "computed"}
+	opNames := []string{"", "sum", "mean", "min", "max", "stddev"}
+	for i := range descs {
+		d := &descs[i]
+		if d.Name, err = getS(); err != nil {
+			return nil, err
+		}
+		if d.Unit, err = getS(); err != nil {
+			return nil, err
+		}
+		kb, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if kb >= uint64(len(kindNames)) {
+			return nil, fmt.Errorf("expdb: bad kind byte %d", kb)
+		}
+		d.Kind = kindNames[kb]
+		if d.Period, err = getU(); err != nil {
+			return nil, err
+		}
+		if d.Formula, err = getS(); err != nil {
+			return nil, err
+		}
+		ob, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if ob >= uint64(len(opNames)) {
+			return nil, fmt.Errorf("expdb: bad op byte %d", ob)
+		}
+		d.Op = opNames[ob]
+		src, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		d.Source = int(src)
+	}
+	reg, err := rebuildRegistry(descs)
+	if err != nil {
+		return nil, err
+	}
+	e.Tree = core.NewTree(e.Program, reg)
+	inclOv := map[*core.Node][]colVal{}
+	exclOv := map[*core.Node][]colVal{}
+
+	var readNode func(parent *core.Node, depth int) error
+	readNode = func(parent *core.Node, depth int) error {
+		if depth > 100000 {
+			return fmt.Errorf("expdb: tree too deep")
+		}
+		kindU, err := getU()
+		if err != nil {
+			return err
+		}
+		if kindU == uint64(core.KindRoot) || kindU > uint64(core.KindCallSite) {
+			return fmt.Errorf("expdb: bad node kind %d", kindU)
+		}
+		var key core.Key
+		key.Kind = core.Kind(kindU)
+		if key.Name, err = getS(); err != nil {
+			return err
+		}
+		if key.File, err = getS(); err != nil {
+			return err
+		}
+		line, err := getU()
+		if err != nil {
+			return err
+		}
+		key.Line = int(line)
+		if key.ID, err = getU(); err != nil {
+			return err
+		}
+		callLine, err := getU()
+		if err != nil {
+			return err
+		}
+		callFile, err := getS()
+		if err != nil {
+			return err
+		}
+		mod, err := getS()
+		if err != nil {
+			return err
+		}
+		flags, err := getU()
+		if err != nil {
+			return err
+		}
+		n := parent.Child(key, true)
+		n.CallLine = int(callLine)
+		n.CallFile = callFile
+		n.Mod = mod
+		n.NoSource = flags&1 != 0
+
+		nb, err := getU()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nb; i++ {
+			col, err := getU()
+			if err != nil {
+				return err
+			}
+			v, err := getF()
+			if err != nil {
+				return err
+			}
+			n.Base.Add(int(col), v)
+		}
+		for _, dest := range []map[*core.Node][]colVal{inclOv, exclOv} {
+			ns, err := getU()
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < ns; i++ {
+				col, err := getU()
+				if err != nil {
+					return err
+				}
+				v, err := getF()
+				if err != nil {
+					return err
+				}
+				dest[n] = append(dest[n], colVal{col: int(col), val: v})
+			}
+		}
+		nc, err := getU()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nc; i++ {
+			if err := readNode(n, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nRoots, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nRoots; i++ {
+		if err := readNode(e.Tree.Root, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.finalize(inclOv, exclOv); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

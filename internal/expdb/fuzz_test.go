@@ -1,0 +1,61 @@
+package expdb
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzReadBinary guards the compact database reader against panics on
+// arbitrary input; anything accepted must re-encode cleanly.
+func FuzzReadBinary(f *testing.F) {
+	e := New(core.Fig1Tree())
+	var buf bytes.Buffer
+	if err := e.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte("CPDB1"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good...)
+	if len(mutated) > 20 {
+		mutated[15] ^= 0x7f
+		f.Add(mutated)
+		f.Add(good[:len(good)*2/3])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadXML does the same for the XML reader.
+func FuzzReadXML(f *testing.F) {
+	e := New(core.Fig1Tree())
+	var buf bytes.Buffer
+	if err := e.WriteXML(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`<Experiment n="x"><MetricTable/><CCT/></Experiment>`)
+	f.Add(`<Experiment`)
+	f.Add(`<Experiment n="x"><CCT><N k="frame" n="a"><V c="0" v="1"/></N></CCT></Experiment>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := ReadXML(bytes.NewReader([]byte(src)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteXML(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,392 @@
+// Package isa defines the synthetic instruction set and load-image format
+// produced by lowering a prog.Program. It substitutes for real machine code:
+// the execution simulator (internal/sim) interprets it, the sampler unwinds
+// it by return address, and structure recovery (internal/cfg,
+// internal/structfile) analyzes its control flow — the same division of
+// labor HPCToolkit has between hpcrun and hpcstruct on native binaries.
+//
+// The ISA is a tiny register machine. Each procedure frame has a private
+// register file used only for loop counters; control flow is explicit
+// (conditional branches and jumps), so loop structure is genuinely
+// *recovered* from the instruction stream by dominator analysis rather than
+// copied from the source model. Every instruction carries a source line and
+// an optional inline-provenance record, mirroring DWARF line and inline
+// tables.
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpWork charges the instruction's Cost bundle to the hardware
+	// counters. It models a run of straight-line machine instructions.
+	OpWork Op = iota
+	// OpSet evaluates expression B against the run parameters and stores
+	// the result in register A. Used to initialize loop counters.
+	OpSet
+	// OpDec decrements register A.
+	OpDec
+	// OpBrZ branches to Target when register A is zero (loop exit test).
+	OpBrZ
+	// OpBrCond branches to Target when condition A evaluates true.
+	OpBrCond
+	// OpJump branches unconditionally to Target (loop back edges).
+	OpJump
+	// OpCall invokes procedure A; the return address is the next
+	// instruction.
+	OpCall
+	// OpRet returns from the current procedure. Returning from the entry
+	// procedure halts execution.
+	OpRet
+	// OpBarrier yields to the SPMD harness for a synchronization point;
+	// the harness charges idle cost before execution resumes. A is a
+	// barrier site identifier.
+	OpBarrier
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpWork:
+		return "work"
+	case OpSet:
+		return "set"
+	case OpDec:
+		return "dec"
+	case OpBrZ:
+		return "brz"
+	case OpBrCond:
+		return "brcond"
+	case OpJump:
+		return "jump"
+	case OpCall:
+		return "call"
+	case OpRet:
+		return "ret"
+	case OpBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// NumRegs is the size of each frame's register file. Loop counters are
+// allocated by nesting depth, so this bounds loop nesting (including loops
+// introduced by inlining).
+const NumRegs = 16
+
+// InstrBytes is the notional encoded size of one instruction; addresses
+// advance by this much per instruction so that PCs look like addresses.
+const InstrBytes = 4
+
+// NoFile marks an instruction or procedure without source information.
+const NoFile = int32(-1)
+
+// NoInline marks an instruction that is not inlined code.
+const NoInline = int32(-1)
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op     Op
+	A      int32     // register / condition index / callee proc index / barrier id
+	B      int32     // expression index (OpSet)
+	Target int32     // branch target, as an instruction index
+	Cost   prog.Cost // OpWork cost bundle
+	File   int32     // source file (index into Image.Files), NoFile if unknown
+	Line   int32     // source line
+	Inline int32     // innermost inline-provenance node, NoInline if none
+}
+
+// FileSym names a source file and the module it belongs to.
+type FileSym struct {
+	Name   string
+	Module int32
+}
+
+// ProcSym is a procedure symbol: its name, source location and the
+// half-open instruction range [Start, End) it occupies.
+type ProcSym struct {
+	Name  string
+	File  int32 // NoFile for binary-only procedures
+	Line  int32
+	Start int32
+	End   int32
+}
+
+// InlineNode records one level of inline provenance: procedure Proc
+// (declared at File:DeclLine) was inlined at CallFile:CallLine within the
+// context identified by Parent (NoInline for top level). Equivalent to a
+// DWARF DW_TAG_inlined_subroutine chain.
+type InlineNode struct {
+	Parent   int32
+	Proc     string
+	File     int32 // file declaring the inlined procedure
+	DeclLine int32
+	CallFile int32 // file containing the call that was inlined away
+	CallLine int32
+}
+
+// Image is a lowered program: one flat code segment plus symbol, line,
+// expression, condition and inline tables. All procedures of all load
+// modules share one address space (module identity is retained in the file
+// and module tables for the Flat View's load-module level).
+type Image struct {
+	Name    string
+	Base    uint64
+	Code    []Instr
+	Modules []string
+	Files   []FileSym
+	Procs   []ProcSym
+	Exprs   []prog.IntExpr
+	Conds   []prog.Cond
+	Inlines []InlineNode
+	// EntryProc indexes Procs.
+	EntryProc int32
+}
+
+// Addr converts an instruction index to a synthetic address.
+func (im *Image) Addr(idx int32) uint64 { return im.Base + uint64(idx)*InstrBytes }
+
+// Index converts a synthetic address back to an instruction index. It
+// returns -1 when the address is outside the image.
+func (im *Image) Index(addr uint64) int32 {
+	if addr < im.Base {
+		return -1
+	}
+	off := addr - im.Base
+	if off%InstrBytes != 0 {
+		return -1
+	}
+	idx := off / InstrBytes
+	if idx >= uint64(len(im.Code)) {
+		return -1
+	}
+	return int32(idx)
+}
+
+// ProcAt returns the index into Procs of the procedure containing the
+// instruction index, or -1. Procedures are laid out in ascending,
+// non-overlapping ranges, so binary search applies.
+func (im *Image) ProcAt(idx int32) int32 {
+	lo, hi := 0, len(im.Procs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		p := &im.Procs[mid]
+		switch {
+		case idx < p.Start:
+			hi = mid
+		case idx >= p.End:
+			lo = mid + 1
+		default:
+			return int32(mid)
+		}
+	}
+	return -1
+}
+
+// ProcByName returns the index of the named procedure, or -1.
+func (im *Image) ProcByName(name string) int32 {
+	for i := range im.Procs {
+		if im.Procs[i].Name == name {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// InlineChain returns the inline provenance of instruction idx from
+// outermost to innermost (nil when the instruction is not inlined code).
+func (im *Image) InlineChain(idx int32) []InlineNode {
+	if idx < 0 || int(idx) >= len(im.Code) {
+		return nil
+	}
+	node := im.Code[idx].Inline
+	var chain []InlineNode
+	for node != NoInline {
+		chain = append(chain, im.Inlines[node])
+		node = im.Inlines[node].Parent
+	}
+	// reverse to outermost-first
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// Fingerprint computes a stable identity for the image over its code and
+// symbol tables. Profiles record it and correlation verifies it against
+// the structure document's, so measurements taken from one build are never
+// silently attributed against another build's structure (PCs would still
+// fall in range — the mismatch is otherwise undetectable).
+func (im *Image) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xfe
+		h *= prime64
+	}
+	mixStr(im.Name)
+	mix(im.Base)
+	for _, in := range im.Code {
+		mix(uint64(in.Op))
+		mix(uint64(uint32(in.A)))
+		mix(uint64(uint32(in.Target)))
+		mix(in.Cost.Cycles)
+		mix(uint64(uint32(in.Line)))
+	}
+	for _, p := range im.Procs {
+		mixStr(p.Name)
+		mix(uint64(uint32(p.Start)))
+	}
+	return h
+}
+
+// InlineChainIDs returns the indices into Inlines for instruction idx from
+// outermost to innermost (nil when not inlined).
+func (im *Image) InlineChainIDs(idx int32) []int32 {
+	if idx < 0 || int(idx) >= len(im.Code) {
+		return nil
+	}
+	return im.inlineChainOf(im.Code[idx].Inline)
+}
+
+// inlineChainOf expands an inline node id to the outermost-first id chain.
+func (im *Image) inlineChainOf(node int32) []int32 {
+	var ids []int32
+	for node != NoInline {
+		ids = append(ids, node)
+		node = im.Inlines[node].Parent
+	}
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids
+}
+
+// InlineDepth returns the provenance depth of inline node id (0 when id is
+// NoInline).
+func (im *Image) InlineDepth(id int32) int {
+	d := 0
+	for id != NoInline {
+		d++
+		id = im.Inlines[id].Parent
+	}
+	return d
+}
+
+// Validate checks structural invariants: procedure ranges are ascending and
+// non-overlapping, branch targets stay within their procedure, call targets
+// and table indices are in range.
+func (im *Image) Validate() error {
+	if im.EntryProc < 0 || int(im.EntryProc) >= len(im.Procs) {
+		return fmt.Errorf("isa: entry proc index %d out of range", im.EntryProc)
+	}
+	prevEnd := int32(0)
+	for pi := range im.Procs {
+		p := &im.Procs[pi]
+		if p.Start < prevEnd || p.End < p.Start || int(p.End) > len(im.Code) {
+			return fmt.Errorf("isa: proc %q has bad range [%d,%d)", p.Name, p.Start, p.End)
+		}
+		prevEnd = p.End
+		for i := p.Start; i < p.End; i++ {
+			in := &im.Code[i]
+			switch in.Op {
+			case OpBrZ, OpBrCond, OpJump:
+				if in.Target < p.Start || in.Target >= p.End {
+					return fmt.Errorf("isa: %q+%d: branch target %d escapes procedure [%d,%d)",
+						p.Name, i-p.Start, in.Target, p.Start, p.End)
+				}
+			case OpCall:
+				if in.A < 0 || int(in.A) >= len(im.Procs) {
+					return fmt.Errorf("isa: %q+%d: call target %d out of range", p.Name, i-p.Start, in.A)
+				}
+			case OpSet:
+				if in.B < 0 || int(in.B) >= len(im.Exprs) {
+					return fmt.Errorf("isa: %q+%d: expr index %d out of range", p.Name, i-p.Start, in.B)
+				}
+				if in.A < 0 || in.A >= NumRegs {
+					return fmt.Errorf("isa: %q+%d: register %d out of range", p.Name, i-p.Start, in.A)
+				}
+			case OpDec:
+				if in.A < 0 || in.A >= NumRegs {
+					return fmt.Errorf("isa: %q+%d: register %d out of range", p.Name, i-p.Start, in.A)
+				}
+			}
+			if in.Op == OpBrZ && (in.A < 0 || in.A >= NumRegs) {
+				return fmt.Errorf("isa: %q+%d: register %d out of range", p.Name, i-p.Start, in.A)
+			}
+			if in.Op == OpBrCond && (in.A < 0 || int(in.A) >= len(im.Conds)) {
+				return fmt.Errorf("isa: %q+%d: cond index %d out of range", p.Name, i-p.Start, in.A)
+			}
+			if in.Inline != NoInline && (in.Inline < 0 || int(in.Inline) >= len(im.Inlines)) {
+				return fmt.Errorf("isa: %q+%d: inline index %d out of range", p.Name, i-p.Start, in.Inline)
+			}
+			if in.File != NoFile && (in.File < 0 || int(in.File) >= len(im.Files)) {
+				return fmt.Errorf("isa: %q+%d: file index %d out of range", p.Name, i-p.Start, in.File)
+			}
+		}
+	}
+	for fi := range im.Files {
+		if im.Files[fi].Module < 0 || int(im.Files[fi].Module) >= len(im.Modules) {
+			return fmt.Errorf("isa: file %q has bad module index", im.Files[fi].Name)
+		}
+	}
+	for ii := range im.Inlines {
+		n := &im.Inlines[ii]
+		if n.Parent != NoInline && (n.Parent < 0 || n.Parent >= int32(ii)) {
+			return fmt.Errorf("isa: inline node %d has bad parent %d", ii, n.Parent)
+		}
+	}
+	return nil
+}
+
+// Disasm renders one instruction for debugging and tests.
+func (im *Image) Disasm(idx int32) string {
+	if idx < 0 || int(idx) >= len(im.Code) {
+		return fmt.Sprintf("%d: <out of range>", idx)
+	}
+	in := &im.Code[idx]
+	loc := ""
+	if in.File != NoFile {
+		loc = fmt.Sprintf(" ; %s:%d", im.Files[in.File].Name, in.Line)
+	}
+	switch in.Op {
+	case OpWork:
+		return fmt.Sprintf("%4d: work cyc=%d fl=%d l1=%d%s", idx, in.Cost.Cycles, in.Cost.FLOPs, in.Cost.L1Miss, loc)
+	case OpSet:
+		return fmt.Sprintf("%4d: set r%d, expr#%d%s", idx, in.A, in.B, loc)
+	case OpDec:
+		return fmt.Sprintf("%4d: dec r%d%s", idx, in.A, loc)
+	case OpBrZ:
+		return fmt.Sprintf("%4d: brz r%d -> %d%s", idx, in.A, in.Target, loc)
+	case OpBrCond:
+		return fmt.Sprintf("%4d: brcond c#%d -> %d%s", idx, in.A, in.Target, loc)
+	case OpJump:
+		return fmt.Sprintf("%4d: jump -> %d%s", idx, in.Target, loc)
+	case OpCall:
+		return fmt.Sprintf("%4d: call %s%s", idx, im.Procs[in.A].Name, loc)
+	case OpRet:
+		return fmt.Sprintf("%4d: ret%s", idx, loc)
+	case OpBarrier:
+		return fmt.Sprintf("%4d: barrier #%d%s", idx, in.A, loc)
+	}
+	return fmt.Sprintf("%4d: ???", idx)
+}

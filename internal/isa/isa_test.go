@@ -1,0 +1,277 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+)
+
+// tinyImage builds a hand-written image with two procedures:
+//
+//	main: work; call leaf; ret
+//	leaf: work; ret
+func tinyImage() *Image {
+	return &Image{
+		Name:    "tiny",
+		Base:    0x400000,
+		Modules: []string{"tiny.exe"},
+		Files:   []FileSym{{Name: "tiny.c", Module: 0}},
+		Procs: []ProcSym{
+			{Name: "main", File: 0, Line: 1, Start: 0, End: 3},
+			{Name: "leaf", File: 0, Line: 10, Start: 3, End: 5},
+		},
+		Code: []Instr{
+			{Op: OpWork, Cost: prog.Cost{Cycles: 5}, File: 0, Line: 2, Inline: NoInline},
+			{Op: OpCall, A: 1, File: 0, Line: 3, Inline: NoInline},
+			{Op: OpRet, File: 0, Line: 1, Inline: NoInline},
+			{Op: OpWork, Cost: prog.Cost{Cycles: 7}, File: 0, Line: 11, Inline: NoInline},
+			{Op: OpRet, File: 0, Line: 10, Inline: NoInline},
+		},
+		EntryProc: 0,
+	}
+}
+
+func TestImageValidateOK(t *testing.T) {
+	if err := tinyImage().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestImageValidateCatchesBadTargets(t *testing.T) {
+	im := tinyImage()
+	im.Code[1] = Instr{Op: OpJump, Target: 4, File: 0, Inline: NoInline} // escapes main
+	if err := im.Validate(); err == nil {
+		t.Fatal("escaping branch accepted")
+	}
+
+	im = tinyImage()
+	im.Code[1] = Instr{Op: OpCall, A: 99, File: 0, Inline: NoInline}
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad call target accepted")
+	}
+
+	im = tinyImage()
+	im.Code[0].Inline = 5
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad inline index accepted")
+	}
+
+	im = tinyImage()
+	im.EntryProc = 9
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad entry proc accepted")
+	}
+
+	im = tinyImage()
+	im.Code[0] = Instr{Op: OpSet, A: NumRegs, B: 0, File: 0, Inline: NoInline}
+	im.Exprs = []prog.IntExpr{prog.ConstInt(1)}
+	if err := im.Validate(); err == nil {
+		t.Fatal("out-of-range register accepted")
+	}
+
+	im = tinyImage()
+	im.Procs[1].Start = 2 // overlaps main
+	if err := im.Validate(); err == nil {
+		t.Fatal("overlapping procs accepted")
+	}
+}
+
+func TestAddrIndexRoundTrip(t *testing.T) {
+	im := tinyImage()
+	for i := int32(0); i < int32(len(im.Code)); i++ {
+		addr := im.Addr(i)
+		if got := im.Index(addr); got != i {
+			t.Fatalf("Index(Addr(%d)) = %d", i, got)
+		}
+	}
+	if im.Index(im.Base-4) != -1 {
+		t.Fatal("address below base resolved")
+	}
+	if im.Index(im.Addr(int32(len(im.Code)))) != -1 {
+		t.Fatal("address past end resolved")
+	}
+	if im.Index(im.Base+1) != -1 {
+		t.Fatal("misaligned address resolved")
+	}
+}
+
+func TestProcAt(t *testing.T) {
+	im := tinyImage()
+	cases := []struct{ idx, want int32 }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, -1}, {-1, -1},
+	}
+	for _, c := range cases {
+		if got := im.ProcAt(c.idx); got != c.want {
+			t.Errorf("ProcAt(%d) = %d, want %d", c.idx, got, c.want)
+		}
+	}
+}
+
+// Property: ProcAt agrees with a linear scan for arbitrary proc layouts.
+func TestProcAtMatchesLinearScan(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		im := &Image{}
+		start := int32(0)
+		for i, s := range sizes {
+			if i >= 6 {
+				break
+			}
+			end := start + int32(s%7)
+			im.Procs = append(im.Procs, ProcSym{Start: start, End: end})
+			start = end
+		}
+		for idx := int32(-1); idx <= start+1; idx++ {
+			want := int32(-1)
+			for pi := range im.Procs {
+				if idx >= im.Procs[pi].Start && idx < im.Procs[pi].End {
+					want = int32(pi)
+					break
+				}
+			}
+			if im.ProcAt(idx) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcByName(t *testing.T) {
+	im := tinyImage()
+	if im.ProcByName("leaf") != 1 || im.ProcByName("main") != 0 || im.ProcByName("ghost") != -1 {
+		t.Fatal("ProcByName wrong")
+	}
+}
+
+func TestInlineChain(t *testing.T) {
+	im := tinyImage()
+	im.Inlines = []InlineNode{
+		{Parent: NoInline, Proc: "outer_inl", File: 0, DeclLine: 20, CallFile: 0, CallLine: 2},
+		{Parent: 0, Proc: "inner_inl", File: 0, DeclLine: 30, CallFile: 0, CallLine: 21},
+	}
+	im.Code[0].Inline = 1
+	chain := im.InlineChain(0)
+	if len(chain) != 2 || chain[0].Proc != "outer_inl" || chain[1].Proc != "inner_inl" {
+		t.Fatalf("InlineChain = %+v", chain)
+	}
+	if im.InlineChain(1) != nil {
+		t.Fatal("non-inlined instruction has a chain")
+	}
+	if im.InlineChain(99) != nil || im.InlineChain(-1) != nil {
+		t.Fatal("out-of-range index has a chain")
+	}
+}
+
+func TestDisasmFormats(t *testing.T) {
+	im := tinyImage()
+	im.Exprs = []prog.IntExpr{prog.ConstInt(3)}
+	im.Conds = []prog.Cond{prog.ProbCond{P: 0.5}}
+	extra := []Instr{
+		{Op: OpSet, A: 0, B: 0, File: 0, Line: 1, Inline: NoInline},
+		{Op: OpDec, A: 0, File: 0, Line: 1, Inline: NoInline},
+		{Op: OpBrZ, A: 0, Target: 0, File: 0, Line: 1, Inline: NoInline},
+		{Op: OpBrCond, A: 0, Target: 0, File: 0, Line: 1, Inline: NoInline},
+		{Op: OpJump, Target: 0, File: 0, Line: 1, Inline: NoInline},
+		{Op: OpBarrier, A: 1, File: NoFile, Inline: NoInline},
+	}
+	im.Code = append(im.Code, extra...)
+	wants := []string{"work", "call leaf", "ret", "work", "ret", "set r0", "dec r0", "brz r0", "brcond c#0", "jump", "barrier #1"}
+	for i, w := range wants {
+		if got := im.Disasm(int32(i)); !strings.Contains(got, w) {
+			t.Errorf("Disasm(%d) = %q, want substring %q", i, got, w)
+		}
+	}
+	if !strings.Contains(im.Disasm(99), "out of range") {
+		t.Error("Disasm out-of-range not flagged")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{OpWork, OpSet, OpDec, OpBrZ, OpBrCond, OpJump, OpCall, OpRet, OpBarrier}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("Op %d has bad or duplicate name %q", op, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown op should include its number")
+	}
+}
+
+func TestInlineChainIDsAndDepth(t *testing.T) {
+	im := tinyImage()
+	im.Inlines = []InlineNode{
+		{Parent: NoInline, Proc: "outer"},
+		{Parent: 0, Proc: "inner"},
+	}
+	im.Code[0].Inline = 1
+	ids := im.InlineChainIDs(0)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("InlineChainIDs = %v", ids)
+	}
+	if im.InlineChainIDs(1) != nil {
+		t.Fatal("non-inlined instruction has IDs")
+	}
+	if im.InlineChainIDs(-1) != nil || im.InlineChainIDs(99) != nil {
+		t.Fatal("out-of-range index has IDs")
+	}
+	if im.InlineDepth(1) != 2 || im.InlineDepth(0) != 1 || im.InlineDepth(NoInline) != 0 {
+		t.Fatal("InlineDepth wrong")
+	}
+}
+
+func TestValidateBadFileAndInlineParent(t *testing.T) {
+	im := tinyImage()
+	im.Code[0].File = 7
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad file index accepted")
+	}
+	im = tinyImage()
+	im.Files[0].Module = 9
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad module index accepted")
+	}
+	im = tinyImage()
+	im.Inlines = []InlineNode{{Parent: 5}}
+	if err := im.Validate(); err == nil {
+		t.Fatal("forward inline parent accepted")
+	}
+	im = tinyImage()
+	im.Code[0] = Instr{Op: OpBrCond, A: 3, Target: 1, File: 0, Inline: NoInline}
+	if err := im.Validate(); err == nil {
+		t.Fatal("bad cond index accepted")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := tinyImage()
+	if a.Fingerprint() == 0 {
+		t.Fatal("zero fingerprint")
+	}
+	if a.Fingerprint() != tinyImage().Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	b := tinyImage()
+	b.Code[0].Cost.Cycles++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("cost change not detected")
+	}
+	c := tinyImage()
+	c.Procs[0].Name = "other"
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("symbol change not detected")
+	}
+	d := tinyImage()
+	d.Code[1].Target = 2
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("control-flow change not detected")
+	}
+}

@@ -1,0 +1,300 @@
+// Package lower compiles a prog.Program into an isa.Image, playing the role
+// of an optimizing compiler producing the binary that the rest of the
+// toolkit measures and analyzes.
+//
+// Loops are lowered to counter-register control flow (set / test / dec /
+// back-edge jump) so that loop structure must be *recovered* by dominator
+// analysis in internal/cfg, just as hpcstruct recovers loops from native
+// object code. Procedures marked Inline are spliced into their callers with
+// inline-provenance records, which is what makes the paper's "attribution
+// through multiple levels of inlining" (Figure 5) a real recovered artifact
+// rather than an input.
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Options configures lowering.
+type Options struct {
+	// Inline enables the inlining pass for procedures marked
+	// prog.Proc.Inline.
+	Inline bool
+	// MaxInlineDepth bounds transitive inlining (default 4).
+	MaxInlineDepth int
+	// Base is the image load address (default 0x400000).
+	Base uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxInlineDepth == 0 {
+		o.MaxInlineDepth = 4
+	}
+	if o.Base == 0 {
+		o.Base = 0x400000
+	}
+}
+
+// WaitProcName is the synthetic runtime procedure that absorbs barrier idle
+// time; it appears in profiles exactly like MPI_Wait does in the paper's
+// PFLOTRAN study.
+const WaitProcName = "mpi_wait"
+
+// Lower compiles p. The program must validate.
+func Lower(p *prog.Program, opt Options) (*isa.Image, error) {
+	opt.setDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lw := &lowerer{
+		opt: opt,
+		im: &isa.Image{
+			Name: p.Name,
+			Base: opt.Base,
+		},
+		procIdx: map[string]int32{},
+		procDef: map[string]*prog.Proc{},
+		fileIdx: map[*prog.File]int32{},
+	}
+	lw.collectSymbols(p)
+	if lw.needsWait && lw.im.ProcByName(WaitProcName) < 0 {
+		// Synthesize the barrier-wait runtime procedure.
+		lw.declareProc(&prog.Proc{Name: WaitProcName, NoSource: true}, isa.NoFile)
+	}
+	for _, sym := range lw.procOrder {
+		if err := lw.emitProc(sym); err != nil {
+			return nil, err
+		}
+	}
+	lw.im.EntryProc = lw.procIdx[p.Entry]
+	if err := lw.im.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: produced invalid image: %w", err)
+	}
+	return lw.im, nil
+}
+
+type lowerer struct {
+	opt       Options
+	im        *isa.Image
+	procIdx   map[string]int32
+	procDef   map[string]*prog.Proc
+	fileIdx   map[*prog.File]int32
+	procOrder []string
+	needsWait bool
+	barrierID int32
+}
+
+// emitCtx tracks the static context during body emission.
+type emitCtx struct {
+	file        int32    // file of the code being emitted
+	inline      int32    // innermost inline node (isa.NoInline at top level)
+	inlineStack []string // procedures on the inline path, for cycle detection
+	loopDepth   int      // current loop nesting, indexes the register file
+}
+
+func (lw *lowerer) collectSymbols(p *prog.Program) {
+	for mi, m := range p.Modules {
+		lw.im.Modules = append(lw.im.Modules, m.Name)
+		for _, f := range m.Files {
+			fid := int32(len(lw.im.Files))
+			lw.im.Files = append(lw.im.Files, isa.FileSym{Name: f.Name, Module: int32(mi)})
+			lw.fileIdx[f] = fid
+			for _, pr := range f.Procs {
+				file := fid
+				if pr.NoSource {
+					file = isa.NoFile
+				}
+				lw.declareProc(pr, file)
+				if containsBarrier(pr.Body) {
+					lw.needsWait = true
+				}
+			}
+		}
+	}
+}
+
+func (lw *lowerer) declareProc(pr *prog.Proc, file int32) {
+	lw.procIdx[pr.Name] = int32(len(lw.im.Procs))
+	lw.im.Procs = append(lw.im.Procs, isa.ProcSym{
+		Name: pr.Name,
+		File: file,
+		Line: int32(pr.Line),
+	})
+	lw.procDef[pr.Name] = pr
+	lw.procOrder = append(lw.procOrder, pr.Name)
+}
+
+func containsBarrier(body []prog.Stmt) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case prog.Barrier:
+			return true
+		case prog.Loop:
+			if containsBarrier(s.Body) {
+				return true
+			}
+		case prog.If:
+			if containsBarrier(s.Then) || containsBarrier(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (lw *lowerer) emitProc(name string) error {
+	pr := lw.procDef[name]
+	idx := lw.procIdx[name]
+	sym := &lw.im.Procs[idx]
+	sym.Start = int32(len(lw.im.Code))
+	ctx := emitCtx{file: sym.File, inline: isa.NoInline}
+	if name == WaitProcName && len(pr.Body) == 0 {
+		// The synthetic wait procedure: a single barrier instruction.
+		lw.emit(isa.Instr{Op: isa.OpBarrier, A: -1, File: isa.NoFile, Inline: isa.NoInline})
+	} else if err := lw.emitBody(pr.Body, ctx); err != nil {
+		return fmt.Errorf("lower: %s: %w", name, err)
+	}
+	lw.emit(isa.Instr{Op: isa.OpRet, File: ctx.file, Line: sym.Line, Inline: isa.NoInline})
+	sym = &lw.im.Procs[idx] // re-take: Procs may have been appended to
+	sym.End = int32(len(lw.im.Code))
+	return nil
+}
+
+func (lw *lowerer) emit(in isa.Instr) int32 {
+	lw.im.Code = append(lw.im.Code, in)
+	return int32(len(lw.im.Code) - 1)
+}
+
+func (lw *lowerer) emitBody(body []prog.Stmt, ctx emitCtx) error {
+	for _, s := range body {
+		if err := lw.emitStmt(s, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) emitStmt(s prog.Stmt, ctx emitCtx) error {
+	switch s := s.(type) {
+	case prog.Work:
+		lw.emit(isa.Instr{
+			Op: isa.OpWork, Cost: s.Cost,
+			File: ctx.file, Line: int32(s.Line), Inline: ctx.inline,
+		})
+		return nil
+
+	case prog.Loop:
+		return lw.emitLoop(s, ctx)
+
+	case prog.Call:
+		return lw.emitCall(s, ctx)
+
+	case prog.If:
+		return lw.emitIf(s, ctx)
+
+	case prog.Barrier:
+		// A barrier is a call to the synthetic wait procedure; idle time
+		// accrues inside that callee's frame, giving profiles the
+		// familiar "time in MPI_Wait under the sync point" shape.
+		lw.barrierID++
+		lw.emit(isa.Instr{
+			Op: isa.OpCall, A: lw.procIdx[WaitProcName],
+			File: ctx.file, Line: int32(s.Line), Inline: ctx.inline,
+		})
+		return nil
+	}
+	return fmt.Errorf("unknown statement type %T", s)
+}
+
+func (lw *lowerer) emitLoop(s prog.Loop, ctx emitCtx) error {
+	if ctx.loopDepth >= isa.NumRegs {
+		return fmt.Errorf("loop nesting exceeds %d at line %d (inlining may deepen nesting)", isa.NumRegs, s.Line)
+	}
+	reg := int32(ctx.loopDepth)
+	exprID := int32(len(lw.im.Exprs))
+	lw.im.Exprs = append(lw.im.Exprs, s.Trips)
+
+	line := int32(s.Line)
+	lw.emit(isa.Instr{Op: isa.OpSet, A: reg, B: exprID, File: ctx.file, Line: line, Inline: ctx.inline})
+	head := lw.emit(isa.Instr{Op: isa.OpBrZ, A: reg, File: ctx.file, Line: line, Inline: ctx.inline})
+
+	bodyCtx := ctx
+	bodyCtx.loopDepth++
+	if err := lw.emitBody(s.Body, bodyCtx); err != nil {
+		return err
+	}
+
+	lw.emit(isa.Instr{Op: isa.OpDec, A: reg, File: ctx.file, Line: line, Inline: ctx.inline})
+	lw.emit(isa.Instr{Op: isa.OpJump, Target: head, File: ctx.file, Line: line, Inline: ctx.inline})
+	exit := int32(len(lw.im.Code))
+	lw.im.Code[head].Target = exit
+	return nil
+}
+
+func (lw *lowerer) emitCall(s prog.Call, ctx emitCtx) error {
+	callee := lw.procDef[s.Callee]
+	if lw.shouldInline(callee, ctx) {
+		return lw.emitInlined(s, callee, ctx)
+	}
+	lw.emit(isa.Instr{
+		Op: isa.OpCall, A: lw.procIdx[s.Callee],
+		File: ctx.file, Line: int32(s.Line), Inline: ctx.inline,
+	})
+	return nil
+}
+
+func (lw *lowerer) shouldInline(callee *prog.Proc, ctx emitCtx) bool {
+	if !lw.opt.Inline || !callee.Inline || callee.NoSource {
+		return false
+	}
+	if len(ctx.inlineStack) >= lw.opt.MaxInlineDepth {
+		return false
+	}
+	// Never inline along a cycle (direct or mutual recursion).
+	for _, name := range ctx.inlineStack {
+		if name == callee.Name {
+			return false
+		}
+	}
+	// Barriers must stay out-of-line so the wait frame is visible.
+	return !containsBarrier(callee.Body)
+}
+
+func (lw *lowerer) emitInlined(call prog.Call, callee *prog.Proc, ctx emitCtx) error {
+	calleeFile := lw.im.Procs[lw.procIdx[callee.Name]].File
+	node := int32(len(lw.im.Inlines))
+	lw.im.Inlines = append(lw.im.Inlines, isa.InlineNode{
+		Parent:   ctx.inline,
+		Proc:     callee.Name,
+		File:     calleeFile,
+		DeclLine: int32(callee.Line),
+		CallFile: ctx.file,
+		CallLine: int32(call.Line),
+	})
+	inCtx := ctx
+	inCtx.file = calleeFile
+	inCtx.inline = node
+	inCtx.inlineStack = append(append([]string(nil), ctx.inlineStack...), callee.Name)
+	return lw.emitBody(callee.Body, inCtx)
+}
+
+func (lw *lowerer) emitIf(s prog.If, ctx emitCtx) error {
+	condID := int32(len(lw.im.Conds))
+	lw.im.Conds = append(lw.im.Conds, s.Cond)
+	line := int32(s.Line)
+
+	br := lw.emit(isa.Instr{Op: isa.OpBrCond, A: condID, File: ctx.file, Line: line, Inline: ctx.inline})
+	if err := lw.emitBody(s.Else, ctx); err != nil {
+		return err
+	}
+	jmp := lw.emit(isa.Instr{Op: isa.OpJump, File: ctx.file, Line: line, Inline: ctx.inline})
+	lw.im.Code[br].Target = int32(len(lw.im.Code)) // then-block entry
+	if err := lw.emitBody(s.Then, ctx); err != nil {
+		return err
+	}
+	lw.im.Code[jmp].Target = int32(len(lw.im.Code)) // join point
+	return nil
+}

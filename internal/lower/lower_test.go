@@ -1,0 +1,358 @@
+package lower
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func buildLoopProg(t *testing.T) *prog.Program {
+	t.Helper()
+	return prog.NewBuilder("loops").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 10,
+				prog.L(3, 5,
+					prog.W(4, 2)),
+				prog.W(5, 1)),
+		).
+		Entry("main").
+		MustBuild()
+}
+
+func TestLowerLoopShape(t *testing.T) {
+	im, err := Lower(buildLoopProg(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Validate(); err != nil {
+		t.Fatalf("image invalid: %v", err)
+	}
+	// Expected shape for the outer loop: set, brz, <inner loop>, work,
+	// dec, jump, ret. Count opcode frequencies instead of exact layout.
+	counts := map[isa.Op]int{}
+	for _, in := range im.Code {
+		counts[in.Op]++
+	}
+	if counts[isa.OpSet] != 2 || counts[isa.OpBrZ] != 2 || counts[isa.OpDec] != 2 || counts[isa.OpJump] != 2 {
+		t.Fatalf("loop control counts wrong: %v", counts)
+	}
+	if counts[isa.OpWork] != 2 || counts[isa.OpRet] != 1 {
+		t.Fatalf("body counts wrong: %v", counts)
+	}
+	// Back edges: each OpJump targets a preceding OpBrZ.
+	for i, in := range im.Code {
+		if in.Op == isa.OpJump {
+			if in.Target >= int32(i) {
+				t.Fatalf("jump at %d is not a back edge (target %d)", i, in.Target)
+			}
+			if im.Code[in.Target].Op != isa.OpBrZ {
+				t.Fatalf("back edge target at %d is %v, want brz", in.Target, im.Code[in.Target].Op)
+			}
+		}
+	}
+	// Nested loops use distinct registers.
+	var regs []int32
+	for _, in := range im.Code {
+		if in.Op == isa.OpSet {
+			regs = append(regs, in.A)
+		}
+	}
+	if len(regs) != 2 || regs[0] == regs[1] {
+		t.Fatalf("loop registers = %v, want two distinct", regs)
+	}
+}
+
+func TestLowerCallAndEntry(t *testing.T) {
+	p := prog.NewBuilder("calls").
+		File("a.c").
+		Proc("helper", 10, prog.W(11, 3)).
+		Proc("main", 1, prog.C(2, "helper")).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Procs[im.EntryProc].Name != "main" {
+		t.Fatalf("entry proc = %q", im.Procs[im.EntryProc].Name)
+	}
+	found := false
+	for _, in := range im.Code {
+		if in.Op == isa.OpCall {
+			found = true
+			if im.Procs[in.A].Name != "helper" {
+				t.Fatalf("call target = %q", im.Procs[in.A].Name)
+			}
+			if in.Line != 2 {
+				t.Fatalf("call line = %d, want 2", in.Line)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no call emitted")
+	}
+}
+
+func TestLowerIfShape(t *testing.T) {
+	p := prog.NewBuilder("ifs").
+		File("a.c").
+		Proc("main", 1,
+			prog.If{Line: 2, Cond: prog.ProbCond{P: 0.5},
+				Then: []prog.Stmt{prog.W(3, 1)},
+				Else: []prog.Stmt{prog.W(4, 2)}},
+		).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Conds) != 1 {
+		t.Fatalf("conds = %d, want 1", len(im.Conds))
+	}
+	// brcond(then), else-work, jump(end), then-work, ret
+	ops := make([]isa.Op, len(im.Code))
+	for i, in := range im.Code {
+		ops[i] = in.Op
+	}
+	want := []isa.Op{isa.OpBrCond, isa.OpWork, isa.OpJump, isa.OpWork, isa.OpRet}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+	if im.Code[0].Target != 3 {
+		t.Fatalf("brcond target = %d, want 3 (then block)", im.Code[0].Target)
+	}
+	if im.Code[2].Target != 4 {
+		t.Fatalf("jump target = %d, want 4 (join)", im.Code[2].Target)
+	}
+}
+
+func TestLowerInlining(t *testing.T) {
+	p := prog.NewBuilder("inl").
+		File("a.c").
+		InlineProc("compare", 20, prog.W(21, 1)).
+		InlineProc("find", 10,
+			prog.L(11, 4, prog.C(12, "compare"))).
+		Proc("main", 1, prog.C(2, "find")).
+		Entry("main").
+		MustBuild()
+
+	// Without inlining: two call sites.
+	plain, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, in := range plain.Code {
+		if in.Op == isa.OpCall {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("plain lowering calls = %d, want 2", calls)
+	}
+	if len(plain.Inlines) != 0 {
+		t.Fatal("plain lowering produced inline records")
+	}
+
+	// With inlining: no calls remain; inline provenance is chained.
+	inl, err := Lower(p, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inl.Code {
+		pi := inl.ProcAt(int32(i))
+		if in.Op == isa.OpCall && inl.Procs[pi].Name == "main" {
+			t.Fatal("call survived inlining in main")
+		}
+	}
+	if len(inl.Inlines) < 2 {
+		t.Fatalf("inline records = %d, want >= 2", len(inl.Inlines))
+	}
+	// Find an instruction in main with a two-deep inline chain
+	// (compare inlined into find inlined into main).
+	mainIdx := inl.ProcByName("main")
+	sym := inl.Procs[mainIdx]
+	deep := false
+	for i := sym.Start; i < sym.End; i++ {
+		chain := inl.InlineChain(i)
+		if len(chain) == 2 && chain[0].Proc == "find" && chain[1].Proc == "compare" {
+			deep = true
+			if chain[0].CallLine != 2 || chain[1].CallLine != 12 {
+				t.Fatalf("inline call lines = %d,%d want 2,12", chain[0].CallLine, chain[1].CallLine)
+			}
+		}
+	}
+	if !deep {
+		t.Fatal("no two-deep inline chain found in main")
+	}
+}
+
+func TestLowerInliningSkipsRecursion(t *testing.T) {
+	p := prog.NewBuilder("rec").
+		File("a.c").
+		InlineProc("r", 10,
+			prog.IfDepth(11, 3, prog.C(11, "r")),
+			prog.W(12, 1)).
+		Proc("main", 1, prog.C(2, "r")).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r is inlined into main once, but the self-call inside must remain a
+	// real call (cycle).
+	callsToR := 0
+	for _, in := range im.Code {
+		if in.Op == isa.OpCall && im.Procs[in.A].Name == "r" {
+			callsToR++
+		}
+	}
+	if callsToR == 0 {
+		t.Fatal("recursive call was eliminated")
+	}
+}
+
+func TestLowerInlineDepthLimit(t *testing.T) {
+	b := prog.NewBuilder("deep").File("a.c")
+	// chain of 6 inline procs: i0 calls i1 calls ... i5
+	for i := 5; i >= 0; i-- {
+		name := procName(i)
+		if i == 5 {
+			b.InlineProc(name, 10*i+1, prog.W(10*i+2, 1))
+		} else {
+			b.InlineProc(name, 10*i+1, prog.C(10*i+2, procName(i+1)))
+		}
+	}
+	b.Proc("main", 1, prog.C(2, "i0"))
+	p := b.Entry("main").MustBuild()
+	im, err := Lower(p, Options{Inline: true, MaxInlineDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, in := range im.Code {
+		pi := im.ProcAt(int32(in.Target)) // dummy use to keep loop simple
+		_ = pi
+		if in.Op == isa.OpCall {
+			calls++
+		}
+	}
+	if calls == 0 {
+		t.Fatal("depth limit did not stop inlining")
+	}
+	maxChain := 0
+	for i := range im.Code {
+		if n := len(im.InlineChain(int32(i))); n > maxChain {
+			maxChain = n
+		}
+	}
+	if maxChain > 3 {
+		t.Fatalf("inline chain depth %d exceeds limit 3", maxChain)
+	}
+}
+
+func procName(i int) string { return string(rune('i')) + string(rune('0'+i)) }
+
+func TestLowerBarrierSynthesizesWaitProc(t *testing.T) {
+	p := prog.NewBuilder("spmd").
+		File("a.c").
+		Proc("main", 1,
+			prog.W(2, 5),
+			prog.Sync(3),
+		).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wi := im.ProcByName(WaitProcName)
+	if wi < 0 {
+		t.Fatal("wait proc not synthesized")
+	}
+	if im.Procs[wi].File != isa.NoFile {
+		t.Fatal("wait proc should have no source file")
+	}
+	// Barrier lowers to a call to the wait proc; the wait proc contains
+	// an OpBarrier.
+	callsWait, barrierInWait := false, false
+	for i, in := range im.Code {
+		if in.Op == isa.OpCall && in.A == wi {
+			callsWait = true
+		}
+		if in.Op == isa.OpBarrier && im.ProcAt(int32(i)) == wi {
+			barrierInWait = true
+		}
+	}
+	if !callsWait || !barrierInWait {
+		t.Fatalf("barrier lowering wrong: callsWait=%v barrierInWait=%v", callsWait, barrierInWait)
+	}
+}
+
+func TestLowerNoBarrierNoWaitProc(t *testing.T) {
+	p := prog.NewBuilder("plain").
+		File("a.c").
+		Proc("main", 1, prog.W(2, 1)).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.ProcByName(WaitProcName) >= 0 {
+		t.Fatal("wait proc synthesized without barriers")
+	}
+}
+
+func TestLowerTooDeepLoopsError(t *testing.T) {
+	body := []prog.Stmt{prog.W(99, 1)}
+	for i := 0; i < isa.NumRegs+1; i++ {
+		body = []prog.Stmt{prog.L(2+i, 2, body...)}
+	}
+	p := prog.NewBuilder("deep").
+		File("a.c").
+		Proc("main", 1, body...).
+		Entry("main").
+		MustBuild()
+	if _, err := Lower(p, Options{}); err == nil {
+		t.Fatal("excessive loop nesting accepted")
+	}
+}
+
+func TestLowerRejectsInvalidProgram(t *testing.T) {
+	p := &prog.Program{Name: "bad"} // no entry
+	if _, err := Lower(p, Options{}); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestLowerLineAttribution(t *testing.T) {
+	p := prog.NewBuilder("lines").
+		File("a.c").
+		Proc("main", 1,
+			prog.W(5, 1),
+			prog.L(6, 2, prog.W(7, 1))).
+		Entry("main").
+		MustBuild()
+	im, err := Lower(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range im.Code {
+		switch in.Op {
+		case isa.OpSet, isa.OpBrZ, isa.OpDec, isa.OpJump:
+			if in.Line != 6 {
+				t.Fatalf("loop control on line %d, want 6", in.Line)
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package merge combines per-rank call path profiles into one canonical
+// tree with per-scope summary statistics, implementing the paper's
+// finalization step (Section IV-A step 3) and the scalability strategy of
+// Section VII: instead of keeping one metric column per process in memory,
+// each rank's profile is folded into streaming accumulators (mean, min,
+// max, standard deviation) and discarded.
+package merge
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/correlate"
+	"repro/internal/metric"
+	"repro/internal/profile"
+	"repro/internal/structfile"
+)
+
+// Result is a merged experiment: the summed tree plus per-scope summary
+// accumulators over ranks.
+type Result struct {
+	// Tree holds summed raw metrics over all ranks.
+	Tree *core.Tree
+	// NRanks is the number of profiles merged.
+	NRanks int
+
+	// stats[node][col] accumulates the per-rank inclusive values of raw
+	// column col at node.
+	stats map[*core.Node][]metric.Stats
+	raw   int // number of raw columns covered by stats
+}
+
+// Accumulator merges profiles one at a time: feed each rank's profile with
+// Add and call Finish once. Only the accumulated tree and O(scopes ×
+// metrics) statistics ever stay resident — the streaming shape Section IX
+// asks for ("need not have data for all processes resident in memory at
+// once"); cmd/hpcprof reads, adds and discards one measurement file at a
+// time.
+type Accumulator struct {
+	doc *structfile.Doc
+	res *Result
+}
+
+// NewAccumulator prepares a streaming merge against one structure
+// document.
+func NewAccumulator(doc *structfile.Doc) *Accumulator {
+	return &Accumulator{
+		doc: doc,
+		res: &Result{
+			Tree:  core.NewTree("", metric.NewRegistry()),
+			stats: map[*core.Node][]metric.Stats{},
+		},
+	}
+}
+
+// Add correlates one profile and folds it into the accumulated result; the
+// profile can be released afterwards.
+func (a *Accumulator) Add(p *profile.Profile) error {
+	if a.res == nil {
+		return fmt.Errorf("merge: accumulator already finished")
+	}
+	if a.res.Tree.Program == "" {
+		a.res.Tree.Program = p.Program
+	}
+	rankTree, err := correlate.Correlate(a.doc, p)
+	if err != nil {
+		return err
+	}
+	if err := a.res.fold(rankTree); err != nil {
+		return err
+	}
+	a.res.NRanks++
+	return nil
+}
+
+// Finish pads statistics for scopes absent from some ranks, computes the
+// presented metrics, and returns the result. The accumulator cannot be
+// reused.
+func (a *Accumulator) Finish() (*Result, error) {
+	if a.res == nil {
+		return nil, fmt.Errorf("merge: accumulator already finished")
+	}
+	if a.res.NRanks == 0 {
+		return nil, fmt.Errorf("merge: no profiles")
+	}
+	res := a.res
+	a.res = nil
+	// Scopes missing from some ranks observed zero there.
+	for _, st := range res.stats {
+		for c := range st {
+			for st[c].N < int64(res.NRanks) {
+				st[c].Observe(0)
+			}
+		}
+	}
+	res.Tree.ComputeMetrics()
+	return res, nil
+}
+
+// Profiles correlates each profile against the structure document and
+// merges them (the non-streaming convenience over Accumulator).
+func Profiles(doc *structfile.Doc, profs []*profile.Profile) (*Result, error) {
+	acc := NewAccumulator(doc)
+	for _, p := range profs {
+		if err := acc.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return acc.Finish()
+}
+
+// fold merges one rank's tree into the accumulator.
+func (r *Result) fold(rank *core.Tree) error {
+	// Map the rank's columns into the accumulator registry by name.
+	cols := make([]int, rank.Reg.Len())
+	for i, d := range rank.Reg.Columns() {
+		if d.Kind != metric.Raw {
+			continue
+		}
+		if acc := r.Tree.Reg.ByName(d.Name); acc != nil {
+			cols[i] = acc.ID
+			continue
+		}
+		nd, err := r.Tree.Reg.AddRaw(d.Name, d.Unit, d.Period)
+		if err != nil {
+			return err
+		}
+		cols[i] = nd.ID
+	}
+	if n := r.Tree.Reg.Len(); n > r.raw {
+		r.raw = n
+	}
+
+	var walk func(accParent *core.Node, n *core.Node)
+	walk = func(accParent *core.Node, n *core.Node) {
+		acc := accParent
+		if n.Kind != core.KindRoot {
+			acc = accParent.Child(n.Key, true)
+			acc.NoSource = n.NoSource
+			acc.Mod = n.Mod
+			if acc.CallLine == 0 {
+				acc.CallLine = n.CallLine
+				acc.CallFile = n.CallFile
+			}
+			n.Base.Range(func(id int, v float64) {
+				acc.Base.Add(cols[id], v)
+			})
+			st := r.stats[acc]
+			if len(st) < r.raw {
+				grown := make([]metric.Stats, r.raw)
+				copy(grown, st)
+				st = grown
+				r.stats[acc] = st
+			}
+			// Observe this rank's inclusive values. Ranks where the
+			// scope is absent are padded with zeros afterwards.
+			n.Incl.Range(func(id int, v float64) {
+				st[cols[id]].Observe(v)
+			})
+		}
+		for _, c := range n.Children {
+			walk(acc, c)
+		}
+	}
+	walk(r.Tree.Root, rank.Root)
+	return nil
+}
+
+// Stats returns the per-rank statistics of raw column col at node (the
+// zero Stats when the scope never appeared).
+func (r *Result) Stats(n *core.Node, col int) metric.Stats {
+	st := r.stats[n]
+	if col < 0 || col >= len(st) {
+		return metric.Stats{}
+	}
+	return st[col]
+}
+
+// AddSummaries registers summary columns (e.g. mean/min/max/stddev of
+// CYCLES across ranks) and writes their values into each scope's inclusive
+// vector, where the views and the renderer pick them up like any other
+// column.
+func (r *Result) AddSummaries(src int, ops ...metric.SummaryOp) error {
+	for _, op := range ops {
+		d, err := r.Tree.Reg.AddSummary(src, op)
+		if err != nil {
+			return err
+		}
+		core.Walk(r.Tree.Root, func(n *core.Node) bool {
+			if n.Kind == core.KindRoot {
+				return true
+			}
+			st := r.Stats(n, src)
+			if v := st.Value(d.Op); v != 0 {
+				n.Incl.Set(d.ID, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ImbalanceFactor reports max/mean - 1 of raw column col at node across
+// ranks.
+func (r *Result) ImbalanceFactor(n *core.Node, col int) float64 {
+	st := r.Stats(n, col)
+	return st.ImbalanceFactor()
+}

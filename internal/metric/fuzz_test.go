@@ -1,0 +1,34 @@
+package metric
+
+import "testing"
+
+// FuzzParse guards the formula parser against panics and checks that any
+// formula that parses also evaluates without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"$0*4 - $1",
+		"min($0, $1, 3) / max(1e-9, $2)",
+		"((($3)))",
+		"-$0^2^3",
+		"pow(2, 10) + sqrt(abs(-4))",
+		"1.5e-3 * $12",
+		"$",
+		"min(",
+		"1 2 3",
+		"exp(log($0))",
+	} {
+		f.Add(seed)
+	}
+	env := EnvFunc(func(id int) float64 { return float64(id%7) - 3 })
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = e.Eval(env)
+		_ = e.ColumnRefs()
+		if e.String() != src {
+			t.Fatalf("String() = %q, want %q", e.String(), src)
+		}
+	})
+}

@@ -1,0 +1,357 @@
+// Package metric provides the metric machinery used throughout the toolkit:
+// metric descriptors, sparse per-scope metric vectors, a spreadsheet-like
+// formula engine for derived metrics (Section V-D of the paper), and
+// streaming summary statistics used when merging profiles from many
+// processes (Sections IV and VII).
+//
+// A metric is identified by its column index in a Registry; formulas refer
+// to columns as $0, $1, ... exactly as hpcviewer does.
+package metric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies how a metric column obtains its values.
+type Kind uint8
+
+const (
+	// Raw metrics come directly from sample counts multiplied by the
+	// sample period (e.g. PAPI_TOT_CYC).
+	Raw Kind = iota
+	// Derived metrics are computed from other columns with a Formula.
+	Derived
+	// Summary metrics are statistical reductions (mean, min, max, stddev)
+	// of a raw metric across processes or threads.
+	Summary
+	// Computed metrics hold values produced by an external analysis
+	// (e.g. scaling-loss differencing of two experiments); unlike
+	// Derived columns they are not re-evaluated from a formula.
+	Computed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Raw:
+		return "raw"
+	case Derived:
+		return "derived"
+	case Summary:
+		return "summary"
+	case Computed:
+		return "computed"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SummaryOp identifies which statistic a Summary metric reports.
+type SummaryOp uint8
+
+const (
+	OpNone SummaryOp = iota
+	OpSum
+	OpMean
+	OpMin
+	OpMax
+	OpStdDev
+)
+
+func (op SummaryOp) String() string {
+	switch op {
+	case OpNone:
+		return ""
+	case OpSum:
+		return "sum"
+	case OpMean:
+		return "mean"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	case OpStdDev:
+		return "stddev"
+	}
+	return fmt.Sprintf("SummaryOp(%d)", uint8(op))
+}
+
+// Desc describes one metric column.
+type Desc struct {
+	// ID is the column index within the registry that owns this metric.
+	ID int
+	// Name is the user-visible column name, e.g. "PAPI_TOT_CYC".
+	Name string
+	// Unit is a human-readable unit, e.g. "cycles".
+	Unit string
+	// Kind says whether the column is raw, derived or a summary.
+	Kind Kind
+	// Period is the sampling period for raw metrics: each sample
+	// contributes Period events. Zero for non-raw metrics.
+	Period uint64
+	// Formula is the derived-metric expression for Derived columns.
+	Formula string
+	// Op is the statistic reported by Summary columns.
+	Op SummaryOp
+	// Source is the raw column a Summary column reduces, by ID.
+	Source int
+	// ShowPercent requests a percent-of-root annotation when rendered.
+	ShowPercent bool
+
+	expr *Expr // compiled formula, for Derived columns
+}
+
+// Registry is an ordered set of metric columns. The zero value is ready to
+// use.
+type Registry struct {
+	cols   []*Desc
+	byName map[string]*Desc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: map[string]*Desc{}} }
+
+// Len reports the number of columns.
+func (r *Registry) Len() int { return len(r.cols) }
+
+// Columns returns the descriptors in column order. The slice is shared;
+// callers must not modify it.
+func (r *Registry) Columns() []*Desc { return r.cols }
+
+// ByID returns the descriptor for column id, or nil if out of range.
+func (r *Registry) ByID(id int) *Desc {
+	if id < 0 || id >= len(r.cols) {
+		return nil
+	}
+	return r.cols[id]
+}
+
+// ByName returns the descriptor with the given name, or nil.
+func (r *Registry) ByName(name string) *Desc {
+	if r.byName == nil {
+		return nil
+	}
+	return r.byName[name]
+}
+
+func (r *Registry) add(d *Desc) (*Desc, error) {
+	if d.Name == "" {
+		return nil, fmt.Errorf("metric: empty metric name")
+	}
+	if r.byName == nil {
+		r.byName = map[string]*Desc{}
+	}
+	if _, dup := r.byName[d.Name]; dup {
+		return nil, fmt.Errorf("metric: duplicate metric %q", d.Name)
+	}
+	d.ID = len(r.cols)
+	r.cols = append(r.cols, d)
+	r.byName[d.Name] = d
+	return d, nil
+}
+
+// AddRaw registers a raw sampled metric with the given sampling period.
+func (r *Registry) AddRaw(name, unit string, period uint64) (*Desc, error) {
+	if period == 0 {
+		return nil, fmt.Errorf("metric: raw metric %q needs a non-zero period", name)
+	}
+	return r.add(&Desc{Name: name, Unit: unit, Kind: Raw, Period: period, ShowPercent: true})
+}
+
+// AddDerived registers a derived metric computed by formula. The formula is
+// compiled immediately; compilation errors are returned.
+func (r *Registry) AddDerived(name, formula string) (*Desc, error) {
+	expr, err := Parse(formula)
+	if err != nil {
+		return nil, fmt.Errorf("metric: derived metric %q: %w", name, err)
+	}
+	// Validate column references against columns registered so far. A
+	// derived metric may only refer to earlier columns; this both matches
+	// hpcviewer's incremental column model and rules out cycles.
+	for _, ref := range expr.ColumnRefs() {
+		if ref < 0 || ref >= len(r.cols) {
+			return nil, fmt.Errorf("metric: derived metric %q refers to unknown column $%d", name, ref)
+		}
+	}
+	return r.add(&Desc{Name: name, Kind: Derived, Formula: formula, expr: expr})
+}
+
+// AddComputed registers a column whose values an external analysis fills
+// in directly (e.g. scaling loss). Such values are serialized verbatim by
+// the experiment database rather than recomputed at load.
+func (r *Registry) AddComputed(name, unit string) (*Desc, error) {
+	return r.add(&Desc{Name: name, Unit: unit, Kind: Computed})
+}
+
+// AddSummary registers a summary statistic over the raw column src.
+func (r *Registry) AddSummary(src int, op SummaryOp) (*Desc, error) {
+	sd := r.ByID(src)
+	if sd == nil {
+		return nil, fmt.Errorf("metric: summary over unknown column %d", src)
+	}
+	name := fmt.Sprintf("%s (%s)", sd.Name, op)
+	d := &Desc{Name: name, Unit: sd.Unit, Kind: Summary, Op: op, Source: src}
+	d.ShowPercent = op == OpSum
+	return r.add(d)
+}
+
+// Expr returns the compiled formula of a Derived column (compiling it on
+// first use if the descriptor was built by hand).
+func (d *Desc) Expr() (*Expr, error) {
+	if d.Kind != Derived {
+		return nil, fmt.Errorf("metric: %q is not a derived metric", d.Name)
+	}
+	if d.expr == nil {
+		expr, err := Parse(d.Formula)
+		if err != nil {
+			return nil, err
+		}
+		d.expr = expr
+	}
+	return d.expr, nil
+}
+
+// Vector is a sparse metric vector mapping column IDs to float64 values.
+// Zero values are never stored: the paper's presentation principle "any
+// metric table cell where data is zero is left blank" falls out of the
+// representation (Section V-A). The zero Vector is empty and ready to use.
+//
+// IDs are kept sorted so that iteration order is deterministic and merging
+// is linear.
+type Vector struct {
+	ids  []int32
+	vals []float64
+}
+
+// Len reports the number of non-zero entries.
+func (v *Vector) Len() int { return len(v.ids) }
+
+// IsZero reports whether the vector has no non-zero entries.
+func (v *Vector) IsZero() bool { return len(v.ids) == 0 }
+
+func (v *Vector) find(id int) (int, bool) {
+	i := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= int32(id) })
+	return i, i < len(v.ids) && v.ids[i] == int32(id)
+}
+
+// Get returns the value in column id (zero if absent).
+func (v *Vector) Get(id int) float64 {
+	if i, ok := v.find(id); ok {
+		return v.vals[i]
+	}
+	return 0
+}
+
+// Has reports whether column id has an explicit (non-zero) entry.
+func (v *Vector) Has(id int) bool {
+	_, ok := v.find(id)
+	return ok
+}
+
+// Set stores x in column id, deleting the entry when x is zero.
+func (v *Vector) Set(id int, x float64) {
+	i, ok := v.find(id)
+	switch {
+	case ok && x == 0:
+		v.ids = append(v.ids[:i], v.ids[i+1:]...)
+		v.vals = append(v.vals[:i], v.vals[i+1:]...)
+	case ok:
+		v.vals[i] = x
+	case x == 0:
+		// nothing to do
+	default:
+		v.ids = append(v.ids, 0)
+		v.vals = append(v.vals, 0)
+		copy(v.ids[i+1:], v.ids[i:])
+		copy(v.vals[i+1:], v.vals[i:])
+		v.ids[i] = int32(id)
+		v.vals[i] = x
+	}
+}
+
+// Add adds x to column id.
+func (v *Vector) Add(id int, x float64) {
+	if x == 0 {
+		return
+	}
+	if i, ok := v.find(id); ok {
+		v.vals[i] += x
+		if v.vals[i] == 0 {
+			v.ids = append(v.ids[:i], v.ids[i+1:]...)
+			v.vals = append(v.vals[:i], v.vals[i+1:]...)
+		}
+		return
+	}
+	v.Set(id, x)
+}
+
+// AddVector adds every entry of o into v.
+func (v *Vector) AddVector(o *Vector) {
+	if o == nil || len(o.ids) == 0 {
+		return
+	}
+	if len(v.ids) == 0 {
+		v.ids = append([]int32(nil), o.ids...)
+		v.vals = append([]float64(nil), o.vals...)
+		return
+	}
+	// Merge two sorted runs.
+	ids := make([]int32, 0, len(v.ids)+len(o.ids))
+	vals := make([]float64, 0, len(v.vals)+len(o.vals))
+	i, j := 0, 0
+	for i < len(v.ids) && j < len(o.ids) {
+		switch {
+		case v.ids[i] < o.ids[j]:
+			ids = append(ids, v.ids[i])
+			vals = append(vals, v.vals[i])
+			i++
+		case v.ids[i] > o.ids[j]:
+			ids = append(ids, o.ids[j])
+			vals = append(vals, o.vals[j])
+			j++
+		default:
+			s := v.vals[i] + o.vals[j]
+			if s != 0 {
+				ids = append(ids, v.ids[i])
+				vals = append(vals, s)
+			}
+			i++
+			j++
+		}
+	}
+	ids = append(ids, v.ids[i:]...)
+	vals = append(vals, v.vals[i:]...)
+	for ; j < len(o.ids); j++ {
+		ids = append(ids, o.ids[j])
+		vals = append(vals, o.vals[j])
+	}
+	v.ids, v.vals = ids, vals
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{}
+	if len(v.ids) > 0 {
+		c.ids = append([]int32(nil), v.ids...)
+		c.vals = append([]float64(nil), v.vals...)
+	}
+	return c
+}
+
+// Range calls f for every non-zero entry in ascending column order.
+func (v *Vector) Range(f func(id int, x float64)) {
+	for i, id := range v.ids {
+		f(int(id), v.vals[i])
+	}
+}
+
+// String renders the vector for debugging, e.g. "{0:12 2:3.5}".
+func (v *Vector) String() string {
+	s := "{"
+	for i, id := range v.ids {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%g", id, v.vals[i])
+	}
+	return s + "}"
+}

@@ -1,0 +1,111 @@
+package metric
+
+import "math"
+
+// Stats accumulates streaming summary statistics for one metric at one
+// scope: sum, mean, min, max and standard deviation, using Welford's online
+// algorithm so that thousands of per-process values never need to be held
+// in memory at once (Section VII of the paper: "we summarize metrics of all
+// processors into mean, covariance, min and max, instead of displaying
+// thousands of metrics").
+//
+// The zero Stats is ready to use.
+type Stats struct {
+	N    int64
+	Sum  float64
+	Min  float64
+	Max  float64
+	mean float64
+	m2   float64
+}
+
+// Observe folds one value into the statistics.
+func (s *Stats) Observe(x float64) {
+	s.N++
+	s.Sum += x
+	if s.N == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.N)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge combines another accumulator into s (parallel Welford / Chan et al.),
+// so per-rank partial summaries can be reduced in any order.
+func (s *Stats) Merge(o Stats) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := s.N + o.N
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.N)*float64(o.N)/float64(n)
+	s.mean += delta * float64(o.N) / float64(n)
+	s.Sum += o.Sum
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.N = n
+}
+
+// Mean returns the arithmetic mean (zero when empty).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (zero when N < 2).
+func (s *Stats) Variance() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.N)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Stats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Value reports the statistic selected by op.
+func (s *Stats) Value(op SummaryOp) float64 {
+	switch op {
+	case OpSum:
+		return s.Sum
+	case OpMean:
+		return s.Mean()
+	case OpMin:
+		if s.N == 0 {
+			return 0
+		}
+		return s.Min
+	case OpMax:
+		if s.N == 0 {
+			return 0
+		}
+		return s.Max
+	case OpStdDev:
+		return s.StdDev()
+	}
+	return 0
+}
+
+// ImbalanceFactor returns max/mean - 1, a standard load-imbalance measure:
+// 0 means perfectly balanced; 1 means the slowest rank does twice the mean
+// work. Returns 0 when empty or the mean is zero.
+func (s *Stats) ImbalanceFactor() float64 {
+	m := s.Mean()
+	if s.N == 0 || m == 0 {
+		return 0
+	}
+	return s.Max/m - 1
+}

@@ -1,0 +1,155 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N != 8 || s.Sum != 40 {
+		t.Fatalf("N=%d Sum=%g", s.N, s.Sum)
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %g, want 5", s.Mean())
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min=%g Max=%g", s.Min, s.Max)
+	}
+	if got := s.StdDev(); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Value(OpMin) != 0 || s.Value(OpMax) != 0 {
+		t.Fatal("empty stats should report zeros")
+	}
+	if s.ImbalanceFactor() != 0 {
+		t.Fatal("empty imbalance should be 0")
+	}
+}
+
+func TestStatsSingle(t *testing.T) {
+	var s Stats
+	s.Observe(3)
+	if s.Mean() != 3 || s.Min != 3 || s.Max != 3 || s.StdDev() != 0 {
+		t.Fatalf("single-value stats wrong: %+v", s)
+	}
+}
+
+func TestStatsValueDispatch(t *testing.T) {
+	var s Stats
+	s.Observe(1)
+	s.Observe(3)
+	cases := []struct {
+		op   SummaryOp
+		want float64
+	}{
+		{OpSum, 4}, {OpMean, 2}, {OpMin, 1}, {OpMax, 3}, {OpStdDev, 1}, {OpNone, 0},
+	}
+	for _, c := range cases {
+		if got := s.Value(c.op); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Value(%v) = %g, want %g", c.op, got, c.want)
+		}
+	}
+}
+
+func TestStatsImbalanceFactor(t *testing.T) {
+	var s Stats
+	for _, x := range []float64{10, 10, 10, 20} {
+		s.Observe(x)
+	}
+	// mean = 12.5, max = 20 -> 20/12.5 - 1 = 0.6
+	if got := s.ImbalanceFactor(); !almostEqual(got, 0.6, 1e-12) {
+		t.Fatalf("ImbalanceFactor = %g, want 0.6", got)
+	}
+	var balanced Stats
+	for i := 0; i < 5; i++ {
+		balanced.Observe(7)
+	}
+	if got := balanced.ImbalanceFactor(); got != 0 {
+		t.Fatalf("balanced ImbalanceFactor = %g, want 0", got)
+	}
+}
+
+func TestStatsMergeIdentity(t *testing.T) {
+	var a, b Stats
+	b.Observe(5)
+	b.Observe(7)
+	a.Merge(b)
+	if a.N != 2 || a.Mean() != 6 {
+		t.Fatalf("merge into empty: %+v", a)
+	}
+	saved := a
+	a.Merge(Stats{})
+	if a != saved {
+		t.Fatal("merging empty changed accumulator")
+	}
+}
+
+// Property: merging partial accumulators gives the same result as observing
+// the concatenated stream.
+func TestStatsMergeEquivalentToObserve(t *testing.T) {
+	f := func(seed int64, splitRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+		}
+		split := int(splitRaw) % n
+		var whole, left, right Stats
+		for _, x := range xs {
+			whole.Observe(x)
+		}
+		for _, x := range xs[:split] {
+			left.Observe(x)
+		}
+		for _, x := range xs[split:] {
+			right.Observe(x)
+		}
+		left.Merge(right)
+		return left.N == whole.N &&
+			almostEqual(left.Sum, whole.Sum, 1e-9) &&
+			almostEqual(left.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(left.Variance(), whole.Variance(), 1e-6) &&
+			left.Min == whole.Min && left.Max == whole.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is never negative and stddev is finite for finite
+// inputs.
+func TestStatsVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Stats
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// clamp magnitude so the quadratic does not overflow
+			s.Observe(math.Mod(x, 1e9))
+		}
+		return s.Variance() >= 0 && !math.IsNaN(s.StdDev())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

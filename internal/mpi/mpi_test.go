@@ -1,0 +1,284 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+)
+
+// skewed builds an SPMD program where work grows with rank:
+// each rank does (rank+1)*base cycles between two barriers.
+func skewed(t *testing.T) *isa.Image {
+	t.Helper()
+	p := prog.NewBuilder("skew").
+		File("solver.f90").
+		Proc("main", 1,
+			prog.Lx(2, prog.ScaledInt{X: prog.RankInt{}, Num: 1, Den: 1, Off: 1},
+				prog.W(3, 1000)),
+			prog.Sync(4),
+			prog.W(5, 100),
+			prog.Sync(6),
+		).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestRunSingleRank(t *testing.T) {
+	im := skewed(t)
+	profs, err := Run(im, Config{NRanks: 1, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 100},
+		{Event: sim.EvIdle, Period: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 1 || profs[0].Rank != 0 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	// A single rank never idles.
+	if idle := profs[0].Totals()[1]; idle != 0 {
+		t.Fatalf("single-rank idle = %d, want 0", idle)
+	}
+}
+
+func TestRunSkewedIdleness(t *testing.T) {
+	im := skewed(t)
+	const n = 4
+	events := []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 10},
+		{Event: sim.EvIdle, Period: 10},
+	}
+	profs, err := Run(im, Config{NRanks: n, Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != n {
+		t.Fatalf("profiles = %d, want %d", len(profs), n)
+	}
+	// Rank r does (r+1)*1000 cycles before the first barrier; the
+	// slowest (rank 3) idles ~0, rank 0 idles ~3000.
+	idles := make([]float64, n)
+	for r, p := range profs {
+		if p.Rank != r {
+			t.Fatalf("profile order wrong: %d at %d", p.Rank, r)
+		}
+		idles[r] = float64(p.Totals()[1])
+	}
+	if !(idles[0] > idles[1] && idles[1] > idles[2] && idles[2] > idles[3]) {
+		t.Fatalf("idleness not decreasing with rank: %v", idles)
+	}
+	if idles[3] > 150 {
+		t.Fatalf("slowest rank idles too much: %v", idles)
+	}
+	if idles[0] < 2500 || idles[0] > 3500 {
+		t.Fatalf("rank 0 idle = %v, want ~3000", idles[0])
+	}
+}
+
+func TestRunDeterministicAcrossSchedules(t *testing.T) {
+	im := skewed(t)
+	events := []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 10},
+		{Event: sim.EvIdle, Period: 10},
+	}
+	run := func() []uint64 {
+		profs, err := Run(im, Config{NRanks: 8, Events: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for _, p := range profs {
+			tot := p.Totals()
+			out = append(out, tot[0], tot[1])
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic totals: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRunIdleAttributedToWaitProc(t *testing.T) {
+	im := skewed(t)
+	profs, err := Run(im, Config{NRanks: 2, Events: []sampler.EventConfig{
+		{Event: sim.EvIdle, Period: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's idle samples must all sit inside mpi_wait frames.
+	wi := im.ProcByName(lower.WaitProcName)
+	var found bool
+	stack := []*profile.Node{profs[0].Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, row := range n.Samples() {
+			if row.Counts[0] == 0 {
+				continue
+			}
+			idx := im.Index(row.PC)
+			if im.ProcAt(idx) != wi {
+				t.Fatalf("idle sample outside %s", lower.WaitProcName)
+			}
+			found = true
+		}
+		stack = append(stack, n.Children()...)
+	}
+	if !found {
+		t.Fatal("no idle samples recorded for rank 0")
+	}
+}
+
+func TestRunUnevenBarrierCountsTerminates(t *testing.T) {
+	// Rank 0 executes an extra barrier round; leave() must keep the
+	// program from deadlocking.
+	p := prog.NewBuilder("uneven").
+		File("a.c").
+		Proc("main", 1,
+			prog.W(2, 100),
+			prog.Sync(3),
+			prog.If{Line: 4, Cond: rankZero{}, Then: []prog.Stmt{
+				prog.W(5, 10),
+				prog.Sync(6),
+			}},
+		).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := Run(im, Config{NRanks: 3, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+}
+
+// rankZero is a test condition: true only on rank 0.
+type rankZero struct{}
+
+func (rankZero) Test(p *prog.Params, _ int, _ float64) bool { return p != nil && p.Rank == 0 }
+
+// hybrid builds an MPI+threads program: each thread takes a slice of the
+// rank's iterations (an OpenMP-style static partition) and thread 0 of
+// each rank does extra serial work — a classic intra-rank imbalance.
+func hybrid(t *testing.T) *isa.Image {
+	t.Helper()
+	p := prog.NewBuilder("hybrid").
+		File("omp.c").
+		Proc("main", 1,
+			// Parallel region: n/nthreads iterations per thread.
+			prog.Lx(2, divide{}, prog.W(3, 10)),
+			// Serial part on thread 0 only.
+			prog.If{Line: 5, Cond: thread0{}, Then: []prog.Stmt{prog.W(6, 500)}},
+			prog.Sync(8),
+		).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+// divide computes n / nthreads.
+type divide struct{}
+
+func (divide) Eval(p *prog.Params) int64 {
+	return p.Value("n") / prog.NThreadsInt{}.Eval(p)
+}
+
+// thread0 is true on thread 0.
+type thread0 struct{}
+
+func (thread0) Test(p *prog.Params, _ int, _ float64) bool { return p != nil && p.Thread == 0 }
+
+func TestRunThreadsPerRank(t *testing.T) {
+	im := hybrid(t)
+	profs, err := Run(im, Config{
+		NRanks: 2, ThreadsPerRank: 3,
+		Params: map[string]int64{"n": 300},
+		Events: []sampler.EventConfig{
+			{Event: sim.EvCycles, Period: 10},
+			{Event: sim.EvIdle, Period: 10},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(profs))
+	}
+	// Ordered by (rank, thread) with correct identities.
+	for i, p := range profs {
+		if p.Rank != i/3 || p.Thread != i%3 {
+			t.Fatalf("profile %d = rank %d thread %d", i, p.Rank, p.Thread)
+		}
+	}
+	// Thread 0 does the serial work (100*10 + 500 cycles); threads 1-2
+	// idle at the barrier waiting for it.
+	t0 := profs[0].Totals()
+	t1 := profs[1].Totals()
+	if t0[0] <= t1[0]-t1[1] {
+		t.Fatalf("thread 0 work (%d) should exceed thread 1 work (%d - idle %d)", t0[0], t1[0], t1[1])
+	}
+	if t1[1] == 0 {
+		t.Fatal("sibling thread never idled at the barrier")
+	}
+	if t0[1] > 50 {
+		t.Fatalf("serial thread idled %d, want ~0", t0[1])
+	}
+}
+
+func TestThreadExprs(t *testing.T) {
+	p := &prog.Params{Thread: 2, NThreads: 4}
+	if (prog.ThreadInt{}).Eval(p) != 2 {
+		t.Fatal("ThreadInt wrong")
+	}
+	if (prog.NThreadsInt{}).Eval(p) != 4 {
+		t.Fatal("NThreadsInt wrong")
+	}
+	if (prog.ThreadInt{}).Eval(nil) != 0 || (prog.NThreadsInt{}).Eval(nil) != 1 {
+		t.Fatal("nil params defaults wrong")
+	}
+}
+
+func TestRunBadEventsAborts(t *testing.T) {
+	im := skewed(t)
+	_, err := Run(im, Config{NRanks: 2, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 0}, // invalid: zero period
+	}})
+	if err == nil {
+		t.Fatal("invalid events accepted")
+	}
+}
+
+func TestSortByRankOrdersThreads(t *testing.T) {
+	ps := []*profile.Profile{
+		{Rank: 1, Thread: 1}, {Rank: 0, Thread: 1}, {Rank: 1, Thread: 0}, {Rank: 0, Thread: 0},
+	}
+	SortByRank(ps)
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for i, p := range ps {
+		if p.Rank != want[i][0] || p.Thread != want[i][1] {
+			t.Fatalf("order[%d] = (%d,%d)", i, p.Rank, p.Thread)
+		}
+	}
+}

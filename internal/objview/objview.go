@@ -1,0 +1,167 @@
+// Package objview presents metrics correlated with object code: annotated
+// disassembly with per-instruction sample counts. Section IX of the paper
+// lists this as ongoing work ("HPCToolkit supports a simple text-based
+// presentation of such information, but it is cumbersome to use"); this
+// package provides that presentation over the synthetic ISA, with the
+// ergonomics the paper's principles ask for — per-procedure ranking,
+// percent annotations and blank zero cells.
+package objview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/profile"
+)
+
+// View is a per-address aggregation of sample counts over one image.
+type View struct {
+	im      *isa.Image
+	metrics []profile.MetricInfo
+	counts  map[uint64][]uint64
+	totals  []uint64
+}
+
+// New aggregates the profiles' samples by instruction address, summing
+// across calling contexts and ranks (the object-code view is flat by
+// nature).
+func New(im *isa.Image, profs []*profile.Profile) (*View, error) {
+	if len(profs) == 0 {
+		return nil, fmt.Errorf("objview: no profiles")
+	}
+	v := &View{
+		im:      im,
+		metrics: profs[0].Metrics,
+		counts:  map[uint64][]uint64{},
+		totals:  make([]uint64, len(profs[0].Metrics)),
+	}
+	for _, p := range profs {
+		if len(p.Metrics) != len(v.metrics) {
+			return nil, fmt.Errorf("objview: profiles have inconsistent metric tables")
+		}
+		var walk func(n *profile.Node) error
+		walk = func(n *profile.Node) error {
+			for _, row := range n.Samples() {
+				if v.im.Index(row.PC) < 0 {
+					return fmt.Errorf("objview: sample PC 0x%x outside image", row.PC)
+				}
+				acc := v.counts[row.PC]
+				if acc == nil {
+					acc = make([]uint64, len(v.metrics))
+					v.counts[row.PC] = acc
+				}
+				for i, c := range row.Counts {
+					acc[i] += c
+					v.totals[i] += c
+				}
+			}
+			for _, c := range n.Children() {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(p.Root); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// Metrics returns the metric table.
+func (v *View) Metrics() []profile.MetricInfo { return v.metrics }
+
+// ProcCost is one procedure's aggregate cost.
+type ProcCost struct {
+	Name   string
+	Counts []uint64
+}
+
+// HotProcs ranks procedures by the given metric, descending; n bounds the
+// result (0 = all).
+func (v *View) HotProcs(metricIdx, n int) []ProcCost {
+	if metricIdx < 0 || metricIdx >= len(v.metrics) {
+		return nil
+	}
+	out := make([]ProcCost, 0, len(v.im.Procs))
+	for pi := range v.im.Procs {
+		sym := &v.im.Procs[pi]
+		pc := ProcCost{Name: sym.Name, Counts: make([]uint64, len(v.metrics))}
+		for i := sym.Start; i < sym.End; i++ {
+			if acc, ok := v.counts[v.im.Addr(i)]; ok {
+				for m, c := range acc {
+					pc.Counts[m] += c
+				}
+			}
+		}
+		out = append(out, pc)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Counts[metricIdx] != out[j].Counts[metricIdx] {
+			return out[i].Counts[metricIdx] > out[j].Counts[metricIdx]
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteProc writes the procedure's annotated disassembly: one line per
+// instruction with the disassembly, source line and per-metric event
+// counts (blank when zero, with percent of the program total).
+func (v *View) WriteProc(w io.Writer, procName string) error {
+	pi := v.im.ProcByName(procName)
+	if pi < 0 {
+		return fmt.Errorf("objview: unknown procedure %q", procName)
+	}
+	sym := &v.im.Procs[pi]
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [0x%x-0x%x)\n", sym.Name, v.im.Addr(sym.Start), v.im.Addr(sym.End))
+	fmt.Fprintf(&b, "%-46s", "address   instruction")
+	for _, m := range v.metrics {
+		fmt.Fprintf(&b, " %16s", m.Name)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 46+17*len(v.metrics)))
+
+	for i := sym.Start; i < sym.End; i++ {
+		addr := v.im.Addr(i)
+		dis := v.im.Disasm(i)
+		// Disasm prefixes the index; replace it with the address.
+		if cut := strings.Index(dis, ":"); cut >= 0 {
+			dis = dis[cut+1:]
+		}
+		fmt.Fprintf(&b, "0x%06x %-37s", addr, trunc(strings.TrimSpace(dis), 37))
+		acc := v.counts[addr]
+		for m := range v.metrics {
+			cell := ""
+			if acc != nil && acc[m] > 0 {
+				cell = fmt.Sprintf("%d", acc[m])
+				if v.totals[m] > 0 {
+					cell += fmt.Sprintf(" %5.1f%%", 100*float64(acc[m])/float64(v.totals[m]))
+				}
+			}
+			fmt.Fprintf(&b, " %16s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 3 {
+		return s[:n]
+	}
+	return s[:n-3] + "..."
+}

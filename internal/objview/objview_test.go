@@ -1,0 +1,134 @@
+package objview
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+)
+
+func fixture(t *testing.T) (*isa.Image, []*profile.Profile) {
+	t.Helper()
+	p := prog.NewBuilder("obj").
+		File("a.c").
+		Proc("hot", 10, prog.L(11, 90, prog.W(12, 100))).
+		Proc("cold", 20, prog.W(21, 1000)).
+		Proc("main", 1, prog.C(2, "hot"), prog.C(3, "cold")).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sampler.New("obj", 0, 0, []sampler.EventConfig{{Event: sim.EvCycles, Period: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := sim.New(im, sim.Config{Observer: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return im, []*profile.Profile{s.Profile()}
+}
+
+func TestHotProcsRanking(t *testing.T) {
+	im, profs := fixture(t)
+	v, err := New(im, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := v.HotProcs(0, 0)
+	if len(ranked) != 3 {
+		t.Fatalf("procs = %d", len(ranked))
+	}
+	if ranked[0].Name != "hot" {
+		t.Fatalf("top proc = %q", ranked[0].Name)
+	}
+	if ranked[0].Counts[0] < 8*ranked[1].Counts[0] {
+		t.Fatalf("hot (%d) should dwarf %s (%d)", ranked[0].Counts[0], ranked[1].Name, ranked[1].Counts[0])
+	}
+	// Top-N truncation.
+	if got := v.HotProcs(0, 1); len(got) != 1 {
+		t.Fatalf("top-1 = %d entries", len(got))
+	}
+	// Bad metric index.
+	if v.HotProcs(9, 0) != nil {
+		t.Fatal("bad metric index produced ranking")
+	}
+}
+
+func TestWriteProcAnnotation(t *testing.T) {
+	im, profs := fixture(t)
+	v, err := New(im, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := v.WriteProc(&b, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "CYCLES") {
+		t.Fatalf("metric header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "work") || !strings.Contains(out, "brz") {
+		t.Fatalf("disassembly missing:\n%s", out)
+	}
+	// The work instruction carries nearly all samples (with percent).
+	if !strings.Contains(out, "%") {
+		t.Fatalf("percent annotation missing:\n%s", out)
+	}
+	// Control instructions carry no cost: their metric cells are blank,
+	// so a brz line must end without digits.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "brz") && strings.ContainsAny(strings.TrimSpace(line[40:]), "%") {
+			t.Fatalf("control instruction has samples: %q", line)
+		}
+	}
+	if err := v.WriteProc(&b, "ghost"); err == nil {
+		t.Fatal("unknown proc rendered")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	im, profs := fixture(t)
+	if _, err := New(im, nil); err == nil {
+		t.Fatal("no profiles accepted")
+	}
+	// A profile with a PC outside the image must be rejected.
+	bad := profile.NewProfile("x", 0, 0, profs[0].Metrics)
+	bad.Record(nil, 0x2, 0, 100)
+	if _, err := New(im, []*profile.Profile{bad}); err == nil {
+		t.Fatal("foreign PC accepted")
+	}
+	// Inconsistent metric tables are rejected.
+	other := profile.NewProfile("x", 1, 0, []profile.MetricInfo{{Name: "A", Period: 1}, {Name: "B", Period: 1}})
+	if _, err := New(im, []*profile.Profile{profs[0], other}); err == nil {
+		t.Fatal("inconsistent metrics accepted")
+	}
+}
+
+func TestMultiRankAggregation(t *testing.T) {
+	im, profs := fixture(t)
+	// Duplicate the profile to fake a second rank: counts double.
+	v1, err := New(im, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(im, []*profile.Profile{profs[0], profs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := v1.HotProcs(0, 1)[0].Counts[0]
+	b := v2.HotProcs(0, 1)[0].Counts[0]
+	if b != 2*a {
+		t.Fatalf("aggregation wrong: %d vs %d", a, b)
+	}
+}

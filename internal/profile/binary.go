@@ -1,0 +1,250 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary measurement-file format ("CPP1"): varint-based, preorder tree.
+//
+//	magic "CPP1"
+//	program string, rank, thread
+//	nMetrics { name, unit, period }*
+//	node := callPC(delta-less uvarint)
+//	        nSamples { pc uvarint, counts[nMetrics] uvarint }*
+//	        nChildren node*
+//
+// Strings are uvarint length + bytes. The format is the stand-in for
+// hpcrun's measurement files and is deliberately compact: Section IX of the
+// paper names replacing XML with "a more compact binary format" as ongoing
+// work.
+
+const profMagic = "CPP1"
+
+const maxProfileStrLen = 1 << 20
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxProfileStrLen {
+		return "", fmt.Errorf("profile: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Write serializes the profile.
+func (p *Profile) Write(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(profMagic); err != nil {
+		return err
+	}
+	if err := writeString(bw, p.Program); err != nil {
+		return err
+	}
+	if p.Rank < 0 || p.Thread < 0 {
+		return fmt.Errorf("profile: negative rank/thread %d/%d", p.Rank, p.Thread)
+	}
+	if err := writeUvarint(bw, uint64(p.Rank)); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(p.Thread)); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, p.Fingerprint); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(len(p.Metrics))); err != nil {
+		return err
+	}
+	for _, m := range p.Metrics {
+		if err := writeString(bw, m.Name); err != nil {
+			return err
+		}
+		if err := writeString(bw, m.Unit); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, m.Period); err != nil {
+			return err
+		}
+	}
+	if err := writeNode(bw, p.Root, len(p.Metrics)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *Node, nMetrics int) error {
+	if err := writeUvarint(w, n.CallPC); err != nil {
+		return err
+	}
+	rows := n.Samples()
+	if err := writeUvarint(w, uint64(len(rows))); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeUvarint(w, row.PC); err != nil {
+			return err
+		}
+		for _, c := range row.Counts {
+			if err := writeUvarint(w, c); err != nil {
+				return err
+			}
+		}
+	}
+	kids := n.Children()
+	if err := writeUvarint(w, uint64(len(kids))); err != nil {
+		return err
+	}
+	for _, c := range kids {
+		if err := writeNode(w, c, nMetrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(profMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("profile: reading magic: %w", err)
+	}
+	if string(magic) != profMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", magic)
+	}
+	p := &Profile{}
+	var err error
+	if p.Program, err = readString(br); err != nil {
+		return nil, err
+	}
+	rank, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	thread, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if rank > math.MaxInt32 || thread > math.MaxInt32 {
+		return nil, fmt.Errorf("profile: implausible rank/thread %d/%d", rank, thread)
+	}
+	p.Rank, p.Thread = int(rank), int(thread)
+	if p.Fingerprint, err = readUvarint(br); err != nil {
+		return nil, err
+	}
+	nm, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nm > 1024 {
+		return nil, fmt.Errorf("profile: implausible metric count %d", nm)
+	}
+	for i := uint64(0); i < nm; i++ {
+		var m MetricInfo
+		if m.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		if m.Unit, err = readString(br); err != nil {
+			return nil, err
+		}
+		if m.Period, err = readUvarint(br); err != nil {
+			return nil, err
+		}
+		p.Metrics = append(p.Metrics, m)
+	}
+	root, err := readNode(br, len(p.Metrics), 0)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = root
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+const maxTreeDepth = 100_000
+
+func readNode(r *bufio.Reader, nMetrics int, depth int) (*Node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("profile: tree deeper than %d", maxTreeDepth)
+	}
+	n := &Node{}
+	var err error
+	if n.CallPC, err = readUvarint(r); err != nil {
+		return nil, err
+	}
+	ns, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ns; i++ {
+		pc, err := readUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]uint64, nMetrics)
+		for j := 0; j < nMetrics; j++ {
+			if row[j], err = readUvarint(r); err != nil {
+				return nil, err
+			}
+		}
+		if n.samples == nil {
+			n.samples = map[uint64][]uint64{}
+		}
+		if _, dup := n.samples[pc]; dup {
+			return nil, fmt.Errorf("profile: duplicate sample pc 0x%x", pc)
+		}
+		n.samples[pc] = row
+	}
+	nc, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nc; i++ {
+		c, err := readNode(r, nMetrics, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if n.children == nil {
+			n.children = map[uint64]*Node{}
+		}
+		if _, dup := n.children[c.CallPC]; dup {
+			return nil, fmt.Errorf("profile: duplicate child pc 0x%x", c.CallPC)
+		}
+		n.children[c.CallPC] = c
+	}
+	return n, nil
+}

@@ -1,0 +1,44 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead guards the binary profile reader: arbitrary bytes must either
+// parse into a valid profile or return an error — never panic, never
+// produce a profile that fails validation.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine encoding and some mutations.
+	p := randomProfile(7)
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte("CPP1"))
+	f.Add([]byte{})
+	if len(good) > 10 {
+		mutated := append([]byte(nil), good...)
+		mutated[len(mutated)/2] ^= 0xff
+		f.Add(mutated)
+		f.Add(good[:len(good)/2])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Read returned an invalid profile: %v", verr)
+		}
+		// Re-encoding must work on anything Read accepted.
+		var out bytes.Buffer
+		if got.Rank >= 0 && got.Thread >= 0 {
+			if err := got.Write(&out); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package profile defines the raw call-path profile produced by the
+// sampling substrate: a trie of call-site return addresses with per-leaf-PC
+// event counts, plus the metric table describing what was sampled. It is
+// the moral equivalent of hpcrun's per-thread measurement file; hpcprof's
+// stand-in (internal/correlate) later fuses it with static structure.
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MetricInfo describes one sampled event column.
+type MetricInfo struct {
+	// Name is the event name, e.g. "CYCLES".
+	Name string
+	// Unit is a display unit.
+	Unit string
+	// Period is the sampling period: each sample accounts for Period
+	// events.
+	Period uint64
+}
+
+// Profile is one thread-of-execution's raw call path profile.
+type Profile struct {
+	// Program is the measured program's name.
+	Program string
+	// Rank and Thread identify the process and thread.
+	Rank   int
+	Thread int
+	// Fingerprint identifies the measured image (isa.Image.Fingerprint);
+	// zero means unknown. Correlation refuses to fuse profiles with a
+	// structure document from a different build.
+	Fingerprint uint64
+	// Metrics describes the sampled events, in column order.
+	Metrics []MetricInfo
+	// Root is the entry frame (no call site).
+	Root *Node
+}
+
+// Node is one dynamic frame: the frame created by the call instruction at
+// CallPC (zero for the entry frame).
+type Node struct {
+	CallPC   uint64
+	children map[uint64]*Node
+	samples  map[uint64][]uint64 // leaf PC -> per-metric event counts
+}
+
+// NewProfile creates an empty profile.
+func NewProfile(program string, rank, thread int, metrics []MetricInfo) *Profile {
+	return &Profile{
+		Program: program,
+		Rank:    rank,
+		Thread:  thread,
+		Metrics: append([]MetricInfo(nil), metrics...),
+		Root:    &Node{},
+	}
+}
+
+// Child returns the child frame created by the call at pc, creating it when
+// create is true.
+func (n *Node) Child(pc uint64, create bool) *Node {
+	if c, ok := n.children[pc]; ok {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	if n.children == nil {
+		n.children = map[uint64]*Node{}
+	}
+	c := &Node{CallPC: pc}
+	n.children[pc] = c
+	return c
+}
+
+// Children returns the child frames sorted by call PC.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CallPC < out[j].CallPC })
+	return out
+}
+
+// NumChildren reports the number of child frames.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// AddSample records count events of metric against the leaf pc within this
+// frame.
+func (n *Node) AddSample(pc uint64, metric int, nMetrics int, count uint64) {
+	if n.samples == nil {
+		n.samples = map[uint64][]uint64{}
+	}
+	row := n.samples[pc]
+	if row == nil {
+		row = make([]uint64, nMetrics)
+		n.samples[pc] = row
+	}
+	row[metric] += count
+}
+
+// Samples returns the frame's (leaf PC, counts) pairs sorted by PC. The
+// count slices are shared with the node.
+func (n *Node) Samples() []SampleRow {
+	out := make([]SampleRow, 0, len(n.samples))
+	for pc, counts := range n.samples {
+		out = append(out, SampleRow{PC: pc, Counts: counts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
+}
+
+// SampleRow is one leaf PC's event counts within a frame.
+type SampleRow struct {
+	PC     uint64
+	Counts []uint64
+}
+
+// Record attributes count events of the given metric to the context
+// (callPath, leafPC): callPath holds the call instruction addresses from
+// outermost to innermost.
+func (p *Profile) Record(callPath []uint64, leafPC uint64, metric int, count uint64) {
+	n := p.Root
+	for _, pc := range callPath {
+		n = n.Child(pc, true)
+	}
+	n.AddSample(leafPC, metric, len(p.Metrics), count)
+}
+
+// MetricIndex returns the column of the named metric, or -1.
+func (p *Profile) MetricIndex(name string) int {
+	for i, m := range p.Metrics {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Totals sums every metric over the whole profile.
+func (p *Profile) Totals() []uint64 {
+	tot := make([]uint64, len(p.Metrics))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, row := range n.samples {
+			for i, c := range row {
+				tot[i] += c
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return tot
+}
+
+// Stats summarizes the profile shape.
+type Stats struct {
+	Frames  int // trie nodes including the root
+	Leaves  int // distinct (frame, leaf PC) pairs
+	Samples uint64
+}
+
+// Stats computes profile shape statistics. Samples counts metric-0 events
+// divided by its period (i.e. the number of metric-0 samples).
+func (p *Profile) Stats() Stats {
+	var st Stats
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		st.Frames++
+		st.Leaves += len(n.samples)
+		for _, row := range n.samples {
+			if len(row) > 0 && len(p.Metrics) > 0 && p.Metrics[0].Period > 0 {
+				st.Samples += row[0] / p.Metrics[0].Period
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return st
+}
+
+// Validate checks invariants: sample rows have one count per metric and the
+// root has CallPC zero.
+func (p *Profile) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("profile: nil root")
+	}
+	if p.Root.CallPC != 0 {
+		return fmt.Errorf("profile: root has call PC 0x%x", p.Root.CallPC)
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		for pc, row := range n.samples {
+			if len(row) != len(p.Metrics) {
+				return fmt.Errorf("profile: sample at 0x%x has %d counts, want %d", pc, len(row), len(p.Metrics))
+			}
+		}
+		for pc, c := range n.children {
+			if c.CallPC != pc {
+				return fmt.Errorf("profile: child keyed 0x%x has call PC 0x%x", pc, c.CallPC)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(p.Root)
+}

@@ -1,0 +1,145 @@
+package prog
+
+import "fmt"
+
+// Builder assembles Programs fluently. Workload definitions read almost
+// like the source listings in the paper's Figure 1.
+type Builder struct {
+	prog *Program
+	mod  *Module
+	file *File
+	errs []error
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Module starts (or switches to) a load module.
+func (b *Builder) Module(name string) *Builder {
+	for _, m := range b.prog.Modules {
+		if m.Name == name {
+			b.mod = m
+			b.file = nil
+			return b
+		}
+	}
+	b.mod = &Module{Name: name}
+	b.prog.Modules = append(b.prog.Modules, b.mod)
+	b.file = nil
+	return b
+}
+
+// File starts (or switches to) a source file in the current module.
+func (b *Builder) File(name string) *Builder {
+	if b.mod == nil {
+		b.Module(b.prog.Name)
+	}
+	for _, f := range b.mod.Files {
+		if f.Name == name {
+			b.file = f
+			return b
+		}
+	}
+	b.file = &File{Name: name}
+	b.mod.Files = append(b.mod.Files, b.file)
+	return b
+}
+
+// Proc declares a procedure in the current file.
+func (b *Builder) Proc(name string, line int, body ...Stmt) *Builder {
+	return b.addProc(&Proc{Name: name, Line: line, Body: body})
+}
+
+// InlineProc declares a procedure that the lowering pass may inline.
+func (b *Builder) InlineProc(name string, line int, body ...Stmt) *Builder {
+	return b.addProc(&Proc{Name: name, Line: line, Body: body, Inline: true})
+}
+
+// RuntimeProc declares a binary-only procedure (no source information).
+func (b *Builder) RuntimeProc(name string, body ...Stmt) *Builder {
+	return b.addProc(&Proc{Name: name, Line: 0, Body: body, NoSource: true})
+}
+
+func (b *Builder) addProc(p *Proc) *Builder {
+	if b.file == nil {
+		b.File(b.prog.Name + ".c")
+	}
+	b.file.Procs = append(b.file.Procs, p)
+	return b
+}
+
+// Entry sets the entry procedure.
+func (b *Builder) Entry(name string) *Builder {
+	b.prog.Entry = name
+	return b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if b.prog.Entry == "" {
+		b.prog.Entry = "main"
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build but panics on error; intended for the static workload
+// definitions that ship with the repository.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("prog: MustBuild: %v", err))
+	}
+	return p
+}
+
+// Convenience statement constructors; they keep workload definitions
+// compact and close to the shape of Figure 1.
+
+// W returns straight-line work of the given cycle count (one instruction
+// per cycle implied, no FLOPs or misses; use Wc for a full cost bundle).
+func W(line int, cycles uint64) Work {
+	return Work{Line: line, Cost: Cost{Cycles: cycles, Instr: cycles}}
+}
+
+// Wc returns straight-line work with an explicit cost bundle.
+func Wc(line int, c Cost) Work { return Work{Line: line, Cost: c} }
+
+// L returns a counted loop with a fixed trip count.
+func L(line int, trips int64, body ...Stmt) Loop {
+	return Loop{Line: line, Trips: ConstInt(trips), Body: body}
+}
+
+// Lx returns a counted loop with a computed trip count.
+func Lx(line int, trips IntExpr, body ...Stmt) Loop {
+	return Loop{Line: line, Trips: trips, Body: body}
+}
+
+// C returns a direct call.
+func C(line int, callee string) Call { return Call{Line: line, Callee: callee} }
+
+// IfP returns a probabilistic conditional.
+func IfP(line int, p float64, then ...Stmt) If {
+	return If{Line: line, Cond: ProbCond{P: p}, Then: then}
+}
+
+// IfDepth returns a recursion-bounding conditional: Then runs while the
+// enclosing procedure's activation depth is below max.
+func IfDepth(line int, max int, then ...Stmt) If {
+	return If{Line: line, Cond: DepthCond{Max: max}, Then: then}
+}
+
+// IfParam returns a conditional on a named parameter being non-zero.
+func IfParam(line int, name string, then ...Stmt) If {
+	return If{Line: line, Cond: ParamCond{Name: name}, Then: then}
+}
+
+// Sync returns an SPMD barrier statement.
+func Sync(line int) Barrier { return Barrier{Line: line} }

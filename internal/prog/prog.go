@@ -1,0 +1,415 @@
+// Package prog defines the synthetic source-program model the toolkit
+// measures. A Program plays the role of an application's source code: it
+// has load modules, files, procedures, loops, straight-line work,
+// conditionals and calls (direct and recursive). A separate lowering pass
+// (internal/lower) compiles a Program to the synthetic ISA that the
+// measurement substrate executes and analyzes, mirroring how HPCToolkit
+// measures compiled binaries rather than source.
+//
+// The model substitutes for the real applications of the paper (S3D, MOAB,
+// PFLOTRAN): the presentation algorithms under study consume call path
+// profiles and static structure, both of which this model produces through
+// the same pipeline stages (sampling, structure recovery, correlation).
+package prog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cost is a bundle of hardware-counter events charged by one execution of a
+// unit of work. The counters mirror the PAPI presets used in the paper
+// (total cycles, floating-point ops, L1/L2 data-cache misses, instructions).
+type Cost struct {
+	Cycles uint64
+	FLOPs  uint64
+	L1Miss uint64
+	L2Miss uint64
+	Instr  uint64
+}
+
+// Add returns c + o.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		Cycles: c.Cycles + o.Cycles,
+		FLOPs:  c.FLOPs + o.FLOPs,
+		L1Miss: c.L1Miss + o.L1Miss,
+		L2Miss: c.L2Miss + o.L2Miss,
+		Instr:  c.Instr + o.Instr,
+	}
+}
+
+// Scale returns c with every counter multiplied by k.
+func (c Cost) Scale(k uint64) Cost {
+	return Cost{
+		Cycles: c.Cycles * k,
+		FLOPs:  c.FLOPs * k,
+		L1Miss: c.L1Miss * k,
+		L2Miss: c.L2Miss * k,
+		Instr:  c.Instr * k,
+	}
+}
+
+// IsZero reports whether every counter is zero.
+func (c Cost) IsZero() bool { return c == Cost{} }
+
+// Program is a whole synthetic application.
+type Program struct {
+	Name    string
+	Modules []*Module
+	// Entry names the procedure where execution starts, usually "main".
+	Entry string
+}
+
+// Module is a load module (executable or shared library).
+type Module struct {
+	Name  string
+	Files []*File
+}
+
+// File is a source file within a module.
+type File struct {
+	Name  string
+	Procs []*Proc
+}
+
+// Proc is a procedure definition.
+type Proc struct {
+	Name string
+	// Line is the line of the procedure header in its file.
+	Line int
+	// Body is the statement list.
+	Body []Stmt
+	// Inline marks the procedure as an inlining candidate: the lowering
+	// pass will splice its body into callers (recording inline
+	// provenance) instead of emitting a call, like an optimizing
+	// compiler. Recursive procedures are never inlined.
+	Inline bool
+	// NoSource marks binary-only procedures (e.g. compiler runtime,
+	// libm): structure recovery will know their names but report no
+	// source file, matching the paper's "main shown in plain black".
+	NoSource bool
+}
+
+// Stmt is a node of a procedure body.
+type Stmt interface {
+	stmt()
+	// SrcLine is the statement's source line.
+	SrcLine() int
+}
+
+// Work is straight-line computation on one source line.
+type Work struct {
+	Line int
+	Cost Cost
+}
+
+// Loop is a counted loop. Trips is evaluated once at loop entry.
+type Loop struct {
+	Line  int
+	Trips IntExpr
+	Body  []Stmt
+}
+
+// Call invokes another procedure by name.
+type Call struct {
+	Line   int
+	Callee string
+}
+
+// If executes Then when Cond evaluates true, otherwise Else (may be nil).
+type If struct {
+	Line int
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// Barrier is an SPMD synchronization point. When executed under the MPI
+// harness, the rank waits for all other ranks and is charged idle cycles
+// inside a synthetic mpi_wait procedure; outside the harness it is a no-op.
+type Barrier struct {
+	Line int
+}
+
+func (Work) stmt()    {}
+func (Loop) stmt()    {}
+func (Call) stmt()    {}
+func (If) stmt()      {}
+func (Barrier) stmt() {}
+
+// SrcLine implements Stmt.
+func (b Barrier) SrcLine() int { return b.Line }
+
+// SrcLine implements Stmt.
+func (w Work) SrcLine() int { return w.Line }
+
+// SrcLine implements Stmt.
+func (l Loop) SrcLine() int { return l.Line }
+
+// SrcLine implements Stmt.
+func (c Call) SrcLine() int { return c.Line }
+
+// SrcLine implements Stmt.
+func (i If) SrcLine() int { return i.Line }
+
+// Params carries the runtime parameters an execution is instantiated with:
+// the MPI-style rank/size pair, the OpenMP-style thread/size pair, and
+// arbitrary named integers (problem sizes, trip counts). IntExprs and
+// Conds are evaluated against it.
+type Params struct {
+	Rank     int
+	NRanks   int
+	Thread   int
+	NThreads int
+	Values   map[string]int64
+}
+
+// Value returns the named parameter (zero if absent).
+func (p *Params) Value(name string) int64 {
+	if p == nil || p.Values == nil {
+		return 0
+	}
+	return p.Values[name]
+}
+
+// IntExpr is an integer expression evaluated at run time against the
+// execution parameters.
+type IntExpr interface {
+	Eval(p *Params) int64
+}
+
+// ConstInt is a constant.
+type ConstInt int64
+
+// Eval implements IntExpr.
+func (c ConstInt) Eval(*Params) int64 { return int64(c) }
+
+// ParamInt reads a named parameter.
+type ParamInt string
+
+// Eval implements IntExpr.
+func (v ParamInt) Eval(p *Params) int64 { return p.Value(string(v)) }
+
+// RankInt reads the execution's rank.
+type RankInt struct{}
+
+// Eval implements IntExpr.
+func (RankInt) Eval(p *Params) int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.Rank)
+}
+
+// NRanksInt reads the execution's total rank count (1 when standalone);
+// collective-communication cost models scale with it.
+type NRanksInt struct{}
+
+// Eval implements IntExpr.
+func (NRanksInt) Eval(p *Params) int64 {
+	if p == nil || p.NRanks <= 0 {
+		return 1
+	}
+	return int64(p.NRanks)
+}
+
+// ThreadInt reads the execution's thread id within its rank.
+type ThreadInt struct{}
+
+// Eval implements IntExpr.
+func (ThreadInt) Eval(p *Params) int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.Thread)
+}
+
+// NThreadsInt reads the threads-per-rank count (1 when single-threaded);
+// OpenMP-style loop partitions divide by it.
+type NThreadsInt struct{}
+
+// Eval implements IntExpr.
+func (NThreadsInt) Eval(p *Params) int64 {
+	if p == nil || p.NThreads <= 0 {
+		return 1
+	}
+	return int64(p.NThreads)
+}
+
+// HashInt maps the rank to a deterministic pseudo-random value in
+// [Lo, Hi], modeling irregular domain decompositions (the scattered
+// per-process work of the paper's Figure 7). Knuth multiplicative hashing
+// keeps it reproducible across runs and platforms.
+type HashInt struct {
+	Seed   int64
+	Lo, Hi int64
+}
+
+// Eval implements IntExpr.
+func (h HashInt) Eval(p *Params) int64 {
+	if h.Hi <= h.Lo {
+		return h.Lo
+	}
+	rank := int64(0)
+	if p != nil {
+		rank = int64(p.Rank)
+	}
+	x := uint64(rank+h.Seed+1) * 2654435761
+	x ^= x >> 16
+	x *= 2246822519
+	x ^= x >> 13
+	span := uint64(h.Hi - h.Lo + 1)
+	return h.Lo + int64(x%span)
+}
+
+// ScaledInt computes X*Num/Den + Off, the common "partition by rank" shape.
+type ScaledInt struct {
+	X        IntExpr
+	Num, Den int64
+	Off      int64
+}
+
+// Eval implements IntExpr.
+func (s ScaledInt) Eval(p *Params) int64 {
+	den := s.Den
+	if den == 0 {
+		den = 1
+	}
+	return s.X.Eval(p)*s.Num/den + s.Off
+}
+
+// Cond is a runtime predicate for If statements. Implementations must be
+// deterministic given (params, rng seed, call depth) so executions are
+// reproducible.
+type Cond interface {
+	// Test is evaluated with the execution parameters, the current call
+	// depth of the enclosing procedure (number of activation records of
+	// that procedure on the stack, >= 1) and a deterministic PRNG draw
+	// in [0,1).
+	Test(p *Params, depth int, draw float64) bool
+}
+
+// ProbCond is true with probability P (uses the deterministic draw).
+type ProbCond struct{ P float64 }
+
+// Test implements Cond.
+func (c ProbCond) Test(_ *Params, _ int, draw float64) bool { return draw < c.P }
+
+// DepthCond is true while the enclosing procedure's recursion depth is
+// below Max; the standard way to express bounded recursion.
+type DepthCond struct{ Max int }
+
+// Test implements Cond.
+func (c DepthCond) Test(_ *Params, depth int, _ float64) bool { return depth < c.Max }
+
+// ParamCond is true when parameter Name is non-zero.
+type ParamCond struct{ Name string }
+
+// Test implements Cond.
+func (c ParamCond) Test(p *Params, _ int, _ float64) bool { return p.Value(c.Name) != 0 }
+
+// FindProc returns the procedure named name and its enclosing file and
+// module, or an error naming the missing procedure.
+func (p *Program) FindProc(name string) (*Module, *File, *Proc, error) {
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			for _, pr := range f.Procs {
+				if pr.Name == name {
+					return m, f, pr, nil
+				}
+			}
+		}
+	}
+	return nil, nil, nil, fmt.Errorf("prog: procedure %q not found", name)
+}
+
+// Procs returns every procedure in deterministic (module, file, decl)
+// order.
+func (p *Program) Procs() []*Proc {
+	var out []*Proc
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			out = append(out, f.Procs...)
+		}
+	}
+	return out
+}
+
+// Validate checks the program for dangling callees, duplicate procedure
+// names, a missing entry point, and non-positive lines.
+func (p *Program) Validate() error {
+	if p.Entry == "" {
+		return fmt.Errorf("prog: program %q has no entry procedure", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			for _, pr := range f.Procs {
+				if seen[pr.Name] {
+					return fmt.Errorf("prog: duplicate procedure %q", pr.Name)
+				}
+				seen[pr.Name] = true
+			}
+		}
+	}
+	if !seen[p.Entry] {
+		return fmt.Errorf("prog: entry procedure %q not defined", p.Entry)
+	}
+	var missing []string
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			for _, pr := range f.Procs {
+				if err := validateBody(pr.Name, pr.Body, seen, &missing); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("prog: calls to undefined procedures: %v", missing)
+	}
+	return nil
+}
+
+func validateBody(proc string, body []Stmt, defined map[string]bool, missing *[]string) error {
+	for _, s := range body {
+		if s.SrcLine() <= 0 {
+			return fmt.Errorf("prog: %s: statement with non-positive line %d", proc, s.SrcLine())
+		}
+		switch s := s.(type) {
+		case Call:
+			if !defined[s.Callee] {
+				found := false
+				for _, m := range *missing {
+					if m == s.Callee {
+						found = true
+						break
+					}
+				}
+				if !found {
+					*missing = append(*missing, s.Callee)
+				}
+			}
+		case Loop:
+			if s.Trips == nil {
+				return fmt.Errorf("prog: %s: loop at line %d has nil trip count", proc, s.Line)
+			}
+			if err := validateBody(proc, s.Body, defined, missing); err != nil {
+				return err
+			}
+		case If:
+			if s.Cond == nil {
+				return fmt.Errorf("prog: %s: if at line %d has nil condition", proc, s.Line)
+			}
+			if err := validateBody(proc, s.Then, defined, missing); err != nil {
+				return err
+			}
+			if err := validateBody(proc, s.Else, defined, missing); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

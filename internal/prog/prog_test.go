@@ -1,0 +1,248 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1 builds the two-file program from Figure 1 of the paper.
+func fig1(t *testing.T) *Program {
+	t.Helper()
+	p, err := NewBuilder("toy").
+		Module("toy.exe").
+		File("file1.c").
+		Proc("f", 1, C(2, "g")).
+		Proc("m", 6, C(7, "f"), C(8, "g")).
+		File("file2.c").
+		Proc("g", 2,
+			IfDepth(3, 2, C(3, "g")),
+			IfP(4, 0.5, C(4, "h")),
+			W(3, 1)).
+		Proc("h", 7,
+			L(8, 10,
+				L(9, 10, W(9, 1)))).
+		Entry("m").
+		Build()
+	if err != nil {
+		t.Fatalf("fig1 build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderFig1(t *testing.T) {
+	p := fig1(t)
+	if len(p.Modules) != 1 || len(p.Modules[0].Files) != 2 {
+		t.Fatalf("unexpected structure: %d modules", len(p.Modules))
+	}
+	if got := len(p.Procs()); got != 4 {
+		t.Fatalf("procs = %d, want 4", got)
+	}
+	m, f, pr, err := p.FindProc("h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "toy.exe" || f.Name != "file2.c" || pr.Line != 7 {
+		t.Fatalf("FindProc(h) = %s %s %d", m.Name, f.Name, pr.Line)
+	}
+}
+
+func TestFindProcMissing(t *testing.T) {
+	p := fig1(t)
+	if _, _, _, err := p.FindProc("nosuch"); err == nil {
+		t.Fatal("FindProc of missing proc succeeded")
+	}
+}
+
+func TestValidateCatchesDanglingCall(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1, C(2, "ghost"), C(3, "phantom")).
+		Build()
+	if err == nil {
+		t.Fatal("dangling call accepted")
+	}
+	if !strings.Contains(err.Error(), "ghost") || !strings.Contains(err.Error(), "phantom") {
+		t.Fatalf("error should name missing procs: %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateProc(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1).
+		Proc("main", 5).
+		Build()
+	if err == nil {
+		t.Fatal("duplicate proc accepted")
+	}
+}
+
+func TestValidateCatchesMissingEntry(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("helper", 1).
+		Entry("main").
+		Build()
+	if err == nil {
+		t.Fatal("missing entry accepted")
+	}
+}
+
+func TestValidateCatchesBadLine(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1, Work{Line: 0, Cost: Cost{Cycles: 1}}).
+		Entry("main").
+		Build()
+	if err == nil {
+		t.Fatal("non-positive line accepted")
+	}
+}
+
+func TestValidateCatchesNilLoopTrips(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1, Loop{Line: 2, Body: []Stmt{W(3, 1)}}).
+		Entry("main").
+		Build()
+	if err == nil {
+		t.Fatal("nil trip count accepted")
+	}
+}
+
+func TestValidateCatchesNilCond(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1, If{Line: 2, Then: []Stmt{W(3, 1)}}).
+		Entry("main").
+		Build()
+	if err == nil {
+		t.Fatal("nil condition accepted")
+	}
+}
+
+func TestValidateChecksNestedBodies(t *testing.T) {
+	_, err := NewBuilder("bad").
+		File("a.c").
+		Proc("main", 1,
+			L(2, 3,
+				IfP(3, 0.5, C(4, "ghost")))).
+		Entry("main").
+		Build()
+	if err == nil {
+		t.Fatal("nested dangling call accepted")
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{Cycles: 1, FLOPs: 2, L1Miss: 3, L2Miss: 4, Instr: 5}
+	b := Cost{Cycles: 10, FLOPs: 20, L1Miss: 30, L2Miss: 40, Instr: 50}
+	sum := a.Add(b)
+	if sum != (Cost{11, 22, 33, 44, 55}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if a.Scale(3) != (Cost{3, 6, 9, 12, 15}) {
+		t.Fatalf("Scale = %+v", a.Scale(3))
+	}
+	if !(Cost{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestIntExprs(t *testing.T) {
+	p := &Params{Rank: 3, NRanks: 8, Values: map[string]int64{"n": 100}}
+	cases := []struct {
+		e    IntExpr
+		want int64
+	}{
+		{ConstInt(7), 7},
+		{ParamInt("n"), 100},
+		{ParamInt("absent"), 0},
+		{RankInt{}, 3},
+		{ScaledInt{X: ParamInt("n"), Num: 3, Den: 4, Off: 5}, 80},
+		{ScaledInt{X: ConstInt(10), Num: 2}, 20}, // zero Den treated as 1
+	}
+	for i, c := range cases {
+		if got := c.e.Eval(p); got != c.want {
+			t.Errorf("case %d: got %d, want %d", i, got, c.want)
+		}
+	}
+	if (ParamInt("n")).Eval(nil) != 0 {
+		t.Fatal("nil params should evaluate to zero")
+	}
+	if (RankInt{}).Eval(nil) != 0 {
+		t.Fatal("nil params rank should be zero")
+	}
+}
+
+func TestConds(t *testing.T) {
+	p := &Params{Values: map[string]int64{"flag": 1}}
+	if !(ProbCond{P: 0.5}).Test(p, 1, 0.4) || (ProbCond{P: 0.5}).Test(p, 1, 0.6) {
+		t.Fatal("ProbCond wrong")
+	}
+	if !(DepthCond{Max: 3}).Test(p, 2, 0) || (DepthCond{Max: 3}).Test(p, 3, 0) {
+		t.Fatal("DepthCond wrong")
+	}
+	if !(ParamCond{Name: "flag"}).Test(p, 1, 0) || (ParamCond{Name: "off"}).Test(p, 1, 0) {
+		t.Fatal("ParamCond wrong")
+	}
+}
+
+func TestBuilderModuleFileSwitching(t *testing.T) {
+	b := NewBuilder("x")
+	b.Module("m1").File("a.c").Proc("main", 1)
+	b.Module("m2").File("b.c").Proc("lib", 1)
+	b.Module("m1").File("a.c").Proc("extra", 9)
+	p, err := b.Entry("main").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Modules) != 2 {
+		t.Fatalf("modules = %d, want 2", len(p.Modules))
+	}
+	if len(p.Modules[0].Files[0].Procs) != 2 {
+		t.Fatalf("switch-back did not reuse file: %d procs", len(p.Modules[0].Files[0].Procs))
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	// Proc without Module/File gets defaults; entry defaults to main.
+	p, err := NewBuilder("d").Proc("main", 1, W(2, 1)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != "main" {
+		t.Fatalf("default entry = %q", p.Entry)
+	}
+	if p.Modules[0].Name != "d" || p.Modules[0].Files[0].Name != "d.c" {
+		t.Fatalf("default module/file = %q/%q", p.Modules[0].Name, p.Modules[0].Files[0].Name)
+	}
+}
+
+func TestRuntimeProc(t *testing.T) {
+	p, err := NewBuilder("r").
+		File("a.c").
+		Proc("main", 1, C(2, "memset")).
+		RuntimeProc("memset", W(1, 5)).
+		Entry("main").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, pr, err := p.FindProc("memset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.NoSource {
+		t.Fatal("runtime proc should have NoSource set")
+	}
+}
+
+func TestStmtSrcLine(t *testing.T) {
+	stmts := []Stmt{W(4, 1), L(5, 2), C(6, "x"), IfP(7, 0.5)}
+	for i, want := range []int{4, 5, 6, 7} {
+		if got := stmts[i].SrcLine(); got != want {
+			t.Errorf("SrcLine[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package prog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Source rendering: hpcviewer pairs its navigation pane with a source pane
+// ("selecting any of the lines in the navigation pane navigates the source
+// pane to the corresponding source code"). Our programs are synthetic, so
+// the model renders its own pseudo-source: a C-like listing with correct
+// line numbers, which the viewer's source pane shows around a selected
+// scope.
+
+// SourceFile renders the named file's pseudo-source. Line numbers in the
+// listing match the statement lines of the model; lines nobody claims are
+// left blank. Returns an error when the file is unknown.
+func (p *Program) SourceFile(name string) ([]string, error) {
+	var file *File
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			if f.Name == name {
+				file = f
+			}
+		}
+	}
+	if file == nil {
+		return nil, fmt.Errorf("prog: no source for file %q", name)
+	}
+
+	// lines maps line number -> rendered text; procedures and statements
+	// claim their lines, nested constructs indent.
+	lines := map[int]string{}
+	claim := func(n int, text string) {
+		if n <= 0 {
+			return
+		}
+		if cur, ok := lines[n]; ok && cur != "" {
+			// Two constructs on one line (e.g. work plus call): join.
+			if !strings.Contains(cur, text) {
+				lines[n] = cur + "  /* + */ " + text
+			}
+			return
+		}
+		lines[n] = text
+	}
+
+	var renderBody func(body []Stmt, depth int)
+	renderBody = func(body []Stmt, depth int) {
+		ind := strings.Repeat("  ", depth)
+		for _, s := range body {
+			switch s := s.(type) {
+			case Work:
+				claim(s.Line, fmt.Sprintf("%swork(cycles=%d, flops=%d, l1=%d);",
+					ind, s.Cost.Cycles, s.Cost.FLOPs, s.Cost.L1Miss))
+			case Call:
+				claim(s.Line, fmt.Sprintf("%s%s();", ind, s.Callee))
+			case Barrier:
+				claim(s.Line, ind+"mpi_barrier();")
+			case Loop:
+				claim(s.Line, fmt.Sprintf("%sfor (i = 0; i < %s; i++) {", ind, exprString(s.Trips)))
+				renderBody(s.Body, depth+1)
+			case If:
+				claim(s.Line, fmt.Sprintf("%sif (%s) {", ind, condString(s.Cond)))
+				renderBody(s.Then, depth+1)
+				renderBody(s.Else, depth+1)
+			}
+		}
+	}
+
+	for _, pr := range file.Procs {
+		if pr.NoSource {
+			continue
+		}
+		claim(pr.Line, fmt.Sprintf("void %s() {", pr.Name))
+		renderBody(pr.Body, 1)
+	}
+
+	max := 0
+	for n := range lines {
+		if n > max {
+			max = n
+		}
+	}
+	out := make([]string, max)
+	for n, text := range lines {
+		out[n-1] = text
+	}
+	return out, nil
+}
+
+// WriteSource writes a window of the file around the given line (1-based),
+// marking it with '>' — the source pane's behavior when the navigation
+// pane selects a scope.
+func (p *Program) WriteSource(w io.Writer, file string, line, context int) error {
+	lines, err := p.SourceFile(file)
+	if err != nil {
+		return err
+	}
+	if context <= 0 {
+		context = 3
+	}
+	lo := line - context
+	if lo < 1 {
+		lo = 1
+	}
+	hi := line + context
+	if hi > len(lines) {
+		hi = len(lines)
+	}
+	if line < 1 || line > len(lines) {
+		return fmt.Errorf("prog: line %d outside %s (1..%d)", line, file, len(lines))
+	}
+	for n := lo; n <= hi; n++ {
+		mark := "  "
+		if n == line {
+			mark = "> "
+		}
+		if _, err := fmt.Fprintf(w, "%s%4d | %s\n", mark, n, lines[n-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Files lists every source file name in deterministic order.
+func (p *Program) Files() []string {
+	var out []string
+	for _, m := range p.Modules {
+		for _, f := range m.Files {
+			if f.Name != "" {
+				out = append(out, f.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func exprString(e IntExpr) string {
+	switch e := e.(type) {
+	case ConstInt:
+		return fmt.Sprintf("%d", int64(e))
+	case ParamInt:
+		return string(e)
+	case RankInt:
+		return "rank"
+	case NRanksInt:
+		return "nranks"
+	case ThreadInt:
+		return "thread"
+	case NThreadsInt:
+		return "nthreads"
+	case ScaledInt:
+		den := e.Den
+		if den == 0 {
+			den = 1
+		}
+		s := fmt.Sprintf("%s*%d/%d", exprString(e.X), e.Num, den)
+		if e.Off != 0 {
+			s += fmt.Sprintf("+%d", e.Off)
+		}
+		return s
+	case HashInt:
+		return fmt.Sprintf("hash(rank)%%[%d,%d]", e.Lo, e.Hi)
+	}
+	return "n"
+}
+
+func condString(c Cond) string {
+	switch c := c.(type) {
+	case ProbCond:
+		return fmt.Sprintf("rand() < %.2f", c.P)
+	case DepthCond:
+		return fmt.Sprintf("depth < %d", c.Max)
+	case ParamCond:
+		return c.Name + " != 0"
+	}
+	return "cond"
+}

@@ -1,0 +1,143 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func sourceProg(t *testing.T) *Program {
+	t.Helper()
+	return NewBuilder("src").
+		Module("src.exe").
+		File("main.c").
+		Proc("main", 1,
+			W(2, 10),
+			L(3, 5,
+				C(4, "helper"),
+				IfP(5, 0.25, W(6, 1))),
+			Sync(8)).
+		Proc("helper", 10,
+			Lx(11, ParamInt("n"), Wc(12, Cost{Cycles: 3, FLOPs: 2}))).
+		File("other.c").
+		Proc("spare", 1, W(2, 1)).
+		Entry("main").MustBuild()
+}
+
+func TestSourceFileRendering(t *testing.T) {
+	p := sourceProg(t)
+	lines, err := p.SourceFile("main.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{
+		1:  "void main() {",
+		2:  "work(",
+		3:  "for (i = 0; i < 5; i++) {",
+		4:  "helper();",
+		5:  "if (rand() < 0.25) {",
+		8:  "mpi_barrier();",
+		10: "void helper() {",
+		11: "for (i = 0; i < n; i++) {",
+		12: "flops=2",
+	}
+	for n, frag := range want {
+		if n > len(lines) {
+			t.Fatalf("file too short: %d lines, want >= %d", len(lines), n)
+		}
+		if !strings.Contains(lines[n-1], frag) {
+			t.Errorf("line %d = %q, want fragment %q", n, lines[n-1], frag)
+		}
+	}
+	// Unclaimed lines are blank.
+	if lines[7-1] != "" {
+		t.Errorf("line 7 should be blank, got %q", lines[6])
+	}
+	// Nested statements are indented deeper than their parents.
+	if !strings.HasPrefix(lines[4-1], "    ") {
+		t.Errorf("loop body not indented: %q", lines[3])
+	}
+}
+
+func TestSourceFileUnknown(t *testing.T) {
+	p := sourceProg(t)
+	if _, err := p.SourceFile("ghost.c"); err == nil {
+		t.Fatal("unknown file rendered")
+	}
+}
+
+func TestWriteSourceWindow(t *testing.T) {
+	p := sourceProg(t)
+	var b strings.Builder
+	if err := p.WriteSource(&b, "main.c", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, ">    4 |") {
+		t.Fatalf("selected line not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "   2 |") || !strings.Contains(out, "   6 |") {
+		t.Fatalf("context window wrong:\n%s", out)
+	}
+	if strings.Contains(out, "  10 |") {
+		t.Fatalf("window leaked beyond context:\n%s", out)
+	}
+	if err := p.WriteSource(&b, "main.c", 999, 2); err == nil {
+		t.Fatal("out-of-range line accepted")
+	}
+	// Default context when <= 0.
+	b.Reset()
+	if err := p.WriteSource(&b, "main.c", 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "   1 |") {
+		t.Fatalf("default context missing:\n%s", b.String())
+	}
+}
+
+func TestFilesListing(t *testing.T) {
+	p := sourceProg(t)
+	files := p.Files()
+	if len(files) != 2 || files[0] != "main.c" || files[1] != "other.c" {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestExprAndCondStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{exprString(ConstInt(7)), "7"},
+		{exprString(ParamInt("cells")), "cells"},
+		{exprString(RankInt{}), "rank"},
+		{exprString(ScaledInt{X: RankInt{}, Num: 3, Den: 4, Off: 5}), "rank*3/4+5"},
+		{exprString(ScaledInt{X: ConstInt(2), Num: 3}), "2*3/1"},
+		{exprString(HashInt{Lo: 1, Hi: 9}), "hash(rank)%[1,9]"},
+		{condString(ProbCond{P: 0.5}), "rand() < 0.50"},
+		{condString(DepthCond{Max: 3}), "depth < 3"},
+		{condString(ParamCond{Name: "flag"}), "flag != 0"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestSourceSharedLineJoins(t *testing.T) {
+	// Work and a call on the same line (as in Figure 1's f) join rather
+	// than overwrite.
+	p := NewBuilder("j").
+		File("a.c").
+		Proc("f", 1,
+			W(2, 5),
+			C(2, "g")).
+		Proc("g", 5, W(6, 1)).
+		Entry("f").MustBuild()
+	lines, err := p.SourceFile("a.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[1], "work(") || !strings.Contains(lines[1], "g();") {
+		t.Fatalf("shared line = %q", lines[1])
+	}
+}

@@ -1,0 +1,41 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGoldenFig1Render locks the exact text presentation of the paper's
+// worked example: fused call-site/callee lines, metric-sorted siblings,
+// scientific-notation-ready cells with percent annotations, and blank
+// zeros. Any intentional format change must update this golden block.
+func TestGoldenFig1Render(t *testing.T) {
+	tree := core.Fig1Tree()
+	var b strings.Builder
+	if err := RenderTree(&b, tree, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	const golden = `scope                                                 cost (I)          cost (E)
+--------------------------------------------------------------------------------
+ m                                                   10 100.0%
+   => f                                               7  70.0%          1  10.0%
+     => g                                             6  60.0%          1  10.0%
+       => g                                           5  50.0%          1  10.0%
+         => h                                         4  40.0%          4  40.0%
+           loop at file2.c: 8                         4  40.0%
+             loop at file2.c: 9                       4  40.0%          4  40.0%
+               file2.c: 9                             4  40.0%          4  40.0%
+         file2.c: 4                                   1  10.0%          1  10.0%
+       file2.c: 3                                     1  10.0%          1  10.0%
+     file1.c: 2                                       1  10.0%          1  10.0%
+   => g                                               3  30.0%          3  30.0%
+     file2.c: 3                                       3  30.0%          3  30.0%
+`
+	if got != golden {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

@@ -1,0 +1,221 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+// RenderHTML writes a self-contained HTML document presenting a tree the
+// way hpcviewer's GUI does: a collapsible navigation pane fused with a
+// metric pane, one <details> element per scope, sorted by the selected
+// metric, hot-path rows highlighted, zero cells blank. It needs no
+// JavaScript and no external assets, so a database can be shared as a
+// single file.
+func RenderHTML(w io.Writer, title string, roots []*core.Node, reg *metric.Registry, opt Options) error {
+	cols := opt.Columns
+	if cols == nil {
+		for _, d := range reg.Columns() {
+			cols = append(cols, Column{MetricID: d.ID, Inclusive: true}, Column{MetricID: d.ID, Inclusive: false})
+		}
+	}
+	h := htmlRenderer{w: w, reg: reg, opt: opt, cols: cols}
+	if err := h.prologue(title); err != nil {
+		return err
+	}
+	scopes := append([]*core.Node(nil), roots...)
+	if !opt.NoSort {
+		core.SortScopes(scopes, opt.Sort)
+	}
+	for _, s := range scopes {
+		if err := h.node(s, 0); err != nil {
+			return err
+		}
+	}
+	return h.epilogue()
+}
+
+type htmlRenderer struct {
+	w    io.Writer
+	reg  *metric.Registry
+	opt  Options
+	cols []Column
+}
+
+const htmlStyle = `<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; font-size: 13px;
+       background: #fdfdfd; color: #222; margin: 1.5em; }
+h1 { font-size: 16px; }
+details { margin-left: 1.2em; border-left: 1px dotted #ccc; padding-left: .3em; }
+summary, .leaf { cursor: default; padding: 1px 0; white-space: nowrap; }
+summary:hover { background: #eef; }
+.leaf { margin-left: 1.2em; padding-left: 1.05em; border-left: 1px dotted #ccc; }
+.hot { background: #fff0e0; }
+.hot > summary, .leaf.hot { background: #ffe4c4; font-weight: bold; }
+.m { display: inline-block; min-width: 9.5em; text-align: right; color: #346;
+     margin-left: .6em; }
+.pct { color: #888; font-size: 11px; }
+.bin { color: #666; font-style: italic; }
+.cs  { color: #863; }
+.hdr { margin: .4em 0 .8em 0; color: #555; }
+.hdr .m { font-weight: bold; color: #333; }
+</style>`
+
+func (h *htmlRenderer) prologue(title string) error {
+	t := html.EscapeString(title)
+	if _, err := fmt.Fprintf(h.w,
+		"<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title>%s</head><body>\n<h1>%s</h1>\n",
+		t, htmlStyle, t); err != nil {
+		return err
+	}
+	// Column header line.
+	var b strings.Builder
+	b.WriteString(`<div class="hdr">scope`)
+	for _, c := range h.cols {
+		d := h.reg.ByID(c.MetricID)
+		name := "?"
+		if d != nil {
+			name = d.Name
+		}
+		flavor := "(E)"
+		if c.Inclusive {
+			flavor = "(I)"
+		}
+		fmt.Fprintf(&b, `<span class="m">%s %s</span>`, html.EscapeString(name), flavor)
+	}
+	b.WriteString("</div>\n")
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *htmlRenderer) epilogue() error {
+	_, err := io.WriteString(h.w, "</body></html>\n")
+	return err
+}
+
+func (h *htmlRenderer) node(n *core.Node, depth int) error {
+	if h.opt.MaxDepth > 0 && depth >= h.opt.MaxDepth {
+		return nil
+	}
+	hot := h.opt.Highlight[n]
+	label := h.label(n)
+	cells := h.cells(n)
+
+	kids := append([]*core.Node(nil), n.Children...)
+	if !h.opt.NoSort {
+		core.SortScopes(kids, h.opt.Sort)
+	}
+	shown := kids
+	if h.opt.TopN > 0 && len(kids) > h.opt.TopN {
+		shown = kids[:h.opt.TopN]
+	}
+	atDepthLimit := h.opt.MaxDepth > 0 && depth+1 >= h.opt.MaxDepth
+
+	if len(shown) == 0 || atDepthLimit {
+		cls := "leaf"
+		if hot {
+			cls += " hot"
+		}
+		_, err := fmt.Fprintf(h.w, `<div class="%s">%s%s</div>`+"\n", cls, label, cells)
+		return err
+	}
+	cls := ""
+	if hot {
+		cls = ` class="hot"`
+	}
+	open := ""
+	if hot || depth == 0 {
+		open = " open"
+	}
+	if _, err := fmt.Fprintf(h.w, `<details%s%s><summary>%s%s</summary>`+"\n", cls, open, label, cells); err != nil {
+		return err
+	}
+	for _, c := range shown {
+		if err := h.node(c, depth+1); err != nil {
+			return err
+		}
+	}
+	if len(shown) < len(kids) {
+		if _, err := fmt.Fprintf(h.w, `<div class="leaf pct">&hellip; (%d more)</div>`+"\n", len(kids)-len(shown)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(h.w, "</details>\n")
+	return err
+}
+
+func (h *htmlRenderer) label(n *core.Node) string {
+	lbl := html.EscapeString(n.Label())
+	switch n.Kind {
+	case core.KindFrame:
+		if n.CallLine > 0 {
+			lbl = `<span class="cs">&#8618;</span> ` + lbl
+		}
+	case core.KindCallSite:
+		lbl = `<span class="cs">&#8618;</span> ` + lbl
+	}
+	if n.NoSource && (n.Kind == core.KindFrame || n.Kind == core.KindProc || n.Kind == core.KindCallSite) {
+		lbl += ` <span class="bin">[bin]</span>`
+	}
+	return lbl
+}
+
+func (h *htmlRenderer) cells(n *core.Node) string {
+	var b strings.Builder
+	for _, c := range h.cols {
+		var v float64
+		if c.Inclusive {
+			v = n.Incl.Get(c.MetricID)
+		} else {
+			v = n.Excl.Get(c.MetricID)
+		}
+		b.WriteString(`<span class="m">`)
+		if v != 0 {
+			b.WriteString(html.EscapeString(FormatValue(v)))
+			if h.opt.Totals != nil {
+				if d := h.reg.ByID(c.MetricID); d != nil && d.ShowPercent {
+					if tot := h.opt.Totals(c.MetricID); tot != 0 {
+						fmt.Fprintf(&b, ` <span class="pct">%.1f%%</span>`, 100*v/tot)
+					}
+				}
+			}
+		}
+		b.WriteString("</span>")
+	}
+	return b.String()
+}
+
+// RenderHTMLReport writes all three views of a tree into one document,
+// each under its own heading, with the hot path of metric hotMetric
+// highlighted in the Calling Context View (pass a negative hotMetric to
+// skip hot-path analysis).
+func RenderHTMLReport(w io.Writer, t *core.Tree, title string, hotMetric int, opt Options) error {
+	if opt.Totals == nil {
+		opt.Totals = t.Total
+	}
+	if _, err := fmt.Fprintf(w, "<!-- %s: calling context / callers / flat -->\n", html.EscapeString(title)); err != nil {
+		return err
+	}
+	ccOpt := opt
+	if hotMetric >= 0 {
+		path := core.HotPath(t.Root, hotMetric, core.DefaultHotPathThreshold)
+		ccOpt.Highlight = map[*core.Node]bool{}
+		for _, n := range path {
+			ccOpt.Highlight[n] = true
+		}
+	}
+	if err := RenderHTML(w, title+" — Calling Context View", t.Root.Children, t.Reg, ccOpt); err != nil {
+		return err
+	}
+	cv := core.BuildCallersView(t)
+	cv.ExpandAll()
+	if err := RenderHTML(w, title+" — Callers View", cv.Roots, t.Reg, opt); err != nil {
+		return err
+	}
+	fv := core.BuildFlatView(t)
+	return RenderHTML(w, title+" — Flat View", fv.Roots, t.Reg, opt)
+}

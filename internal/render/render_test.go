@@ -1,0 +1,191 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+func renderFig1(t *testing.T, opt Options) string {
+	t.Helper()
+	tree := core.Fig1Tree()
+	var b strings.Builder
+	if err := RenderTree(&b, tree, opt); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderTreeBasics(t *testing.T) {
+	out := renderFig1(t, Options{})
+	if !strings.Contains(out, "scope") || !strings.Contains(out, "cost (I)") || !strings.Contains(out, "cost (E)") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	for _, want := range []string{"m", "=> f", "=> g", "=> h", "loop at file2.c: 8", "loop at file2.c: 9", "file2.c: 9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Percent annotations against the total of 10: m shows 100.0%.
+	if !strings.Contains(out, "100.0%") {
+		t.Fatalf("missing percent annotation:\n%s", out)
+	}
+	// m's exclusive is zero: its row must end with a blank cell, not
+	// "0".
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " m ") || strings.HasSuffix(strings.TrimRight(line, " "), " m") {
+			if strings.Contains(line, " 0 ") || strings.HasSuffix(line, "0") {
+				t.Fatalf("zero rendered instead of blank: %q", line)
+			}
+		}
+	}
+}
+
+func TestRenderSortsByMetric(t *testing.T) {
+	out := renderFig1(t, Options{})
+	// Under m, f (incl 7) must appear before g3 (incl 3).
+	fIdx := strings.Index(out, "=> f")
+	gIdx := strings.Index(out, "=> g")
+	if fIdx < 0 || gIdx < 0 || fIdx > gIdx {
+		t.Fatalf("children not sorted by inclusive cost:\n%s", out)
+	}
+}
+
+func TestRenderMaxDepth(t *testing.T) {
+	full := renderFig1(t, Options{})
+	shallow := renderFig1(t, Options{MaxDepth: 2})
+	if len(shallow) >= len(full) {
+		t.Fatal("MaxDepth had no effect")
+	}
+	if strings.Contains(shallow, "loop at") {
+		t.Fatalf("depth-2 render shows deep scopes:\n%s", shallow)
+	}
+}
+
+func TestRenderTopN(t *testing.T) {
+	out := renderFig1(t, Options{TopN: 1})
+	if !strings.Contains(out, "more)") {
+		t.Fatalf("TopN elision marker missing:\n%s", out)
+	}
+}
+
+func TestRenderHighlightHotPath(t *testing.T) {
+	tree := core.Fig1Tree()
+	hp := core.HotPath(tree.Root, 0, 0.5)
+	hl := map[*core.Node]bool{}
+	for _, n := range hp {
+		hl[n] = true
+	}
+	var b strings.Builder
+	if err := RenderTree(&b, tree, Options{Highlight: hl}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	stars := strings.Count(out, "\n*")
+	if stars < len(hp)-2 { // root is not rendered
+		t.Fatalf("hot path marks = %d, want >= %d:\n%s", stars, len(hp)-2, out)
+	}
+}
+
+func TestRenderCallersAndFlat(t *testing.T) {
+	tree := core.Fig1Tree()
+	cv := core.BuildCallersView(tree)
+	var b strings.Builder
+	if err := RenderCallers(&b, cv, tree, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "g") || !strings.Contains(b.String(), "m") {
+		t.Fatalf("callers render missing rows:\n%s", b.String())
+	}
+
+	fv := core.BuildFlatView(tree)
+	b.Reset()
+	if err := RenderFlat(&b, fv, tree, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"file1.c", "file2.c", "=> h", "loop at file2.c: 8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flat render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderExplicitColumns(t *testing.T) {
+	tree := core.Fig1Tree()
+	var b strings.Builder
+	err := RenderTree(&b, tree, Options{Columns: []Column{{MetricID: 0, Inclusive: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "(E)") {
+		t.Fatalf("exclusive column rendered despite explicit columns:\n%s", out)
+	}
+}
+
+func TestRenderNoSourceMarker(t *testing.T) {
+	reg := metric.NewRegistry()
+	if _, err := reg.AddRaw("c", "cycles", 1); err != nil {
+		t.Fatal(err)
+	}
+	tree := core.NewTree("x", reg)
+	main := tree.Root.Child(core.Key{Kind: core.KindFrame, Name: "main"}, true)
+	ms := main.Child(core.Key{Kind: core.KindFrame, Name: "memset"}, true)
+	ms.NoSource = true
+	ms.CallLine = 2
+	s := ms.Child(core.Key{Kind: core.KindStmt, Line: 1}, true)
+	s.Base.Add(0, 5)
+	tree.ComputeMetrics()
+	var b strings.Builder
+	if err := RenderTree(&b, tree, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "memset [bin]") {
+		t.Fatalf("binary-only marker missing:\n%s", b.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, ""},
+		{3, "3"},
+		{1234, "1234"},
+		{3.5, "3.50"},
+		{12345, "1.23e+04"},
+		{1.25e9, "1.25e+09"},
+		{0.001, "1.00e-03"},
+		{-12345, "-1.23e+04"},
+		{-3, "-3"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTrunc(t *testing.T) {
+	if trunc("abcdef", 10) != "abcdef" {
+		t.Fatal("short string truncated")
+	}
+	if got := trunc("abcdefghij", 8); got != "abcde..." || len(got) != 8 {
+		t.Fatalf("trunc = %q", got)
+	}
+	if got := trunc("abcdef", 2); got != "ab" {
+		t.Fatalf("tiny trunc = %q", got)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a := renderFig1(t, Options{})
+	b := renderFig1(t, Options{})
+	if a != b {
+		t.Fatal("render not deterministic")
+	}
+}

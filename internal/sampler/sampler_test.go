@@ -1,0 +1,230 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/sim"
+)
+
+func mustLower(t *testing.T, p *prog.Program) *isa.Image {
+	t.Helper()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func runSampled(t *testing.T, im *isa.Image, events []EventConfig, cfg sim.Config) (*sim.VM, *Sampler) {
+	t.Helper()
+	s, err := New(im.Name, 0, 0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = s
+	vm, err := sim.New(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vm, s
+}
+
+// walkNodes visits every trie node depth-first.
+func walkNodes(root *profile.Node, f func(n *profile.Node)) {
+	stack := []*profile.Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f(n)
+		stack = append(stack, n.Children()...)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", 0, 0, nil); err == nil {
+		t.Fatal("no events accepted")
+	}
+	if _, err := New("x", 0, 0, []EventConfig{{Event: sim.EvCycles, Period: 0}}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := New("x", 0, 0, []EventConfig{{Event: sim.Event(99), Period: 10}}); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestSampledTotalsTrackTrueCounts(t *testing.T) {
+	// 100k cycles of work in a loop; with period 100 the sampled total
+	// must match the true count closely.
+	im := mustLower(t, prog.NewBuilder("t").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 1000, prog.W(3, 100))).
+		Entry("main").MustBuild())
+	vm, s := runSampled(t, im, []EventConfig{{Event: sim.EvCycles, Period: 100}}, sim.Config{})
+	truth := float64(vm.Counters[sim.EvCycles])
+	got := float64(s.Profile().Totals()[0])
+	if math.Abs(truth-got) > 100 {
+		t.Fatalf("sampled %v, true %v", got, truth)
+	}
+	if err := s.Profile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingAttributesToHotContext(t *testing.T) {
+	// hot() burns 99% of cycles; cold() 1%. The profile subtree under
+	// the call to hot must dominate.
+	im := mustLower(t, prog.NewBuilder("h").
+		File("a.c").
+		Proc("hot", 10, prog.L(11, 99, prog.W(12, 100))).
+		Proc("cold", 20, prog.W(21, 100)).
+		Proc("main", 1, prog.C(2, "hot"), prog.C(3, "cold")).
+		Entry("main").MustBuild())
+	_, s := runSampled(t, im, []EventConfig{{Event: sim.EvCycles, Period: 50}}, sim.Config{})
+	prof := s.Profile()
+
+	var hotCount, coldCount uint64
+	for _, child := range prof.Root.Children() {
+		idx := im.Index(child.CallPC)
+		callee := im.Procs[im.Code[idx].A].Name
+		var sum uint64
+		for _, row := range child.Samples() {
+			sum += row.Counts[0]
+		}
+		switch callee {
+		case "hot":
+			hotCount = sum
+		case "cold":
+			coldCount = sum
+		}
+	}
+	if hotCount < 90*coldCount {
+		t.Fatalf("hot=%d cold=%d: attribution wrong", hotCount, coldCount)
+	}
+}
+
+func TestSamplingSeparatesCallingContexts(t *testing.T) {
+	// leaf is called from three distinct call sites; the trie must keep
+	// three distinct frames for it.
+	im := mustLower(t, prog.NewBuilder("ctx").
+		File("a.c").
+		Proc("leaf", 10, prog.L(11, 10, prog.W(12, 10))).
+		Proc("a", 20, prog.C(21, "leaf")).
+		Proc("b", 30, prog.C(31, "leaf"), prog.C(32, "leaf")).
+		Proc("main", 1, prog.C(2, "a"), prog.C(3, "b")).
+		Entry("main").MustBuild())
+	_, s := runSampled(t, im, []EventConfig{{Event: sim.EvCycles, Period: 10}}, sim.Config{})
+
+	leafFrames := 0
+	walkNodes(s.Profile().Root, func(n *profile.Node) {
+		if n.CallPC == 0 {
+			return
+		}
+		idx := im.Index(n.CallPC)
+		if idx >= 0 && im.Code[idx].Op == isa.OpCall && im.Procs[im.Code[idx].A].Name == "leaf" {
+			leafFrames++
+		}
+	})
+	if leafFrames != 3 {
+		t.Fatalf("leaf frames = %d, want 3", leafFrames)
+	}
+}
+
+func TestMultiEventSampling(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("me").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 100, prog.Wc(3, prog.Cost{Cycles: 100, FLOPs: 50, L1Miss: 10, Instr: 100}))).
+		Entry("main").MustBuild())
+	events := []EventConfig{
+		{Event: sim.EvCycles, Period: 100},
+		{Event: sim.EvFLOPs, Period: 100},
+		{Event: sim.EvL1Miss, Period: 50},
+	}
+	vm, s := runSampled(t, im, events, sim.Config{})
+	tot := s.Profile().Totals()
+	for i, ev := range []sim.Event{sim.EvCycles, sim.EvFLOPs, sim.EvL1Miss} {
+		truth := float64(vm.Counters[ev])
+		got := float64(tot[i])
+		if truth == 0 {
+			continue
+		}
+		if math.Abs(truth-got)/truth > 0.05 {
+			t.Fatalf("event %v: sampled %v vs true %v", ev, got, truth)
+		}
+	}
+}
+
+func TestSamplerMetricMetadata(t *testing.T) {
+	s, err := New("app", 3, 1, DefaultEvents(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Profile()
+	if p.Rank != 3 || p.Thread != 1 || p.Program != "app" {
+		t.Fatalf("profile identity wrong: %+v", p)
+	}
+	if p.MetricIndex("CYCLES") < 0 || p.MetricIndex("IDLE") < 0 {
+		t.Fatal("default events missing expected metrics")
+	}
+	for _, m := range p.Metrics {
+		if m.Period == 0 {
+			t.Fatalf("metric %s has zero period", m.Name)
+		}
+	}
+}
+
+func TestDefaultEventsZeroBase(t *testing.T) {
+	evs := DefaultEvents(0)
+	if len(evs) == 0 || evs[0].Period == 0 {
+		t.Fatal("zero base period not defaulted")
+	}
+}
+
+func TestSampleCountsAreMultiplesOfPeriod(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("mp").
+		File("a.c").
+		Proc("main", 1, prog.L(2, 137, prog.W(3, 7))).
+		Entry("main").MustBuild())
+	const period = 100
+	_, s := runSampled(t, im, []EventConfig{{Event: sim.EvCycles, Period: period}}, sim.Config{})
+	walkNodes(s.Profile().Root, func(n *profile.Node) {
+		for _, row := range n.Samples() {
+			if row.Counts[0]%period != 0 {
+				t.Fatalf("sample count %d not a multiple of %d", row.Counts[0], period)
+			}
+		}
+	})
+	if s.Samples() == 0 {
+		t.Fatal("no samples taken")
+	}
+}
+
+func TestSamplesLandOnlyOnCostBearingInstructions(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("cb").
+		File("a.c").
+		Proc("leaf", 10, prog.W(11, 50)).
+		Proc("main", 1, prog.L(2, 40, prog.C(3, "leaf"))).
+		Entry("main").MustBuild())
+	_, s := runSampled(t, im, []EventConfig{{Event: sim.EvCycles, Period: 75}}, sim.Config{})
+	walkNodes(s.Profile().Root, func(n *profile.Node) {
+		for _, row := range n.Samples() {
+			idx := im.Index(row.PC)
+			if idx < 0 {
+				t.Fatalf("sample PC 0x%x outside image", row.PC)
+			}
+			op := im.Code[idx].Op
+			if op != isa.OpWork && op != isa.OpBarrier {
+				t.Fatalf("sample landed on %v", op)
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/merge"
+	"repro/internal/mpi"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+	"repro/internal/structfile"
+)
+
+// scalableProg builds an SPMD program with one perfectly weak-scaling
+// phase (fixed per-rank work) and one non-scaling phase whose per-rank
+// work grows with the rank count (e.g. an all-to-all-like exchange).
+func scalableProg(t *testing.T) *prog.Program {
+	t.Helper()
+	return prog.NewBuilder("scale").
+		File("app.f90").
+		Proc("compute", 10,
+			prog.L(11, 100, prog.W(12, 100))).
+		Proc("exchange", 20,
+			// Work proportional to the number of ranks: scales badly.
+			prog.Lx(21, prog.ScaledInt{X: nRanks{}, Num: 20, Den: 1},
+				prog.W(22, 100))).
+		Proc("main", 1,
+			prog.C(2, "compute"),
+			prog.C(3, "exchange"),
+			prog.Sync(4)).
+		Entry("main").MustBuild()
+}
+
+// nRanks evaluates to the rank count.
+type nRanks struct{}
+
+func (nRanks) Eval(p *prog.Params) int64 {
+	if p == nil {
+		return 1
+	}
+	return int64(p.NRanks)
+}
+
+func runAt(t *testing.T, ranks int) *core.Tree {
+	t.Helper()
+	im, err := lower.Lower(scalableProg(t), lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := structfile.Recover(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := mpi.Run(im, mpi.Config{NRanks: ranks, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 100},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := merge.Profiles(doc, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tree
+}
+
+func TestWeakScalingLossAttribution(t *testing.T) {
+	small := runAt(t, 2)
+	big := runAt(t, 8)
+	res, err := Analyze(small, big, Config{
+		Metric: "CYCLES", Mode: Weak, RanksSmall: 2, RanksBig: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compute scales perfectly: its excess is ~0. exchange grows from
+	// 40*100 to 160*100 cycles per rank: excess ~12000.
+	comp := big.FindPath("main", "compute")
+	exch := big.FindPath("main", "exchange")
+	if comp == nil || exch == nil {
+		t.Fatal("scopes missing")
+	}
+	if ex := comp.Incl.Get(res.Column); math.Abs(ex) > 500 {
+		t.Fatalf("compute excess = %g, want ~0", ex)
+	}
+	exEx := exch.Incl.Get(res.Column)
+	if exEx < 10000 || exEx > 14000 {
+		t.Fatalf("exchange excess = %g, want ~12000", exEx)
+	}
+	// The loss hot path leads to exchange.
+	path := core.HotPath(big.Root, res.Column, 0.5)
+	found := false
+	for _, n := range path {
+		if n.Name == "exchange" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scaling-loss hot path missed exchange")
+	}
+	if res.LossFraction() <= 0 || res.LossFraction() >= 1 {
+		t.Fatalf("loss fraction = %g", res.LossFraction())
+	}
+	if res.TotalExcess <= 0 {
+		t.Fatal("no total excess")
+	}
+}
+
+func TestStrongScalingExpectation(t *testing.T) {
+	// Under strong scaling the expectation divides the small run's cost
+	// by the parallelism ratio, so even the perfectly weak-scaling
+	// compute phase shows loss (its total work did not shrink).
+	small := runAt(t, 2)
+	big := runAt(t, 8)
+	res, err := Analyze(small, big, Config{
+		Metric: "CYCLES", Mode: Strong, RanksSmall: 2, RanksBig: 8, Name: "strong loss",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := big.FindPath("main", "compute")
+	// per-rank compute is 10000 cycles in both runs; strong expectation
+	// is 10000/4 = 2500, so excess ~7500.
+	if ex := comp.Incl.Get(res.Column); ex < 6500 || ex > 8500 {
+		t.Fatalf("compute strong-scaling excess = %g, want ~7500", ex)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	small := runAt(t, 2)
+	big := runAt(t, 4)
+	if _, err := Analyze(small, big, Config{Metric: "NOPE", RanksSmall: 2, RanksBig: 4}); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+	if _, err := Analyze(small, big, Config{RanksSmall: 0, RanksBig: 4}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := Analyze(small, big, Config{RanksSmall: 2, RanksBig: 4, Name: "l"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(small, big, Config{RanksSmall: 2, RanksBig: 4, Name: "l"}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestScopeOnlyInBigRun(t *testing.T) {
+	// A scope absent from the small run contributes its full big-run
+	// cost as excess.
+	small := core.NewTree("s", nil)
+	if _, err := small.Reg.AddRaw("CYCLES", "cycles", 1); err != nil {
+		t.Fatal(err)
+	}
+	sm := small.AddPath(core.Key{Kind: core.KindFrame, Name: "main"})
+	ss := sm.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 1}, true)
+	ss.Base.Add(0, 100)
+	small.ComputeMetrics()
+
+	big := core.NewTree("b", nil)
+	if _, err := big.Reg.AddRaw("CYCLES", "cycles", 1); err != nil {
+		t.Fatal(err)
+	}
+	bm := big.AddPath(core.Key{Kind: core.KindFrame, Name: "main"})
+	bs := bm.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 1}, true)
+	bs.Base.Add(0, 100)
+	extra := bm.Child(core.Key{Kind: core.KindFrame, Name: "newphase"}, true)
+	es := extra.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 9}, true)
+	es.Base.Add(0, 50)
+	big.ComputeMetrics()
+
+	res, err := Analyze(small, big, Config{Metric: "CYCLES", Mode: Weak, RanksSmall: 1, RanksBig: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := extra.Incl.Get(res.Column); ex != 50 {
+		t.Fatalf("new phase excess = %g, want 50", ex)
+	}
+	if ex := bs.Incl.Get(res.Column); ex != 0 {
+		t.Fatalf("matched stmt excess = %g, want 0", ex)
+	}
+}

@@ -1,0 +1,273 @@
+// Package sim executes lowered images on a virtual machine with a virtual
+// cycle clock and hardware-event counters. It is the "machine" under the
+// hpcrun substitute: work instructions advance counters deterministically,
+// an Observer hook sees every counter advance (the sampler attaches there),
+// and the call stack can be unwound to synthetic return addresses at any
+// moment — the same contract asynchronous sampling has with real hardware.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Event identifies one hardware counter.
+type Event int
+
+// The measured events. EvIdle accumulates barrier wait time charged by the
+// SPMD harness; it backs the idleness metric of the paper's load-imbalance
+// study (Section VI-C).
+const (
+	EvCycles Event = iota
+	EvFLOPs
+	EvL1Miss
+	EvL2Miss
+	EvInstr
+	EvIdle
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{"CYCLES", "FLOPS", "L1_DCM", "L2_DCM", "INSTR", "IDLE"}
+
+// String returns the PAPI-style event name.
+func (e Event) String() string {
+	if e < 0 || e >= NumEvents {
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// EventByName returns the event with the given name.
+func EventByName(name string) (Event, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}
+
+// Counters is the state of all event counters.
+type Counters [NumEvents]uint64
+
+// Get returns counter e.
+func (c *Counters) Get(e Event) uint64 { return c[e] }
+
+// AddCost folds a work-instruction cost bundle into the counters.
+func (c *Counters) AddCost(cost prog.Cost) {
+	c[EvCycles] += cost.Cycles
+	c[EvFLOPs] += cost.FLOPs
+	c[EvL1Miss] += cost.L1Miss
+	c[EvL2Miss] += cost.L2Miss
+	c[EvInstr] += cost.Instr
+}
+
+// Sub returns c - o element-wise (callers ensure monotonicity).
+func (c Counters) Sub(o Counters) Counters {
+	var d Counters
+	for i := range c {
+		d[i] = c[i] - o[i]
+	}
+	return d
+}
+
+// Observer is notified after every counter advance. idx is the absolute
+// instruction index that was executing when the counters moved. The delta
+// is passed by pointer and must not be retained; this hook runs once per
+// work instruction, so its cost is the simulator's analog of measurement
+// overhead.
+type Observer interface {
+	OnCost(vm *VM, idx int32, delta *Counters)
+}
+
+// BarrierFunc is called when an OpBarrier executes. It receives the rank's
+// current cycle count and returns the idle cycles to charge before the rank
+// proceeds; the SPMD harness (internal/mpi) supplies an implementation that
+// blocks until all ranks arrive.
+type BarrierFunc func(cycles uint64) uint64
+
+// Config parameterizes an execution.
+type Config struct {
+	// Params are the runtime parameters (rank, problem sizes).
+	Params *prog.Params
+	// Seed drives probabilistic branches. Executions with equal images,
+	// params and seeds are bit-identical.
+	Seed int64
+	// MaxSteps bounds interpreted instructions (default 200M) as a
+	// runaway guard.
+	MaxSteps int64
+	// MaxStack bounds call depth (default 4096).
+	MaxStack int
+	// Observer, if non-nil, sees every counter advance.
+	Observer Observer
+	// Barrier handles OpBarrier instructions; nil makes barriers no-ops.
+	Barrier BarrierFunc
+}
+
+type frame struct {
+	proc  int32
+	pc    int32
+	retPC int32 // caller-side instruction index to resume at
+	regs  [isa.NumRegs]int64
+}
+
+// VM interprets one image.
+type VM struct {
+	im       *isa.Image
+	cfg      Config
+	rng      *rand.Rand
+	stack    []frame
+	procUses []int32 // activation count per procedure, for DepthCond
+	// Counters is the current counter state; observers may read it.
+	Counters Counters
+	// Steps is the number of interpreted instructions so far.
+	Steps int64
+	// scratch is reused for observer deltas so the per-instruction hook
+	// never allocates.
+	scratch Counters
+}
+
+// New prepares a VM. The image must validate.
+func New(im *isa.Image, cfg Config) (*VM, error) {
+	if err := im.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 200_000_000
+	}
+	if cfg.MaxStack == 0 {
+		cfg.MaxStack = 4096
+	}
+	if cfg.Params == nil {
+		cfg.Params = &prog.Params{}
+	}
+	return &VM{
+		im:       im,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		procUses: make([]int32, len(im.Procs)),
+	}, nil
+}
+
+// Image returns the image being executed.
+func (vm *VM) Image() *isa.Image { return vm.im }
+
+// Params returns the execution parameters.
+func (vm *VM) Params() *prog.Params { return vm.cfg.Params }
+
+// Depth returns the current call-stack depth.
+func (vm *VM) Depth() int { return len(vm.stack) }
+
+// CallPath appends to buf the synthetic addresses of the call instructions
+// that created each live frame, outermost first (the entry frame
+// contributes nothing). This is the unwind operation a call path profiler
+// performs at every sample.
+func (vm *VM) CallPath(buf []uint64) []uint64 {
+	for i := 1; i < len(vm.stack); i++ {
+		buf = append(buf, vm.im.Addr(vm.stack[i].retPC-1))
+	}
+	return buf
+}
+
+// Run executes the image from its entry procedure to completion.
+func (vm *VM) Run() error {
+	ep := vm.im.EntryProc
+	vm.stack = append(vm.stack[:0], frame{proc: ep, pc: vm.im.Procs[ep].Start, retPC: -1})
+	vm.procUses[ep]++
+
+	for len(vm.stack) > 0 {
+		if vm.Steps >= vm.cfg.MaxSteps {
+			return fmt.Errorf("sim: exceeded %d steps (runaway program?)", vm.cfg.MaxSteps)
+		}
+		vm.Steps++
+		f := &vm.stack[len(vm.stack)-1]
+		if f.pc < vm.im.Procs[f.proc].Start || f.pc >= vm.im.Procs[f.proc].End {
+			return fmt.Errorf("sim: pc %d escaped procedure %q", f.pc, vm.im.Procs[f.proc].Name)
+		}
+		in := &vm.im.Code[f.pc]
+		switch in.Op {
+		case isa.OpWork:
+			vm.Counters.AddCost(in.Cost)
+			if vm.cfg.Observer != nil {
+				vm.scratch = Counters{}
+				vm.scratch.AddCost(in.Cost)
+				vm.cfg.Observer.OnCost(vm, f.pc, &vm.scratch)
+			}
+			f.pc++
+
+		case isa.OpSet:
+			f.regs[in.A] = vm.im.Exprs[in.B].Eval(vm.cfg.Params)
+			f.pc++
+
+		case isa.OpDec:
+			f.regs[in.A]--
+			f.pc++
+
+		case isa.OpBrZ:
+			if f.regs[in.A] <= 0 {
+				f.pc = in.Target
+			} else {
+				f.pc++
+			}
+
+		case isa.OpBrCond:
+			// The draw is consumed unconditionally so that the branch
+			// history — and therefore the execution — is independent
+			// of whether a sampler is attached.
+			draw := vm.rng.Float64()
+			depth := int(vm.procUses[f.proc])
+			if vm.im.Conds[in.A].Test(vm.cfg.Params, depth, draw) {
+				f.pc = in.Target
+			} else {
+				f.pc++
+			}
+
+		case isa.OpJump:
+			f.pc = in.Target
+
+		case isa.OpCall:
+			if len(vm.stack) >= vm.cfg.MaxStack {
+				return fmt.Errorf("sim: call stack exceeded %d frames calling %q",
+					vm.cfg.MaxStack, vm.im.Procs[in.A].Name)
+			}
+			retPC := f.pc + 1
+			vm.stack = append(vm.stack, frame{
+				proc:  in.A,
+				pc:    vm.im.Procs[in.A].Start,
+				retPC: retPC,
+			})
+			vm.procUses[in.A]++
+
+		case isa.OpRet:
+			vm.procUses[f.proc]--
+			vm.stack = vm.stack[:len(vm.stack)-1]
+			if len(vm.stack) > 0 {
+				top := &vm.stack[len(vm.stack)-1]
+				top.pc = f.retPC
+			}
+
+		case isa.OpBarrier:
+			if vm.cfg.Barrier != nil {
+				idle := vm.cfg.Barrier(vm.Counters[EvCycles])
+				if idle > 0 {
+					vm.Counters[EvCycles] += idle
+					vm.Counters[EvIdle] += idle
+					if vm.cfg.Observer != nil {
+						vm.scratch = Counters{}
+						vm.scratch[EvCycles] = idle
+						vm.scratch[EvIdle] = idle
+						vm.cfg.Observer.OnCost(vm, f.pc, &vm.scratch)
+					}
+				}
+			}
+			f.pc++
+
+		default:
+			return fmt.Errorf("sim: unknown opcode %v at %d", in.Op, f.pc)
+		}
+	}
+	return nil
+}

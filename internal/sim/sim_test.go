@@ -1,0 +1,401 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lower"
+	"repro/internal/prog"
+)
+
+func mustLower(t *testing.T, p *prog.Program) *isa.Image {
+	t.Helper()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func run(t *testing.T, im *isa.Image, cfg Config) *VM {
+	t.Helper()
+	vm, err := New(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestRunStraightLine(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("sl").
+		File("a.c").
+		Proc("main", 1,
+			prog.Wc(2, prog.Cost{Cycles: 10, FLOPs: 4, L1Miss: 2, L2Miss: 1, Instr: 10}),
+			prog.Wc(3, prog.Cost{Cycles: 5, FLOPs: 1, Instr: 5}),
+		).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvCycles] != 15 || vm.Counters[EvFLOPs] != 5 ||
+		vm.Counters[EvL1Miss] != 2 || vm.Counters[EvL2Miss] != 1 || vm.Counters[EvInstr] != 15 {
+		t.Fatalf("counters = %v", vm.Counters)
+	}
+}
+
+func TestRunLoopTripCount(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("loop").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 7, prog.W(3, 3))).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvCycles] != 21 {
+		t.Fatalf("cycles = %d, want 21", vm.Counters[EvCycles])
+	}
+}
+
+func TestRunNestedLoops(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("nest").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 4,
+				prog.L(3, 5, prog.W(4, 2)))).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvCycles] != 40 {
+		t.Fatalf("cycles = %d, want 40", vm.Counters[EvCycles])
+	}
+}
+
+func TestRunZeroTripLoop(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("z").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 0, prog.W(3, 100)),
+			prog.W(4, 1)).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvCycles] != 1 {
+		t.Fatalf("cycles = %d, want 1 (loop body must not run)", vm.Counters[EvCycles])
+	}
+}
+
+func TestRunParamTripCount(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("p").
+		File("a.c").
+		Proc("main", 1,
+			prog.Lx(2, prog.ParamInt("n"), prog.W(3, 1))).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{Params: &prog.Params{Values: map[string]int64{"n": 13}}})
+	if vm.Counters[EvCycles] != 13 {
+		t.Fatalf("cycles = %d, want 13", vm.Counters[EvCycles])
+	}
+}
+
+func TestRunCalls(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("c").
+		File("a.c").
+		Proc("leaf", 10, prog.W(11, 5)).
+		Proc("mid", 20, prog.C(21, "leaf"), prog.C(22, "leaf")).
+		Proc("main", 1, prog.C(2, "mid"), prog.C(3, "leaf")).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvCycles] != 15 {
+		t.Fatalf("cycles = %d, want 15", vm.Counters[EvCycles])
+	}
+	if vm.Depth() != 0 {
+		t.Fatalf("stack depth after run = %d", vm.Depth())
+	}
+}
+
+func TestRunBoundedRecursion(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("r").
+		File("a.c").
+		Proc("g", 1,
+			prog.W(2, 1),
+			prog.IfDepth(3, 4, prog.C(3, "g"))).
+		Proc("main", 10, prog.C(11, "g")).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	// Depth levels 1..4 each do 1 cycle.
+	if vm.Counters[EvCycles] != 4 {
+		t.Fatalf("cycles = %d, want 4", vm.Counters[EvCycles])
+	}
+}
+
+func TestRunDeterministicWithProbBranches(t *testing.T) {
+	b := func() *prog.Program {
+		return prog.NewBuilder("pb").
+			File("a.c").
+			Proc("main", 1,
+				prog.L(2, 1000,
+					prog.IfP(3, 0.3, prog.W(4, 1)))).
+			Entry("main").MustBuild()
+	}
+	im1 := mustLower(t, b())
+	im2 := mustLower(t, b())
+	vm1 := run(t, im1, Config{Seed: 42})
+	vm2 := run(t, im2, Config{Seed: 42})
+	if vm1.Counters != vm2.Counters {
+		t.Fatalf("same seed, different counters: %v vs %v", vm1.Counters, vm2.Counters)
+	}
+	vm3 := run(t, im1, Config{Seed: 43})
+	if vm1.Counters == vm3.Counters {
+		t.Fatal("different seeds produced identical execution (suspicious)")
+	}
+	// ~30% of 1000 iterations should do work.
+	c := vm1.Counters[EvCycles]
+	if c < 200 || c > 400 {
+		t.Fatalf("probabilistic branch taken %d/1000 times, want ~300", c)
+	}
+}
+
+func TestRunIfElse(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("ie").
+		File("a.c").
+		Proc("main", 1,
+			prog.If{Line: 2, Cond: prog.ParamCond{Name: "flag"},
+				Then: []prog.Stmt{prog.W(3, 100)},
+				Else: []prog.Stmt{prog.W(4, 7)}},
+		).
+		Entry("main").MustBuild())
+	on := run(t, im, Config{Params: &prog.Params{Values: map[string]int64{"flag": 1}}})
+	if on.Counters[EvCycles] != 100 {
+		t.Fatalf("then-branch cycles = %d, want 100", on.Counters[EvCycles])
+	}
+	off := run(t, im, Config{})
+	if off.Counters[EvCycles] != 7 {
+		t.Fatalf("else-branch cycles = %d, want 7", off.Counters[EvCycles])
+	}
+}
+
+func TestRunStackOverflowGuard(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("so").
+		File("a.c").
+		Proc("g", 1, prog.IfDepth(2, 1<<30, prog.C(2, "g"))).
+		Proc("main", 10, prog.C(11, "g")).
+		Entry("main").MustBuild())
+	vm, err := New(im, Config{MaxStack: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = vm.Run()
+	if err == nil || !strings.Contains(err.Error(), "stack") {
+		t.Fatalf("unbounded recursion not caught: %v", err)
+	}
+}
+
+func TestRunStepGuard(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("sg").
+		File("a.c").
+		Proc("main", 1, prog.L(2, 1<<40, prog.W(3, 1))).
+		Entry("main").MustBuild())
+	vm, err := New(im, Config{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err == nil {
+		t.Fatal("runaway loop not caught")
+	}
+}
+
+type recordingObserver struct {
+	costs  []Counters
+	depths []int
+	paths  [][]uint64
+	idxs   []int32
+}
+
+func (o *recordingObserver) OnCost(vm *VM, idx int32, delta *Counters) {
+	o.costs = append(o.costs, *delta)
+	o.depths = append(o.depths, vm.Depth())
+	o.paths = append(o.paths, vm.CallPath(nil))
+	o.idxs = append(o.idxs, idx)
+}
+
+func TestObserverSeesCallPath(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("ob").
+		File("a.c").
+		Proc("leaf", 10, prog.W(11, 5)).
+		Proc("main", 1, prog.C(2, "leaf")).
+		Entry("main").MustBuild())
+	obs := &recordingObserver{}
+	run(t, im, Config{Observer: obs})
+	if len(obs.costs) != 1 {
+		t.Fatalf("observed %d cost events, want 1", len(obs.costs))
+	}
+	if obs.depths[0] != 2 {
+		t.Fatalf("depth = %d, want 2", obs.depths[0])
+	}
+	path := obs.paths[0]
+	if len(path) != 1 {
+		t.Fatalf("call path length = %d, want 1", len(path))
+	}
+	// The path entry is the call instruction in main.
+	idx := im.Index(path[0])
+	if idx < 0 || im.Code[idx].Op != isa.OpCall {
+		t.Fatalf("path PC does not point at a call: %s", im.Disasm(idx))
+	}
+	// The sampled instruction is the work instruction in leaf.
+	if im.Code[obs.idxs[0]].Op != isa.OpWork {
+		t.Fatalf("sampled instr is %v", im.Code[obs.idxs[0]].Op)
+	}
+	if im.Procs[im.ProcAt(obs.idxs[0])].Name != "leaf" {
+		t.Fatal("sampled instruction not in leaf")
+	}
+}
+
+func TestObserverDoesNotPerturbExecution(t *testing.T) {
+	p := prog.NewBuilder("np").
+		File("a.c").
+		Proc("main", 1,
+			prog.L(2, 100,
+				prog.IfP(3, 0.5, prog.W(4, 3)),
+				prog.W(5, 1))).
+		Entry("main").MustBuild()
+	im := mustLower(t, p)
+	plain := run(t, im, Config{Seed: 7})
+	observed := run(t, im, Config{Seed: 7, Observer: &recordingObserver{}})
+	if plain.Counters != observed.Counters {
+		t.Fatalf("observer changed execution: %v vs %v", plain.Counters, observed.Counters)
+	}
+}
+
+func TestBarrierCharging(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("ba").
+		File("a.c").
+		Proc("main", 1,
+			prog.W(2, 10),
+			prog.Sync(3),
+			prog.W(4, 5)).
+		Entry("main").MustBuild())
+	var sawCycles uint64
+	vm := run(t, im, Config{
+		Barrier: func(cycles uint64) uint64 {
+			sawCycles = cycles
+			return 100
+		},
+	})
+	if sawCycles != 10 {
+		t.Fatalf("barrier saw %d cycles, want 10", sawCycles)
+	}
+	if vm.Counters[EvIdle] != 100 {
+		t.Fatalf("idle = %d, want 100", vm.Counters[EvIdle])
+	}
+	if vm.Counters[EvCycles] != 115 {
+		t.Fatalf("cycles = %d, want 115", vm.Counters[EvCycles])
+	}
+}
+
+func TestBarrierNoHandlerIsNoop(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("bn").
+		File("a.c").
+		Proc("main", 1, prog.Sync(2), prog.W(3, 1)).
+		Entry("main").MustBuild())
+	vm := run(t, im, Config{})
+	if vm.Counters[EvIdle] != 0 || vm.Counters[EvCycles] != 1 {
+		t.Fatalf("counters = %v", vm.Counters)
+	}
+}
+
+func TestBarrierIdleObserved(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("bo").
+		File("a.c").
+		Proc("main", 1, prog.W(2, 1), prog.Sync(3)).
+		Entry("main").MustBuild())
+	obs := &recordingObserver{}
+	run(t, im, Config{
+		Observer: obs,
+		Barrier:  func(uint64) uint64 { return 50 },
+	})
+	var idleSeen uint64
+	for i, c := range obs.costs {
+		if c[EvIdle] > 0 {
+			idleSeen += c[EvIdle]
+			// idle charge happens inside the synthetic wait procedure
+			idx := obs.idxs[i]
+			pi := im.ProcAt(idx)
+			if im.Procs[pi].Name != lower.WaitProcName {
+				t.Fatalf("idle charged in %q, want %q", im.Procs[pi].Name, lower.WaitProcName)
+			}
+			if len(obs.paths[i]) == 0 {
+				t.Fatal("idle charge has empty call path (should be called from main)")
+			}
+		}
+	}
+	if idleSeen != 50 {
+		t.Fatalf("observed idle = %d, want 50", idleSeen)
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		name := e.String()
+		got, ok := EventByName(name)
+		if !ok || got != e {
+			t.Fatalf("EventByName(%q) = %v,%v", name, got, ok)
+		}
+	}
+	if _, ok := EventByName("NOPE"); ok {
+		t.Fatal("unknown event resolved")
+	}
+	if !strings.Contains(Event(99).String(), "99") {
+		t.Fatal("out-of-range event name")
+	}
+}
+
+func TestNewRejectsInvalidImage(t *testing.T) {
+	if _, err := New(&isa.Image{EntryProc: 1}, Config{}); err == nil {
+		t.Fatal("invalid image accepted")
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{10, 20, 30, 0, 0, 5}
+	b := Counters{1, 2, 3, 0, 0, 5}
+	if a.Sub(b) != (Counters{9, 18, 27, 0, 0, 0}) {
+		t.Fatalf("Sub = %v", a.Sub(b))
+	}
+}
+
+func TestRunUnknownOpcode(t *testing.T) {
+	im := mustLower(t, prog.NewBuilder("uo").
+		File("a.c").
+		Proc("main", 1, prog.W(2, 1)).
+		Entry("main").MustBuild())
+	im.Code[0].Op = isa.Op(99) // corrupt after validation
+	vm, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err == nil {
+		t.Fatal("unknown opcode executed")
+	}
+}
+
+func TestRunPCEscape(t *testing.T) {
+	// A procedure that falls off its end (no ret) must be caught.
+	im := &isa.Image{
+		Name:    "esc",
+		Base:    0x400000,
+		Modules: []string{"esc"},
+		Files:   []isa.FileSym{{Name: "a.c", Module: 0}},
+		Procs: []isa.ProcSym{
+			{Name: "main", File: 0, Line: 1, Start: 0, End: 1},
+		},
+		Code: []isa.Instr{
+			{Op: isa.OpWork, Cost: prog.Cost{Cycles: 1}, File: 0, Line: 2, Inline: isa.NoInline},
+		},
+		EntryProc: 0,
+	}
+	vm, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run(); err == nil {
+		t.Fatal("pc escape not caught")
+	}
+}

@@ -1,0 +1,273 @@
+package viewer
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+// The REPL maps hpcviewer's toolbar onto line commands; Exec interprets
+// one command against a session. It is the engine behind
+// `hpcviewer -interactive`.
+
+// Help describes the commands.
+const Help = `commands:
+  ls                      render the current view (rows are numbered)
+  view cc|callers|flat    switch view
+  expand N / collapse N   open or close row N
+  expandall [N]           open everything under row N (or the whole view)
+  select N                select row N (hot paths and src start here)
+  hot METRIC              hot-path analysis; expands and highlights
+  sort METRIC[:excl]      sort by a metric column; sort name = A-to-Z
+  cols M1,M2[:excl]/all   choose metric pane columns
+  threshold T             hot-path threshold in (0,1]
+  zoom N / out            restrict the CC view to row N / undo
+  flatten / unflatten     elide or restore the flat view's top level
+  derived NAME=FORMULA    add a derived metric ($n column references)
+  src [N]                 show source around row N (or the selection)
+  plot METRIC [bins]      per-rank scatter/sorted/histogram at the selection
+  metrics                 list metric columns
+  top N / depth N         limit children per scope / tree depth
+  help                    this text
+  quit                    leave`
+
+// Exec runs one command line. It returns true when the session should
+// end. Errors are user errors (bad command, bad row) and do not terminate
+// the REPL.
+func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, nil
+	}
+	cmd, args := fields[0], fields[1:]
+
+	rowArg := func() (*core.Node, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%s takes a row number", cmd)
+		}
+		idx, err := strconv.Atoi(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad row %q", args[0])
+		}
+		return s.RowNode(idx)
+	}
+	metricArg := func(spec string) (*core.SortSpec, error) {
+		name, excl := strings.CutSuffix(spec, ":excl")
+		d := s.Tree().Reg.ByName(name)
+		if d == nil {
+			return nil, fmt.Errorf("unknown metric %q", name)
+		}
+		return &core.SortSpec{MetricID: d.ID, Exclusive: excl}, nil
+	}
+	renderNow := func() error {
+		return s.Render(out, render.Options{})
+	}
+
+	switch cmd {
+	case "quit", "exit", "q":
+		return true, nil
+	case "help", "?":
+		fmt.Fprintln(out, Help)
+		return false, nil
+	case "ls":
+		return false, renderNow()
+	case "view":
+		if len(args) != 1 {
+			return false, fmt.Errorf("view takes cc, callers or flat")
+		}
+		switch args[0] {
+		case "cc":
+			s.SwitchView(ViewCC)
+		case "callers":
+			s.SwitchView(ViewCallers)
+		case "flat":
+			s.SwitchView(ViewFlat)
+		default:
+			return false, fmt.Errorf("unknown view %q", args[0])
+		}
+		return false, renderNow()
+	case "expand":
+		n, err := rowArg()
+		if err != nil {
+			return false, err
+		}
+		s.Expand(n)
+		return false, renderNow()
+	case "collapse":
+		n, err := rowArg()
+		if err != nil {
+			return false, err
+		}
+		s.Collapse(n)
+		return false, renderNow()
+	case "expandall":
+		if len(args) == 0 {
+			for _, r := range s.VisibleRows() {
+				s.ExpandAll(r.Node)
+			}
+		} else {
+			n, err := rowArg()
+			if err != nil {
+				return false, err
+			}
+			s.ExpandAll(n)
+		}
+		return false, renderNow()
+	case "select":
+		n, err := rowArg()
+		if err != nil {
+			return false, err
+		}
+		s.Select(n)
+		fmt.Fprintf(out, "selected %s\n", n.Label())
+		return false, nil
+	case "hot":
+		if len(args) != 1 {
+			return false, fmt.Errorf("hot takes a metric name")
+		}
+		spec, err := metricArg(args[0])
+		if err != nil {
+			return false, err
+		}
+		path := s.HotPath(spec.MetricID)
+		if len(path) == 0 {
+			fmt.Fprintln(out, "no hot path")
+			return false, nil
+		}
+		fmt.Fprintf(out, "hot path ends at %s\n", path[len(path)-1].Label())
+		return false, renderNow()
+	case "sort":
+		if len(args) != 1 {
+			return false, fmt.Errorf("sort takes METRIC, METRIC:excl or name")
+		}
+		if args[0] == "name" {
+			s.SetSort(core.SortSpec{ByLabel: true})
+			return false, renderNow()
+		}
+		spec, err := metricArg(args[0])
+		if err != nil {
+			return false, err
+		}
+		s.SetSort(*spec)
+		return false, renderNow()
+	case "cols":
+		if len(args) != 1 {
+			return false, fmt.Errorf("cols takes METRIC[,METRIC...] or all")
+		}
+		if args[0] == "all" {
+			s.SetColumns(nil)
+			return false, renderNow()
+		}
+		var cols []render.Column
+		for _, part := range strings.Split(args[0], ",") {
+			name, excl := strings.CutSuffix(part, ":excl")
+			d := s.Tree().Reg.ByName(name)
+			if d == nil {
+				return false, fmt.Errorf("unknown metric %q", name)
+			}
+			cols = append(cols, render.Column{MetricID: d.ID, Inclusive: !excl})
+		}
+		s.SetColumns(cols)
+		return false, renderNow()
+	case "threshold":
+		if len(args) != 1 {
+			return false, fmt.Errorf("threshold takes a number in (0,1]")
+		}
+		t, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return false, fmt.Errorf("bad threshold %q", args[0])
+		}
+		s.SetThreshold(t)
+		return false, nil
+	case "zoom":
+		n, err := rowArg()
+		if err != nil {
+			return false, err
+		}
+		if err := s.ZoomIn(n); err != nil {
+			return false, err
+		}
+		return false, renderNow()
+	case "out":
+		s.ZoomOut()
+		return false, renderNow()
+	case "flatten":
+		if err := s.FlattenOnce(); err != nil {
+			return false, err
+		}
+		return false, renderNow()
+	case "unflatten":
+		s.Unflatten()
+		return false, renderNow()
+	case "derived":
+		if len(args) == 0 {
+			return false, fmt.Errorf("derived takes NAME=FORMULA")
+		}
+		// Formulas may contain spaces; rejoin.
+		def := strings.Join(args, " ")
+		kv := strings.SplitN(def, "=", 2)
+		if len(kv) != 2 {
+			return false, fmt.Errorf("derived takes NAME=FORMULA")
+		}
+		if _, err := s.Tree().Reg.AddDerived(strings.TrimSpace(kv[0]), kv[1]); err != nil {
+			return false, err
+		}
+		if err := s.Tree().ApplyDerivedTree(); err != nil {
+			return false, err
+		}
+		fmt.Fprintf(out, "added %s\n", strings.TrimSpace(kv[0]))
+		return false, nil
+	case "plot":
+		if len(args) < 1 || len(args) > 2 {
+			return false, fmt.Errorf("plot takes METRIC [bins]")
+		}
+		bins := 10
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n <= 0 {
+				return false, fmt.Errorf("bad bin count %q", args[1])
+			}
+			bins = n
+		}
+		return false, s.Plot(out, args[0], bins)
+	case "src":
+		if len(args) == 1 {
+			n, err := rowArg()
+			if err != nil {
+				return false, err
+			}
+			s.Select(n)
+		}
+		return false, s.ShowSource(out, 4)
+	case "metrics":
+		for _, d := range s.Tree().Reg.Columns() {
+			fmt.Fprintf(out, "%3d  %-26s %-8s %s\n", d.ID, d.Name, d.Kind, d.Formula)
+		}
+		return false, nil
+	case "top":
+		if len(args) != 1 {
+			return false, fmt.Errorf("top takes a number")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return false, fmt.Errorf("bad count %q", args[0])
+		}
+		s.SetLimits(n, s.maxDepth)
+		return false, renderNow()
+	case "depth":
+		if len(args) != 1 {
+			return false, fmt.Errorf("depth takes a number")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return false, fmt.Errorf("bad depth %q", args[0])
+		}
+		s.SetLimits(s.topN, n)
+		return false, renderNow()
+	}
+	return false, fmt.Errorf("unknown command %q (try help)", cmd)
+}

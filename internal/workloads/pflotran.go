@@ -1,0 +1,87 @@
+package workloads
+
+import "repro/internal/prog"
+
+// PFLOTRAN models the subsurface flow and reactive transport code of the
+// paper's load-imbalance study (Figure 7, Section VI-C). The test problem
+// is a steady-state groundwater flow on a grid partitioned unevenly across
+// ranks: each rank owns a deterministic pseudo-random cell count in
+// [cells*3/4, cells*3/2], so per-rank work scatters like the top graph of
+// Figure 7. Every time step ends in a barrier; fast ranks accumulate
+// idleness inside mpi_wait under the main iteration loop at
+// timestepper.F90:384 — the context the paper's hot-path analysis over
+// total idleness drills down to.
+//
+// Parameters: "cells" (per-rank average cell count, default 600) and
+// "species" (chemical species per cell, default 15 as in the paper).
+func PFLOTRAN() Spec {
+	p := prog.NewBuilder("pflotran").
+		Module("pflotran.exe").
+		File("flow.F90").
+		Proc("flow_solve", 100,
+			prog.Lx(105, rankCells{},
+				prog.Wc(106, prog.Cost{Cycles: 400, FLOPs: 480, L1Miss: 40, Instr: 400}))).
+		File("transport.F90").
+		Proc("transport_solve", 200,
+			prog.Lx(205, rankCellSpecies{},
+				prog.Wc(206, prog.Cost{Cycles: 60, FLOPs: 48, L1Miss: 8, Instr: 60}))).
+		File("reaction.F90").
+		Proc("reduce_residual", 300,
+			// A global reduction whose cost grows with the number of
+			// ranks (a linear all-gather model): the weak-scaling
+			// bottleneck the Section VI-A analysis localizes.
+			prog.Lx(305, prog.ScaledInt{X: prog.NRanksInt{}, Num: 8, Den: 1},
+				prog.Wc(306, prog.Cost{Cycles: 600, L1Miss: 60, Instr: 600}))).
+		File("timestepper.F90").
+		Proc("stepper_run", 380,
+			prog.L(384, 12,
+				prog.C(386, "flow_solve"),
+				prog.C(388, "transport_solve"),
+				prog.C(389, "reduce_residual"),
+				prog.Sync(390))).
+		File("pflotran.F90").
+		Proc("main", 10,
+			prog.C(12, "init_simulation"),
+			prog.C(14, "stepper_run")).
+		Proc("init_simulation", 40,
+			prog.L(42, 8, prog.W(43, 2000)),
+			prog.Sync(45)).
+		Entry("main").
+		MustBuild()
+
+	return Spec{
+		Name:        "pflotran",
+		Description: "PFLOTRAN subsurface-flow analogue: SPMD with uneven domain partition (Figure 7)",
+		Program:     p,
+		Ranks:       32,
+		Params:      map[string]int64{"cells": 600, "species": 15},
+		Period:      1000,
+	}
+}
+
+// rankCells evaluates each rank's cell count: a deterministic
+// pseudo-random value in [0.75, 1.5] × the "cells" parameter.
+type rankCells struct{}
+
+// Eval implements prog.IntExpr.
+func (rankCells) Eval(p *prog.Params) int64 {
+	base := p.Value("cells")
+	if base == 0 {
+		base = 600
+	}
+	// quarters in [3, 6] -> cells in [3/4, 3/2] of base
+	q := prog.HashInt{Seed: 7, Lo: 3, Hi: 6}.Eval(p)
+	return base * q / 4
+}
+
+// rankCellSpecies is cells × species for the transport phase.
+type rankCellSpecies struct{}
+
+// Eval implements prog.IntExpr.
+func (rankCellSpecies) Eval(p *prog.Params) int64 {
+	species := p.Value("species")
+	if species == 0 {
+		species = 15
+	}
+	return rankCells{}.Eval(p) * species
+}

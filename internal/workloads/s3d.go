@@ -1,0 +1,117 @@
+package workloads
+
+import "repro/internal/prog"
+
+// S3D models the turbulent combustion code of Figures 3 and 6. Calibrated
+// shape targets (paper value in parentheses):
+//
+//   - the hot path from main descends through solve_driver and the
+//     Runge-Kutta loop at integrate_erk.f90:82 into rhsf and ends at
+//     chemkin_m_reaction_rate_, which holds ≈41% of inclusive cycles
+//     (41.4%);
+//   - the loop at integrate_erk.f90:82 has ≈98% inclusive cycles (97.9%)
+//     but ≈0% exclusive (0.0%): all its work is in the rhsf it calls;
+//   - the flux-diffusion loop in computespeciesdiffflux streams memory at
+//     ≈6% floating-point efficiency (6%) and tops the FP-waste ranking
+//     with ≈14% of total waste (13.5%);
+//   - the math library's exponential loop runs at ≈39% efficiency (39%),
+//     "fairly tightly tuned".
+//
+// Peak is modeled as 4 FLOPs/cycle, so a Work item with cycles=c and
+// flops=4*c*e runs at efficiency e.
+func S3D() Spec {
+	// eff returns a cost bundle of c cycles at FP efficiency e with an
+	// L1 miss rate typical for the efficiency class (memory-bound code
+	// misses more).
+	eff := func(c uint64, e float64) prog.Cost {
+		return prog.Cost{
+			Cycles: c,
+			FLOPs:  uint64(4 * float64(c) * e),
+			L1Miss: uint64(float64(c) * (0.25 - 0.2*e)),
+			L2Miss: uint64(float64(c) * (0.05 - 0.04*e)),
+			Instr:  c,
+		}
+	}
+
+	p := prog.NewBuilder("s3d").
+		Module("s3d.x").
+		//
+		// Chemistry: the reaction-rate bottleneck of Figure 3. The
+		// Arrhenius evaluations call the math library's exponential.
+		File("chemkin_m.f90").
+		Proc("chemkin_m_reaction_rate_", 200,
+			prog.L(210, 50,
+				prog.Wc(212, eff(1600, 0.75)),
+				prog.C(214, "exp"))).
+		//
+		// Transport: the memory-bound flux-diffusion loop of Figure 6.
+		File("transport_m.f90").
+		Proc("computespeciesdiffflux", 300,
+			prog.L(310, 64,
+				prog.Wc(312, eff(375, 0.06)))).
+		//
+		// Thermochemistry.
+		File("thermchem_m.f90").
+		Proc("calc_temp", 400,
+			prog.L(410, 24,
+				prog.Wc(412, eff(1040, 0.35)))).
+		//
+		// Right-hand-side assembly: derivative/filter loops plus the
+		// physics calls. Sized so the reaction rate holds just over
+		// half of rhsf — the hot path's t=50% rule must carry through
+		// it (Figure 3).
+		File("rhsf.f90").
+		Proc("rhsf", 100,
+			prog.W(101, 50),
+			prog.L(110, 24, prog.Wc(111, eff(1000, 0.28))),
+			prog.L(120, 24, prog.Wc(121, eff(1000, 0.28))),
+			prog.C(140, "chemkin_m_reaction_rate_"),
+			prog.C(150, "computespeciesdiffflux"),
+			prog.C(160, "calc_temp")).
+		//
+		// Math library: exp at 39% efficiency, tightly tuned.
+		File("exp_avx.c").
+		Proc("exp", 10,
+			prog.L(12, 8, prog.Wc(13, eff(66, 0.39)))).
+		//
+		// Time integration: the Runge-Kutta stage loop of Figure 3.
+		// Besides rhsf, each stage updates the state vectors and
+		// applies boundary conditions, keeping rhsf at ~78% of the
+		// total so the hot path threshold chains down to the chemistry.
+		File("integrate_erk.f90").
+		Proc("integrate", 70,
+			prog.W(75, 30),
+			prog.L(82, 6,
+				prog.C(83, "rhsf"),
+				prog.C(84, "computestagevalues"),
+				prog.C(85, "apply_bc"))).
+		Proc("computestagevalues", 120,
+			prog.L(122, 15, prog.Wc(123, eff(3000, 0.55)))).
+		Proc("apply_bc", 140,
+			prog.L(142, 8, prog.Wc(143, eff(1500, 0.20)))).
+		//
+		// Driver.
+		File("solve_driver.f90").
+		Proc("solve_driver", 50,
+			prog.L(55, 5,
+				prog.C(56, "integrate"),
+				prog.C(58, "write_savefile"))).
+		Proc("write_savefile", 90,
+			prog.Wc(91, prog.Cost{Cycles: 3000, L1Miss: 600, Instr: 3000})).
+		File("driver.f90").
+		Proc("main", 10,
+			prog.C(12, "init_field"),
+			prog.C(14, "solve_driver")).
+		Proc("init_field", 30,
+			prog.L(32, 16, prog.Wc(33, eff(5000, 0.20)))).
+		Entry("main").
+		MustBuild()
+
+	return Spec{
+		Name:        "s3d",
+		Description: "S3D turbulent combustion analogue (Figures 3 and 6)",
+		Program:     p,
+		Ranks:       1,
+		Period:      1000,
+	}
+}

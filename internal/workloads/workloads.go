@@ -1,0 +1,104 @@
+// Package workloads defines the synthetic applications that stand in for
+// the paper's case studies. Each workload is a prog.Program whose call,
+// loop and inlining structure — and cost calibration — mirror the shape of
+// the corresponding figure in the paper:
+//
+//	toy       Figure 1/2's two-file example with recursion
+//	s3d       the S3D turbulent combustion code (Figures 3 and 6)
+//	moab      the MOAB mesh benchmark mbperf (Figures 4 and 5)
+//	pflotran  the PFLOTRAN subsurface-flow code on many ranks (Figure 7)
+//
+// The substitution rationale is in DESIGN.md: the presentation algorithms
+// consume call path profiles plus static structure, both of which these
+// programs produce through the full measurement pipeline (lowering,
+// structure recovery, sampled execution, correlation).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lower"
+	"repro/internal/prog"
+)
+
+// Spec bundles a workload program with how it should be built and run.
+type Spec struct {
+	// Name is the registry key.
+	Name string
+	// Description summarizes what the workload models.
+	Description string
+	// Program is the synthetic application.
+	Program *prog.Program
+	// LowerOpts configure compilation (e.g. inlining for moab).
+	LowerOpts lower.Options
+	// Ranks is the default SPMD width (1 = sequential).
+	Ranks int
+	// Params are default runtime parameters.
+	Params map[string]int64
+	// Period is the default base sampling period in cycles.
+	Period uint64
+}
+
+// builders maps workload names to constructors; construction is cheap, so
+// specs are built on demand.
+var builders = map[string]func() Spec{
+	"toy":      Toy,
+	"s3d":      S3D,
+	"moab":     MOAB,
+	"pflotran": PFLOTRAN,
+}
+
+// Names lists available workloads in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds the named workload.
+func ByName(name string) (Spec, error) {
+	b, ok := builders[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Toy is the paper's Figure 1 program: two files, a recursive procedure g
+// and a doubly nested loop in h. Useful as a quickstart and for exercising
+// recursion through the full pipeline. (The exact Figure 2 numbers are
+// reproduced by the hand-built core.Fig1Tree; this executable version has
+// sampled, not hand-placed, costs.)
+func Toy() Spec {
+	p := prog.NewBuilder("toy").
+		Module("toy.exe").
+		File("file1.c").
+		Proc("f", 1,
+			prog.W(2, 500), // f's own work on its call line
+			prog.C(2, "g")).
+		Proc("m", 6,
+			prog.C(7, "f"),
+			prog.C(8, "g")).
+		File("file2.c").
+		Proc("g", 2,
+			prog.W(3, 400),
+			prog.IfDepth(3, 2, prog.C(3, "g")),
+			prog.C(4, "h")).
+		Proc("h", 7,
+			prog.L(8, 20,
+				prog.L(9, 25,
+					prog.W(9, 4)))).
+		Entry("m").
+		MustBuild()
+	return Spec{
+		Name:        "toy",
+		Description: "Figure 1's two-file example: recursion in g, loop nest in h",
+		Program:     p,
+		Ranks:       1,
+		Period:      100,
+	}
+}
