@@ -1,0 +1,29 @@
+# Verification entry points. `make verify` is the full tier-1 gate:
+# build, tests, race-detector pass (the concurrency harness in
+# internal/core and internal/merge is written for -race), and vet.
+
+GO ?= go
+
+.PHONY: verify build test race vet bench-smoke bench-merge
+
+verify: build test race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Run every root benchmark body once (N=1) — the rot guard.
+bench-smoke:
+	$(GO) test -run TestBenchSmoke .
+
+# Regenerate the numbers recorded in BENCH_merge.json.
+bench-merge:
+	$(GO) test -run XXX -bench 'BenchmarkMergeRanks|BenchmarkParallelMerge' -benchtime 30x .

@@ -430,6 +430,26 @@ func BenchmarkMergeRanks(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelMerge measures the shard/reduce merge pipeline on a
+// 64-rank workload at 1/2/4/8 workers; jobs=1 is the sequential baseline
+// the equivalence harness (internal/merge) pins the others to.
+func BenchmarkParallelMerge(b *testing.B) {
+	doc, profs := mustMPIProfiles(b, "pflotran", 64)
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := merge.ProfilesJobs(doc, profs, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NRanks != 64 {
+					b.Fatal("wrong rank count")
+				}
+			}
+		})
+	}
+}
+
 // --- E-FMT: XML vs compact binary database (Section IX) ----------------------
 
 func dbFixture(b *testing.B) *expdb.Experiment {

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/expdb"
 	"repro/internal/merge"
@@ -35,6 +37,7 @@ func run(args []string) error {
 	out := fs.String("o", "experiment.db", "output database path")
 	format := fs.String("format", "binary", "database format: binary or xml")
 	summaries := fs.Bool("summaries", false, "add mean/min/max/stddev summary columns across ranks")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel merge workers (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,25 +61,7 @@ func run(args []string) error {
 		return fmt.Errorf("reading %s: %w", *structPath, err)
 	}
 
-	// Stream: read, merge and discard one measurement file at a time, so
-	// arbitrarily many ranks fit in memory (the Section IX concern).
-	acc := merge.NewAccumulator(doc)
-	for _, path := range fs.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		p, err := profile.Read(f)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("reading %s: %w", path, err)
-		}
-		if err := acc.Add(p); err != nil {
-			return fmt.Errorf("merging %s: %w", path, err)
-		}
-	}
-
-	res, err := acc.Finish()
+	res, err := mergeFiles(doc, fs.Args(), *jobs)
 	if err != nil {
 		return err
 	}
@@ -111,4 +96,65 @@ func run(args []string) error {
 	fmt.Printf("wrote %s (%d ranks, %d scopes, %d metric columns)\n",
 		*out, res.NRanks, res.Tree.NumNodes(), res.Tree.Reg.Len())
 	return nil
+}
+
+// mergeFiles streams the measurement files into jobs parallel shard
+// accumulators — each worker reads, merges and discards one file of its
+// contiguous shard at a time, so arbitrarily many ranks fit in memory (the
+// Section IX concern) — then combines the shards with a pairwise tree
+// reduction. Contiguous shards keep the result identical to a sequential
+// merge regardless of the worker count.
+func mergeFiles(doc *structfile.Doc, paths []string, jobs int) (*merge.Result, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(paths) {
+		jobs = len(paths)
+	}
+	accs := make([]*merge.Accumulator, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		accs[w] = merge.NewAccumulator(doc)
+		lo, hi := len(paths)*w/jobs, len(paths)*(w+1)/jobs
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, path := range paths[lo:hi] {
+				p, err := readProfile(path)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := accs[w].Add(p); err != nil {
+					errs[w] = fmt.Errorf("merging %s: %w", path, err)
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc, err := merge.Combine(accs)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Finish()
+}
+
+func readProfile(path string) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := profile.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return p, nil
 }

@@ -53,6 +53,7 @@ func run(args []string) error {
 	depth := fs.Int("depth", 0, "maximum tree depth to show (0 = unlimited)")
 	top := fs.Int("top", 0, "show only the top N children per scope (0 = all)")
 	flatten := fs.Int("flatten", 0, "flatten the flat view N times")
+	jobs := fs.Int("jobs", 0, "goroutines for callers-view expansion (0 = one per CPU)")
 	var derived derivedFlags
 	fs.Var(&derived, "derived", "derived metric name=formula (repeatable), e.g. 'fpwaste=$0*4-$1'")
 	metrics := fs.Bool("metrics", false, "list metric columns and exit")
@@ -186,7 +187,10 @@ func run(args []string) error {
 	case "cc":
 		return render.RenderTree(w, tree, opt)
 	case "callers":
+		// Root rows are cheap; the caller subtries are built lazily and
+		// expanded here across -jobs goroutines for the full render.
 		cv := core.BuildCallersView(tree)
+		cv.ExpandAllParallel(*jobs)
 		return render.RenderCallers(w, cv, tree, opt)
 	case "flat":
 		fv := core.BuildFlatView(tree)

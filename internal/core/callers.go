@@ -1,7 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/metric"
 )
@@ -33,30 +36,42 @@ type procID struct {
 
 func frameProc(n *Node) procID { return procID{name: n.Name, file: n.File} }
 
+// expandState memoizes one root row's subtrie construction: the Once makes
+// concurrent Expand calls on the same root build it exactly once, done
+// publishes completion to Expanded without holding any lock.
+type expandState struct {
+	once sync.Once
+	done atomic.Bool
+}
+
 // CallersView is the bottom-up view. Roots are procedure rows; expanding a
 // root materializes its caller subtrie on demand (Section VII: "the Callers
 // View is constructed dynamically ... we store and process data only when
 // needed").
+//
+// Construction is concurrency-safe: distinct roots own disjoint subtries
+// and the CCT is only read, so any number of goroutines may Expand (and
+// read Expanded) simultaneously — the locking protocol behind the viewer's
+// on-demand expansion and ExpandAllParallel.
 type CallersView struct {
 	Reg   *metric.Registry
 	Roots []*Node
 
-	instances map[*Node][]*Node // root row -> frame instances of that proc
-	expanded  map[*Node]bool
+	instances map[*Node][]*Node       // root row -> frame instances of that proc
+	expand    map[*Node]*expandState  // root row -> memoized expansion; read-only after Build
 }
 
 // BuildCallersView scans the CCT once, creating one root row per procedure
 // with exposed-aggregate costs. Caller subtries are not built until
 // Expand/ExpandAll — the lazy construction the paper credits for the view's
-// scalability.
+// scalability. The tree is only read (metrics are computed first under the
+// tree's lock), so several views may be built from one tree concurrently.
 func BuildCallersView(t *Tree) *CallersView {
-	if !t.computed {
-		t.ComputeMetrics()
-	}
+	t.EnsureComputed()
 	v := &CallersView{
 		Reg:       t.Reg,
 		instances: map[*Node][]*Node{},
-		expanded:  map[*Node]bool{},
+		expand:    map[*Node]*expandState{},
 	}
 	rows := map[procID]*Node{}
 
@@ -71,6 +86,7 @@ func BuildCallersView(t *Tree) *CallersView {
 				NoSource: n.NoSource}
 			rows[id] = row
 			v.Roots = append(v.Roots, row)
+			v.expand[row] = &expandState{}
 		}
 		v.instances[row] = append(v.instances[row], n)
 		if exposed(n) {
@@ -95,16 +111,32 @@ func exposed(n *Node) bool {
 	return true
 }
 
-// Expanded reports whether the root's caller subtrie has been built.
-func (v *CallersView) Expanded(root *Node) bool { return v.expanded[root] }
+// Expanded reports whether the root's caller subtrie has been built. Safe
+// to call concurrently with Expand.
+func (v *CallersView) Expanded(root *Node) bool {
+	st := v.expand[root]
+	return st != nil && st.done.Load()
+}
 
-// Expand materializes the caller subtrie of one root row. Safe to call
-// repeatedly.
+// Expand materializes the caller subtrie of one root row, exactly once no
+// matter how many goroutines race here. Safe to call repeatedly and
+// concurrently (with Expand on any root and Expanded on this one); calls
+// for nodes that are not root rows of this view are no-ops.
 func (v *CallersView) Expand(root *Node) {
-	if v.expanded[root] {
+	st := v.expand[root]
+	if st == nil {
 		return
 	}
-	v.expanded[root] = true
+	st.once.Do(func() {
+		v.buildSubtrie(root)
+		st.done.Store(true)
+	})
+}
+
+// buildSubtrie constructs one root's caller trie; callers hold the root's
+// expansion Once. Only nodes under root are written; the CCT instances are
+// read-only, which is what makes disjoint roots expandable in parallel.
+func (v *CallersView) buildSubtrie(root *Node) {
 	for _, inst := range v.instances[root] {
 		rev, ancestors := reversedPath(inst)
 		// D = deepest reversed-path prefix shared with an ancestor
@@ -146,6 +178,38 @@ func (v *CallersView) ExpandAll() {
 	for _, r := range v.Roots {
 		v.Expand(r)
 	}
+}
+
+// ExpandAllParallel builds every caller subtrie using up to jobs
+// goroutines (GOMAXPROCS when jobs <= 0). Roots are independent, so the
+// result is identical to ExpandAll.
+func (v *CallersView) ExpandAllParallel(jobs int) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(v.Roots) {
+		jobs = len(v.Roots)
+	}
+	if jobs <= 1 {
+		v.ExpandAll()
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(v.Roots) {
+					return
+				}
+				v.Expand(v.Roots[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // reversedPath returns the caller-frame chain of inst from innermost to

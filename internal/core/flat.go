@@ -29,11 +29,10 @@ type FlatView struct {
 	Roots []*Node
 }
 
-// BuildFlatView computes the Flat View of a tree in a single walk.
+// BuildFlatView computes the Flat View of a tree in a single walk. Like
+// BuildCallersView it only reads the tree, so concurrent builds are safe.
 func BuildFlatView(t *Tree) *FlatView {
-	if !t.computed {
-		t.ComputeMetrics()
-	}
+	t.EnsureComputed()
 	v := &FlatView{Reg: t.Reg}
 	root := &Node{Key: Key{Kind: KindRoot}}
 

@@ -23,6 +23,25 @@ import (
 // call-site/callee line reports "the cost of the callee and any routine it
 // calls" (Section V-B).
 func (t *Tree) ComputeMetrics() {
+	t.computeMu.Lock()
+	defer t.computeMu.Unlock()
+	t.recomputeMetrics()
+}
+
+// EnsureComputed computes presented metrics once; concurrent callers (e.g.
+// several goroutines building views over one shared tree) serialize on the
+// tree's compute lock and all but the first become no-ops.
+func (t *Tree) EnsureComputed() {
+	t.computeMu.Lock()
+	defer t.computeMu.Unlock()
+	if !t.computed {
+		t.recomputeMetrics()
+	}
+}
+
+// recomputeMetrics does the actual Equation 1/2 walk; callers hold
+// computeMu.
+func (t *Tree) recomputeMetrics() {
 	var visit func(n *Node) (incl, frameLocal *metric.Vector)
 	visit = func(n *Node) (*metric.Vector, *metric.Vector) {
 		incl := n.Base.Clone()

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/metric"
 )
@@ -207,7 +208,10 @@ type Tree struct {
 	// Root is the invisible root; its children are entry frames.
 	Root *Node
 
-	computed bool
+	// computeMu serializes metric (re)computation so derived views can be
+	// built concurrently over one shared tree.
+	computeMu sync.Mutex
+	computed  bool
 }
 
 // NewTree creates an empty tree with the given registry (a fresh one when

@@ -5,7 +5,60 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/merge"
+	"repro/internal/metric"
+	"repro/internal/mpi"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+	"repro/internal/structfile"
 )
+
+// mergedSeed builds a genuine multi-rank merged experiment — rank-skewed
+// costs, scopes absent from some ranks, mean/min/max/stddev summary
+// columns — so round-trip fuzzing covers the summary-statistics override
+// encoding, not just raw columns.
+func mergedSeed(f *testing.F) *Experiment {
+	f.Helper()
+	p := prog.NewBuilder("fuzzmr").
+		File("a.c").
+		Proc("work", 10,
+			prog.Lx(11, prog.ScaledInt{X: prog.RankInt{}, Num: 20, Den: 1, Off: 20},
+				prog.W(12, 10))).
+		Proc("main", 1,
+			prog.C(2, "work"),
+			prog.Sync(3)).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	doc, err := structfile.Recover(im)
+	if err != nil {
+		f.Fatal(err)
+	}
+	profs, err := mpi.Run(im, mpi.Config{NRanks: 4, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 10},
+		{Event: sim.EvIdle, Period: 10},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := merge.ProfilesJobs(doc, profs, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, d := range res.Tree.Reg.Columns() {
+		if d.Kind != metric.Raw {
+			continue
+		}
+		if err := res.AddSummaries(d.ID, metric.OpMean, metric.OpMin, metric.OpMax, metric.OpStdDev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	return FromMerge(res)
+}
 
 // FuzzReadBinary guards the compact database reader against panics on
 // arbitrary input; anything accepted must re-encode cleanly.
@@ -24,6 +77,20 @@ func FuzzReadBinary(f *testing.F) {
 		mutated[15] ^= 0x7f
 		f.Add(mutated)
 		f.Add(good[:len(good)*2/3])
+	}
+	// Multi-rank merged seed: summary-statistics columns exercise the
+	// inclusive-override records the Fig1 tree never produces.
+	var mbuf bytes.Buffer
+	if err := mergedSeed(f).WriteBinary(&mbuf); err != nil {
+		f.Fatal(err)
+	}
+	merged := mbuf.Bytes()
+	f.Add(merged)
+	if len(merged) > 30 {
+		f.Add(merged[:len(merged)/2])
+		tweaked := append([]byte(nil), merged...)
+		tweaked[len(tweaked)-7] ^= 0x55
+		f.Add(tweaked)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadBinary(bytes.NewReader(data))
@@ -45,6 +112,11 @@ func FuzzReadXML(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.String())
+	var mbuf bytes.Buffer
+	if err := mergedSeed(f).WriteXML(&mbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mbuf.String())
 	f.Add(`<Experiment n="x"><MetricTable/><CCT/></Experiment>`)
 	f.Add(`<Experiment`)
 	f.Add(`<Experiment n="x"><CCT><N k="frame" n="a"><V c="0" v="1"/></N></CCT></Experiment>`)

@@ -4,6 +4,11 @@
 // Section VII: instead of keeping one metric column per process in memory,
 // each rank's profile is folded into streaming accumulators (mean, min,
 // max, standard deviation) and discarded.
+//
+// Merging is parallel by default: ranks are split into contiguous shards,
+// each folded into a private Accumulator by one worker, and the shards are
+// combined with a pairwise tree reduction (Accumulator.Merge) that sums
+// metric columns and merges Welford summary streams — see parallel.go.
 package merge
 
 import (
@@ -98,15 +103,11 @@ func (a *Accumulator) Finish() (*Result, error) {
 }
 
 // Profiles correlates each profile against the structure document and
-// merges them (the non-streaming convenience over Accumulator).
+// merges them (the non-streaming convenience over Accumulator), using the
+// parallel shard/reduce pipeline with one worker per CPU. Use ProfilesJobs
+// to control the worker count.
 func Profiles(doc *structfile.Doc, profs []*profile.Profile) (*Result, error) {
-	acc := NewAccumulator(doc)
-	for _, p := range profs {
-		if err := acc.Add(p); err != nil {
-			return nil, err
-		}
-	}
-	return acc.Finish()
+	return ProfilesJobs(doc, profs, 0)
 }
 
 // fold merges one rank's tree into the accumulator.

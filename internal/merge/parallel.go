@@ -1,0 +1,196 @@
+package merge
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/profile"
+	"repro/internal/structfile"
+)
+
+// This file implements the parallel shard/reduce merge topology (Section
+// VII at scale): the rank profiles are split into contiguous shards, one
+// worker folds each shard into a private Accumulator, and the shards are
+// combined with a pairwise tree reduction of Accumulator.Merge operations.
+//
+// Determinism: shards are contiguous rank ranges and reductions always
+// merge a left block with the block immediately to its right, so the
+// first-occurrence order of scopes and metric columns — and therefore
+// every child list and column ID — is identical to the sequential fold.
+// Metric sums are sums of integer-valued float64 samples, so they are
+// exact under any association; only the Welford summary moments (mean,
+// stddev) depend on reduction order, within ulp-level tolerances.
+
+// Merge folds another unfinished accumulator into a, summing metric
+// columns (matched by name) and combining the per-scope Welford summary
+// streams, so shards can be reduced pairwise in any grouping. The other
+// accumulator is consumed: it cannot be used afterwards.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if a.res == nil || other == nil || other.res == nil {
+		return fmt.Errorf("merge: Merge on a finished accumulator")
+	}
+	o := other.res
+	other.res = nil
+	if o.NRanks == 0 {
+		return nil
+	}
+	r := a.res
+	if r.Tree.Program == "" {
+		r.Tree.Program = o.Tree.Program
+	}
+	// Map the other shard's columns into this registry by name, exactly
+	// as fold does for a rank tree.
+	cols := make([]int, o.Tree.Reg.Len())
+	for i, d := range o.Tree.Reg.Columns() {
+		if d.Kind != metric.Raw {
+			continue
+		}
+		if acc := r.Tree.Reg.ByName(d.Name); acc != nil {
+			cols[i] = acc.ID
+			continue
+		}
+		nd, err := r.Tree.Reg.AddRaw(d.Name, d.Unit, d.Period)
+		if err != nil {
+			return err
+		}
+		cols[i] = nd.ID
+	}
+	if n := r.Tree.Reg.Len(); n > r.raw {
+		r.raw = n
+	}
+
+	var walk func(accParent *core.Node, n *core.Node)
+	walk = func(accParent *core.Node, n *core.Node) {
+		acc := accParent
+		if n.Kind != core.KindRoot {
+			acc = accParent.Child(n.Key, true)
+			acc.NoSource = n.NoSource
+			acc.Mod = n.Mod
+			if acc.CallLine == 0 {
+				acc.CallLine = n.CallLine
+				acc.CallFile = n.CallFile
+			}
+			n.Base.Range(func(id int, v float64) {
+				acc.Base.Add(cols[id], v)
+			})
+			if ost := o.stats[n]; len(ost) > 0 {
+				st := r.stats[acc]
+				if len(st) < r.raw {
+					grown := make([]metric.Stats, r.raw)
+					copy(grown, st)
+					st = grown
+					r.stats[acc] = st
+				}
+				for c := range ost {
+					if ost[c].N > 0 {
+						st[cols[c]].Merge(ost[c])
+					}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(acc, c)
+		}
+	}
+	walk(r.Tree.Root, o.Tree.Root)
+	r.NRanks += o.NRanks
+	return nil
+}
+
+// Combine reduces several shard accumulators into one with a pairwise
+// tree reduction: each round merges accumulator 2i+1 into 2i, rounds
+// running their merges concurrently. The input accumulators are consumed;
+// the returned accumulator is accs[0], still unfinished. Shards must be
+// contiguous, in-order blocks for the result to match a sequential fold.
+func Combine(accs []*Accumulator) (*Accumulator, error) {
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("merge: no accumulators to combine")
+	}
+	for len(accs) > 1 {
+		pairs := len(accs) / 2
+		errs := make([]error, pairs)
+		next := make([]*Accumulator, 0, (len(accs)+1)/2)
+		var wg sync.WaitGroup
+		for i := 0; i+1 < len(accs); i += 2 {
+			next = append(next, accs[i])
+			wg.Add(1)
+			go func(slot int, dst, src *Accumulator) {
+				defer wg.Done()
+				errs[slot] = dst.Merge(src)
+			}(i/2, accs[i], accs[i+1])
+		}
+		if len(accs)%2 == 1 {
+			next = append(next, accs[len(accs)-1])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		accs = next
+	}
+	return accs[0], nil
+}
+
+// ProfilesJobs correlates and merges the profiles using up to jobs
+// parallel workers (GOMAXPROCS when jobs <= 0). Each worker folds a
+// contiguous shard of ranks into a private accumulator; the shards are
+// then combined with a pairwise tree reduction. The result is equivalent
+// to the sequential Profiles fold: identical tree, scope order and metric
+// sums; summary statistics within floating-point reassociation error.
+func ProfilesJobs(doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Result, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(profs) {
+		jobs = len(profs)
+	}
+	if jobs <= 1 {
+		acc := NewAccumulator(doc)
+		for _, p := range profs {
+			if err := acc.Add(p); err != nil {
+				return nil, err
+			}
+		}
+		return acc.Finish()
+	}
+
+	accs := make([]*Accumulator, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		accs[w] = NewAccumulator(doc)
+		lo, hi := shard(len(profs), jobs, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, p := range profs[lo:hi] {
+				if err := accs[w].Add(p); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	acc, err := Combine(accs)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Finish()
+}
+
+// shard returns the half-open bounds of contiguous block w of n items
+// split into jobs near-equal blocks.
+func shard(n, jobs, w int) (lo, hi int) {
+	return n * w / jobs, n * (w + 1) / jobs
+}

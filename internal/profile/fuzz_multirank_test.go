@@ -1,0 +1,70 @@
+package profile_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/mpi"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+)
+
+// FuzzReadMultiRank seeds the profile reader with genuine per-rank
+// measurement files from a rank-skewed SPMD run — multiple metric columns
+// (cycles + idleness), non-zero rank IDs, barrier scopes — the encodings a
+// multi-rank merge consumes. This lives in an external test package
+// because generating the seeds needs internal/mpi, which itself depends on
+// this package.
+func FuzzReadMultiRank(f *testing.F) {
+	p := prog.NewBuilder("fuzzranks").
+		File("s.f90").
+		Proc("kernel", 10,
+			prog.Lx(11, prog.ScaledInt{X: prog.RankInt{}, Num: 30, Den: 1, Off: 30},
+				prog.W(12, 10))).
+		Proc("main", 1,
+			prog.C(2, "kernel"),
+			prog.Sync(3)).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	profs, err := mpi.Run(im, mpi.Config{NRanks: 4, Events: []sampler.EventConfig{
+		{Event: sim.EvCycles, Period: 10},
+		{Event: sim.EvIdle, Period: 10},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, pr := range profs {
+		var buf bytes.Buffer
+		if err := pr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		good := buf.Bytes()
+		f.Add(good)
+		if len(good) > 16 {
+			mutated := append([]byte(nil), good...)
+			mutated[len(mutated)/3] ^= 0xa5
+			f.Add(mutated)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := profile.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Read returned an invalid profile: %v", verr)
+		}
+		if got.Rank >= 0 && got.Thread >= 0 {
+			var out bytes.Buffer
+			if err := got.Write(&out); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}

@@ -212,7 +212,7 @@ func RenderHTMLReport(w io.Writer, t *core.Tree, title string, hotMetric int, op
 		return err
 	}
 	cv := core.BuildCallersView(t)
-	cv.ExpandAll()
+	cv.ExpandAllParallel(0)
 	if err := RenderHTML(w, title+" — Callers View", cv.Roots, t.Reg, opt); err != nil {
 		return err
 	}

@@ -88,10 +88,10 @@ func RenderTree(w io.Writer, t *core.Tree, opt Options) error {
 	return Render(w, t.Root.Children, t.Reg, opt)
 }
 
-// RenderCallers expands (lazily) and renders a Callers View. totals should
-// come from the originating tree.
+// RenderCallers expands (concurrently, one goroutine per CPU) and renders
+// a Callers View. totals should come from the originating tree.
 func RenderCallers(w io.Writer, v *core.CallersView, t *core.Tree, opt Options) error {
-	v.ExpandAll()
+	v.ExpandAllParallel(0)
 	if opt.Totals == nil {
 		opt.Totals = t.Total
 	}

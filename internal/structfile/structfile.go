@@ -10,6 +10,7 @@ package structfile
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
@@ -105,6 +106,10 @@ type Doc struct {
 	Fingerprint uint64
 	Root        *Scope
 
+	// indexOnce guards the lazy leafIndex build so a shared document can
+	// be resolved from many correlation goroutines at once (the parallel
+	// merge pipeline correlates one rank per worker against one Doc).
+	indexOnce sync.Once
 	leafIndex []leafEntry // built lazily by Resolve
 }
 
@@ -322,9 +327,7 @@ type Resolution struct {
 // Resolve maps an address to its static context. The second result is
 // false when the address is not covered by the document.
 func (d *Doc) Resolve(addr uint64) (Resolution, bool) {
-	if d.leafIndex == nil {
-		d.buildIndex()
-	}
+	d.indexOnce.Do(d.buildIndex)
 	i := sort.Search(len(d.leafIndex), func(i int) bool { return d.leafIndex[i].r.Hi > addr })
 	if i >= len(d.leafIndex) || !d.leafIndex[i].r.Contains(addr) {
 		return Resolution{}, false
