@@ -4,9 +4,16 @@
 
 GO ?= go
 
-.PHONY: verify build test race vet bench-smoke bench-merge
+# Merge + core benchmark selection shared by bench/benchdiff. ChildLookup
+# is a nanosecond-scale operation and needs a fixed high iteration count —
+# 30 iterations of a ~50ns op is pure timer noise.
+BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary
+BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
+	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem .
 
-verify: build test race vet
+.PHONY: verify build test race vet bench benchdiff bench-smoke bench-merge
+
+verify: build test race vet bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,7 +27,18 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Run every root benchmark body once (N=1) — the rot guard.
+# Merge + core benchmarks with allocation stats — the numbers recorded in
+# BENCH_merge.json and BENCH_core.json.
+bench:
+	@$(BENCH_CMD)
+
+# Same run, compared against the committed baselines. Allocation counts are
+# deterministic and fail the diff when they regress; ns/op is reported but
+# only fails beyond 50% (single-CPU container timing is noisy).
+benchdiff:
+	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json
+
+# Run every root benchmark body once (N=1) — the rot guard behind verify.
 bench-smoke:
 	$(GO) test -run TestBenchSmoke .
 

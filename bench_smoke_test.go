@@ -8,8 +8,9 @@ import (
 // TestBenchSmoke executes every root benchmark body once (N=1, via
 // -test.benchtime=1x) so a benchmark that rots — a renamed fixture, a
 // changed API, a b.Fatal path — fails ordinary `go test` instead of lying
-// dormant until someone runs -bench. Baseline numbers for the merge
-// benches live in BENCH_merge.json.
+// dormant until someone runs -bench. Baseline numbers for the merge benches
+// live in BENCH_merge.json; for the core-representation benches, in
+// BENCH_core.json.
 func TestBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke is not short")
@@ -51,6 +52,9 @@ func TestBenchSmoke(t *testing.T) {
 		{"SessionVisibleRows", BenchmarkSessionVisibleRows},
 		{"ImageFingerprint", BenchmarkImageFingerprint},
 		{"FormulaEval", BenchmarkFormulaEval},
+		{"BuildCCT", BenchmarkBuildCCT},
+		{"ReadBinary", BenchmarkReadBinary},
+		{"ChildLookup", BenchmarkChildLookup},
 	}
 	for _, bm := range benches {
 		bm := bm

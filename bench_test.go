@@ -99,7 +99,7 @@ func syntheticCCT(n int, seed int64) *core.Tree {
 	for i := range procs {
 		procs[i] = fmt.Sprintf("proc%02d", i)
 	}
-	cur := t.Root.Child(core.Key{Kind: core.KindFrame, Name: "main", File: "main.c"}, true)
+	cur := t.Root.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("main"), File: core.Sym("main.c")}, true)
 	stack := []*core.Node{cur}
 	// addChild tracks the node count incrementally; Child() may return an
 	// existing scope, which must not count twice.
@@ -121,17 +121,17 @@ func syntheticCCT(n int, seed int64) *core.Tree {
 		case 0, 1:
 			name := procs[rng.Intn(len(procs))]
 			fr := addChild(stack[len(stack)-1], core.Key{
-				Kind: core.KindFrame, Name: name, File: name + ".c",
+				Kind: core.KindFrame, Name: core.Sym(name), File: core.Sym(name + ".c"),
 				ID: uint64(rng.Intn(8)),
 			})
 			fr.CallLine = rng.Intn(200) + 1
-			fr.CallFile = "x.c"
+			fr.CallFile = core.Sym("x.c")
 			stack = append(stack, fr)
 		case 2:
-			l := addChild(stack[len(stack)-1], core.Key{Kind: core.KindLoop, File: "x.c", Line: rng.Intn(300) + 1})
+			l := addChild(stack[len(stack)-1], core.Key{Kind: core.KindLoop, File: core.Sym("x.c"), Line: rng.Intn(300) + 1})
 			stack = append(stack, l)
 		case 3, 4:
-			s := addChild(stack[len(stack)-1], core.Key{Kind: core.KindStmt, File: "x.c", Line: rng.Intn(500) + 1})
+			s := addChild(stack[len(stack)-1], core.Key{Kind: core.KindStmt, File: core.Sym("x.c"), Line: rng.Intn(500) + 1})
 			s.Base.Add(0, float64(rng.Intn(100)+1))
 		case 5:
 			if len(stack) > 1 {
@@ -403,7 +403,7 @@ func BenchmarkExposedVsNaive(b *testing.B) {
 			sums := map[string]float64{}
 			core.Walk(t.Root, func(n *core.Node) bool {
 				if n.Kind == core.KindFrame {
-					sums[n.Name] += n.Incl.Get(0)
+					sums[n.Name.String()] += n.Incl.Get(0)
 				}
 				return true
 			})

@@ -35,7 +35,7 @@ func ExampleBuildCallersView() {
 	tree := callpath.Fig1Tree()
 	cv := callpath.BuildCallersView(tree)
 	for _, r := range cv.Roots {
-		if r.Name == "g" {
+		if r.Name.String() == "g" {
 			fmt.Printf("g: inclusive %.0f, exclusive %.0f\n", r.Incl.Get(0), r.Excl.Get(0))
 		}
 	}

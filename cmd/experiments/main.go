@@ -190,7 +190,7 @@ func fig3(t *core.Tree) error {
 	path := core.HotPath(t.Root, cyc, 0.5)
 	end := path[len(path)-1]
 	ends := "chemkin stmt"
-	if end.File != "chemkin_m.f90" {
+	if end.File.String() != "chemkin_m.f90" {
 		ends = "WRONG: " + end.Label()
 	}
 	row("E-FIG3", "S3D: hot path endpoint", "chemkin rates", ends)
@@ -224,7 +224,7 @@ func fig6(t *core.Tree) error {
 	core.SortScopes(loops, core.SortSpec{MetricID: waste.ID, Exclusive: true})
 	top := loops[0]
 	name := "flux-diffusion loop"
-	if top.File != "transport_m.f90" {
+	if top.File.String() != "transport_m.f90" {
 		name = "WRONG: " + top.Label()
 	}
 	row("E-FIG6", "S3D: top FP-waste scope", "flux-diff loop", name)
@@ -233,7 +233,7 @@ func fig6(t *core.Tree) error {
 	row("E-FIG6", "S3D: its relative efficiency",
 		"6%", pct(top.Excl.Get(releff.ID)))
 	for _, l := range loops {
-		if l.File == "exp_avx.c" {
+		if l.File.String() == "exp_avx.c" {
 			row("E-FIG6", "S3D: exp-library loop efficiency",
 				"39%", pct(l.Excl.Get(releff.ID)))
 		}
@@ -246,7 +246,7 @@ func fig4(t *core.Tree) error {
 	cv := core.BuildCallersView(t)
 	cv.ExpandAll()
 	for _, r := range cv.Roots {
-		if r.Name != "_intel_fast_memset.A" {
+		if r.Name.String() != "_intel_fast_memset.A" {
 			continue
 		}
 		row("E-FIG4", "MOAB: memset share of all L1 misses",
@@ -268,7 +268,7 @@ func fig5(t *core.Tree) error {
 	var gc *core.Node
 	for _, lm := range fv.Roots {
 		core.Walk(lm, func(n *core.Node) bool {
-			if n.Kind == core.KindProc && n.Name == "MBCore::get_coords" {
+			if n.Kind == core.KindProc && n.Name.String() == "MBCore::get_coords" {
 				gc = n
 				return false
 			}
@@ -285,7 +285,7 @@ func fig5(t *core.Tree) error {
 		"18.9%", pct(loop.Incl.Get(cyc)/t.Total(cyc)))
 	var compare *core.Node
 	core.Walk(gc, func(n *core.Node) bool {
-		if n.Kind == core.KindAlien && n.Name == "SequenceCompare" {
+		if n.Kind == core.KindAlien && n.Name.String() == "SequenceCompare" {
 			compare = n
 			return false
 		}
@@ -332,7 +332,7 @@ func fig7() error {
 		if n.Label() == "loop at timestepper.F90: 384" {
 			sawLoop = true
 		}
-		if n.Name == "mpi_wait" {
+		if n.Name.String() == "mpi_wait" {
 			sawWait = true
 		}
 	}

@@ -49,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, r := range cv.Roots {
-		if r.Name != "_intel_fast_memset.A" {
+		if r.Name.String() != "_intel_fast_memset.A" {
 			continue
 		}
 		share := 100 * r.Incl.Get(l1) / tree.Total(l1)
@@ -72,7 +72,7 @@ func main() {
 	var gc *callpath.Node
 	for _, lm := range fv.Roots {
 		callpath.Walk(lm, func(n *callpath.Node) bool {
-			if n.Kind == callpath.KindProc && n.Name == "MBCore::get_coords" {
+			if n.Kind == callpath.KindProc && n.Name.String() == "MBCore::get_coords" {
 				gc = n
 				return false
 			}
@@ -87,7 +87,7 @@ func main() {
 	fmt.Println("one loop, flowing through inlined find -> inlined search loop ->")
 	fmt.Println("inlined SequenceCompare; the comparison operator alone causes")
 	callpath.Walk(gc, func(n *callpath.Node) bool {
-		if n.Kind == callpath.KindAlien && n.Name == "SequenceCompare" {
+		if n.Kind == callpath.KindAlien && n.Name.String() == "SequenceCompare" {
 			fmt.Printf("%.1f%% of the execution's L1 data cache misses.\n",
 				100*n.Incl.Get(l1)/tree.Total(l1))
 			return false

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// The symbol-interned Key and arena allocator exist to keep the CCT hot
+// paths allocation-free; these tests pin that down so a regression fails
+// loudly instead of showing up as a slow profile load months later.
+
+func TestChildHitAllocsLinear(t *testing.T) {
+	tree := NewTree("t", metric.NewRegistry())
+	k := Key{Kind: KindFrame, Name: Sym("f"), File: Sym("f.c"), Line: 1}
+	tree.Root.Child(k, true)
+	if len(tree.Root.Children) > childIndexThreshold {
+		t.Fatalf("test wants the linear-scan regime")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if tree.Root.Child(k, false) == nil {
+			t.Fatal("lost child")
+		}
+	}); n != 0 {
+		t.Errorf("Child hit (linear scan) allocates %v/op, want 0", n)
+	}
+}
+
+func TestChildHitAllocsIndexed(t *testing.T) {
+	tree := NewTree("t", metric.NewRegistry())
+	var k Key
+	for i := 0; i < 4*childIndexThreshold; i++ {
+		k = Key{Kind: KindStmt, File: Sym("a.c"), Line: i + 1}
+		tree.Root.Child(k, true)
+	}
+	if tree.Root.index == nil {
+		t.Fatalf("test wants the indexed regime")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if tree.Root.Child(k, false) == nil {
+			t.Fatal("lost child")
+		}
+	}); n != 0 {
+		t.Errorf("Child hit (indexed) allocates %v/op, want 0", n)
+	}
+}
+
+func TestChildCreateAmortizedAllocs(t *testing.T) {
+	tree := NewTree("t", metric.NewRegistry())
+	file := Sym("a.c")
+	line := 0
+	// Every run creates a fresh node: slab, Children and index-map growth
+	// all amortize to well under one allocation per node.
+	n := testing.AllocsPerRun(4096, func() {
+		line++
+		tree.Root.Child(Key{Kind: KindStmt, File: file, Line: line}, true)
+	})
+	if n >= 1 {
+		t.Errorf("Child create allocates %v/op amortized, want < 1", n)
+	}
+}

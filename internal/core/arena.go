@@ -1,0 +1,42 @@
+package core
+
+// nodeArena allocates Nodes in chunked slabs. A CCT allocates tens of
+// thousands of scopes that live and die together with their tree, so
+// individual heap objects buy nothing and cost an allocation (plus GC
+// bookkeeping) each. Slabs are never reallocated — a full slab is simply
+// retired and a fresh one started — so node pointers stay stable for the
+// life of the tree.
+//
+// An arena is single-writer: a tree is built by one goroutine at a time
+// (the tree's own construction, one merge reduction step, or one Callers
+// View root expansion, which owns a private arena per root). Concurrent
+// readers only follow node pointers, never alloc.
+type nodeArena struct {
+	slab []Node
+}
+
+// Slab capacities double from arenaMinChunk to arenaMaxChunk: a toy tree
+// (a merge shard, one Callers View root) pays for a handful of nodes, while
+// a production CCT quickly reaches full-size slabs that amortize allocation
+// to noise.
+const (
+	arenaMinChunk = 8
+	arenaMaxChunk = 512
+)
+
+// alloc returns a pointer to a zeroed Node inside the current slab,
+// starting a new slab when full.
+func (a *nodeArena) alloc() *Node {
+	if len(a.slab) == cap(a.slab) {
+		c := 2 * cap(a.slab)
+		if c < arenaMinChunk {
+			c = arenaMinChunk
+		}
+		if c > arenaMaxChunk {
+			c = arenaMaxChunk
+		}
+		a.slab = make([]Node, 0, c)
+	}
+	a.slab = a.slab[:len(a.slab)+1]
+	return &a.slab[len(a.slab)-1]
+}

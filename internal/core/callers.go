@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/intern"
 	"repro/internal/metric"
 )
 
@@ -28,10 +29,12 @@ import (
 // With that rule, Figure 2b reproduces exactly: g2 (an unexposed instance)
 // skips the root but creates the "called from g" subtree with its own cost.
 
-// procID identifies a procedure across contexts.
+// procID identifies a procedure across contexts. Both fields are interned
+// symbols, so procID is an 8-byte comparable value — exposure checks and
+// row lookups never hash string bytes.
 type procID struct {
-	name string
-	file string
+	name intern.Sym
+	file intern.Sym
 }
 
 func frameProc(n *Node) procID { return procID{name: n.Name, file: n.File} }
@@ -84,6 +87,10 @@ func BuildCallersView(t *Tree) *CallersView {
 		if !ok {
 			row = &Node{Key: Key{Kind: KindProc, Name: n.Name, File: n.File, Line: n.Line},
 				NoSource: n.NoSource}
+			// Each root row owns a private arena: its subtrie is built by
+			// exactly one goroutine (under the expansion Once), so disjoint
+			// roots expand in parallel with no allocator contention.
+			row.arena = &nodeArena{}
 			rows[id] = row
 			v.Roots = append(v.Roots, row)
 			v.expand[row] = &expandState{}
@@ -95,7 +102,23 @@ func BuildCallersView(t *Tree) *CallersView {
 		}
 		return true
 	})
-	sort.Slice(v.Roots, func(i, j int) bool { return v.Roots[i].Name < v.Roots[j].Name })
+	// Order root rows by resolved name with a full (file, line, id)
+	// secondary key: the same procedure name can occur in several files or
+	// load modules, and name alone under sort.Slice reordered such ties
+	// run-to-run.
+	sort.Slice(v.Roots, func(i, j int) bool {
+		a, b := v.Roots[i], v.Roots[j]
+		if a.Name != b.Name {
+			return a.Name.String() < b.Name.String()
+		}
+		if a.File != b.File {
+			return a.File.String() < b.File.String()
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.ID < b.ID
+	})
 	return v
 }
 

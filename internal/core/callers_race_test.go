@@ -23,18 +23,18 @@ func randomRecursiveTree(nodes int, seed int64) *Tree {
 	for i := range procs {
 		procs[i] = fmt.Sprintf("p%02d", i)
 	}
-	cur := t.Root.Child(Key{Kind: KindFrame, Name: "main", File: "main.c"}, true)
+	cur := t.Root.Child(Key{Kind: KindFrame, Name: Sym("main"), File: Sym("main.c")}, true)
 	stack := []*Node{cur}
 	for created := 1; created < nodes; created++ {
 		switch op := rng.Intn(5); {
 		case op <= 1 && len(stack) < 24:
 			name := procs[rng.Intn(len(procs))]
-			fr := stack[len(stack)-1].Child(Key{Kind: KindFrame, Name: name, File: "x.c", ID: uint64(rng.Intn(4))}, true)
+			fr := stack[len(stack)-1].Child(Key{Kind: KindFrame, Name: Sym(name), File: Sym("x.c"), ID: uint64(rng.Intn(4))}, true)
 			fr.CallLine = rng.Intn(90) + 1
-			fr.CallFile = "x.c"
+			fr.CallFile = Sym("x.c")
 			stack = append(stack, fr)
 		case op == 2:
-			st := stack[len(stack)-1].Child(Key{Kind: KindStmt, File: "x.c", Line: rng.Intn(300) + 1}, true)
+			st := stack[len(stack)-1].Child(Key{Kind: KindStmt, File: Sym("x.c"), Line: rng.Intn(300) + 1}, true)
 			st.Base.Add(0, float64(rng.Intn(50)+1))
 		default:
 			if len(stack) > 1 {

@@ -14,18 +14,18 @@ func TestTreeBasics(t *testing.T) {
 		t.Fatal("empty tree has nodes")
 	}
 	n := tree.AddPath(
-		Key{Kind: KindFrame, Name: "main"},
-		Key{Kind: KindLoop, File: "a.c", Line: 3},
-		Key{Kind: KindStmt, File: "a.c", Line: 4},
+		Key{Kind: KindFrame, Name: Sym("main")},
+		Key{Kind: KindLoop, File: Sym("a.c"), Line: 3},
+		Key{Kind: KindStmt, File: Sym("a.c"), Line: 4},
 	)
 	if tree.NumNodes() != 3 {
 		t.Fatalf("nodes = %d, want 3", tree.NumNodes())
 	}
 	// AddPath is idempotent.
 	n2 := tree.AddPath(
-		Key{Kind: KindFrame, Name: "main"},
-		Key{Kind: KindLoop, File: "a.c", Line: 3},
-		Key{Kind: KindStmt, File: "a.c", Line: 4},
+		Key{Kind: KindFrame, Name: Sym("main")},
+		Key{Kind: KindLoop, File: Sym("a.c"), Line: 3},
+		Key{Kind: KindStmt, File: Sym("a.c"), Line: 4},
 	)
 	if n != n2 {
 		t.Fatal("AddPath created duplicates")
@@ -33,7 +33,7 @@ func TestTreeBasics(t *testing.T) {
 	if got := len(n.Path()); got != 3 {
 		t.Fatalf("path length = %d, want 3", got)
 	}
-	if n.EnclosingFrame() == nil || n.EnclosingFrame().Name != "main" {
+	if n.EnclosingFrame() == nil || n.EnclosingFrame().Name.String() != "main" {
 		t.Fatal("EnclosingFrame wrong")
 	}
 }
@@ -43,13 +43,13 @@ func TestLabels(t *testing.T) {
 		n    Node
 		want string
 	}{
-		{Node{Key: Key{Kind: KindFrame, Name: "foo"}}, "foo"},
+		{Node{Key: Key{Kind: KindFrame, Name: Sym("foo")}}, "foo"},
 		{Node{Key: Key{Kind: KindFrame}}, "<unknown>"},
-		{Node{Key: Key{Kind: KindLoop, File: "dir/a.c", Line: 5}}, "loop at a.c: 5"},
-		{Node{Key: Key{Kind: KindStmt, File: "a.c", Line: 7}}, "a.c: 7"},
+		{Node{Key: Key{Kind: KindLoop, File: Sym("dir/a.c"), Line: 5}}, "loop at a.c: 5"},
+		{Node{Key: Key{Kind: KindStmt, File: Sym("a.c"), Line: 7}}, "a.c: 7"},
 		{Node{Key: Key{Kind: KindStmt, Line: 7}}, "??: 7"},
-		{Node{Key: Key{Kind: KindAlien, Name: "inl"}}, "inlined inl"},
-		{Node{Key: Key{Kind: KindLM, Name: "app.exe"}}, "app.exe"},
+		{Node{Key: Key{Kind: KindAlien, Name: Sym("inl")}}, "inlined inl"},
+		{Node{Key: Key{Kind: KindLM, Name: Sym("app.exe")}}, "app.exe"},
 		{Node{Key: Key{Kind: KindFile}}, "<unknown file>"},
 		{Node{Key: Key{Kind: KindRoot}}, "<root>"},
 	}
@@ -79,8 +79,8 @@ func TestFindPathAndFindFirst(t *testing.T) {
 
 func TestComputeMetricsStmtOnly(t *testing.T) {
 	tree := NewTree("x", nil)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main"})
-	s := main.Child(Key{Kind: KindStmt, File: "a.c", Line: 2}, true)
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main")})
+	s := main.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 2}, true)
 	s.Base.Add(0, 5)
 	tree.ComputeMetrics()
 	if main.Incl.Get(0) != 5 || main.Excl.Get(0) != 5 {
@@ -93,12 +93,12 @@ func TestComputeMetricsStmtOnly(t *testing.T) {
 
 func TestComputeMetricsLoopExclusiveExcludesNestedLoops(t *testing.T) {
 	tree := NewTree("x", nil)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main"})
-	l1 := main.Child(Key{Kind: KindLoop, File: "a.c", Line: 2}, true)
-	s1 := l1.Child(Key{Kind: KindStmt, File: "a.c", Line: 3}, true)
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main")})
+	l1 := main.Child(Key{Kind: KindLoop, File: Sym("a.c"), Line: 2}, true)
+	s1 := l1.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 3}, true)
 	s1.Base.Add(0, 2)
-	l2 := l1.Child(Key{Kind: KindLoop, File: "a.c", Line: 4}, true)
-	s2 := l2.Child(Key{Kind: KindStmt, File: "a.c", Line: 5}, true)
+	l2 := l1.Child(Key{Kind: KindLoop, File: Sym("a.c"), Line: 4}, true)
+	s2 := l2.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 5}, true)
 	s2.Base.Add(0, 7)
 	tree.ComputeMetrics()
 	// l1's exclusive: its own direct statement (2) but not l2's 7.
@@ -116,11 +116,11 @@ func TestComputeMetricsLoopExclusiveExcludesNestedLoops(t *testing.T) {
 
 func TestComputeMetricsFrameBoundary(t *testing.T) {
 	tree := NewTree("x", nil)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main"})
-	s := main.Child(Key{Kind: KindStmt, File: "a.c", Line: 2}, true)
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main")})
+	s := main.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 2}, true)
 	s.Base.Add(0, 1)
-	callee := main.Child(Key{Kind: KindFrame, Name: "leaf"}, true)
-	cs := callee.Child(Key{Kind: KindStmt, File: "b.c", Line: 9}, true)
+	callee := main.Child(Key{Kind: KindFrame, Name: Sym("leaf")}, true)
+	cs := callee.Child(Key{Kind: KindStmt, File: Sym("b.c"), Line: 9}, true)
 	cs.Base.Add(0, 10)
 	tree.ComputeMetrics()
 	if got := main.Excl.Get(0); got != 1 {
@@ -187,7 +187,7 @@ func TestHotPathNilAndLeaf(t *testing.T) {
 	if HotPath(nil, 0, 0.5) != nil {
 		t.Fatal("nil start should give nil path")
 	}
-	leaf := &Node{Key: Key{Kind: KindStmt, File: "a.c", Line: 1}}
+	leaf := &Node{Key: Key{Kind: KindStmt, File: Sym("a.c"), Line: 1}}
 	p := HotPath(leaf, 0, 0.5)
 	if len(p) != 1 || p[0] != leaf {
 		t.Fatal("leaf hot path should be itself")
@@ -270,10 +270,10 @@ func TestSortByLabel(t *testing.T) {
 
 func TestSortTreeDeterministicTies(t *testing.T) {
 	tree := NewTree("ties", nil)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main"})
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main")})
 	for _, name := range []string{"zeta", "alpha", "mid"} {
-		c := main.Child(Key{Kind: KindFrame, Name: name}, true)
-		s := c.Child(Key{Kind: KindStmt, File: "a.c", Line: 1}, true)
+		c := main.Child(Key{Kind: KindFrame, Name: Sym(name)}, true)
+		s := c.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 1}, true)
 		s.Base.Add(0, 5)
 	}
 	tree.ComputeMetrics()
@@ -292,7 +292,7 @@ func TestCallersViewLazy(t *testing.T) {
 	v := BuildCallersView(tree)
 	var g *Node
 	for _, r := range v.Roots {
-		if r.Name == "g" {
+		if r.Name.String() == "g" {
 			g = r
 		}
 	}
@@ -316,7 +316,7 @@ func TestCallersViewLazy(t *testing.T) {
 		t.Fatal("double expansion duplicated children")
 	}
 	for _, c := range g.Children {
-		if c.Name == "f" && c.Incl.Get(0) != 6 {
+		if c.Name.String() == "f" && c.Incl.Get(0) != 6 {
 			t.Fatalf("double expansion doubled costs: %g", c.Incl.Get(0))
 		}
 	}
@@ -332,10 +332,10 @@ func TestCallersViewDeepRecursionNoDoubleCount(t *testing.T) {
 	}
 	tree := NewTree("deep", reg)
 	mk := func(parent *Node, name string) *Node {
-		return parent.Child(Key{Kind: KindFrame, Name: name, File: "a.c"}, true)
+		return parent.Child(Key{Kind: KindFrame, Name: Sym(name), File: Sym("a.c")}, true)
 	}
 	addWork := func(fr *Node, line int, v float64) {
-		s := fr.Child(Key{Kind: KindStmt, File: "a.c", Line: line}, true)
+		s := fr.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: line}, true)
 		s.Base.Add(0, v)
 	}
 	m := mk(tree.Root, "m")
@@ -351,7 +351,7 @@ func TestCallersViewDeepRecursionNoDoubleCount(t *testing.T) {
 	v.ExpandAll()
 	var g *Node
 	for _, r := range v.Roots {
-		if r.Name == "g" {
+		if r.Name.String() == "g" {
 			g = r
 		}
 	}
@@ -389,8 +389,8 @@ func TestDerivedMetricsOnTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	tree := NewTree("d", reg)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main"})
-	s := main.Child(Key{Kind: KindStmt, File: "a.c", Line: 2}, true)
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main")})
+	s := main.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 2}, true)
 	s.Base.Add(0, 100) // cycles
 	s.Base.Add(1, 150) // flops
 	tree.ComputeMetrics()
@@ -419,8 +419,8 @@ func TestApplyDerivedOnViews(t *testing.T) {
 		t.Fatal(err)
 	}
 	tree := NewTree("d", reg)
-	main := tree.AddPath(Key{Kind: KindFrame, Name: "main", File: "a.c"})
-	st := main.Child(Key{Kind: KindStmt, File: "a.c", Line: 1}, true)
+	main := tree.AddPath(Key{Kind: KindFrame, Name: Sym("main"), File: Sym("a.c")})
+	st := main.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: 1}, true)
 	st.Base.Add(0, 3)
 	tree.ComputeMetrics()
 	fv := BuildFlatView(tree)
@@ -513,22 +513,22 @@ func randomCCT(seed int64, size int) (*Tree, float64) {
 	procs := []string{"main", "a", "b", "c", "rec"}
 	var total float64
 
-	cur := tree.Root.Child(Key{Kind: KindFrame, Name: "main", File: "m.c"}, true)
+	cur := tree.Root.Child(Key{Kind: KindFrame, Name: Sym("main"), File: Sym("m.c")}, true)
 	stack := []*Node{cur}
 	for i := 0; i < size; i++ {
 		switch rng.Intn(5) {
 		case 0: // push a frame
 			name := procs[rng.Intn(len(procs))]
-			fr := stack[len(stack)-1].Child(Key{Kind: KindFrame, Name: name, File: name + ".c", ID: uint64(rng.Intn(4))}, true)
+			fr := stack[len(stack)-1].Child(Key{Kind: KindFrame, Name: Sym(name), File: Sym(name + ".c"), ID: uint64(rng.Intn(4))}, true)
 			fr.CallLine = rng.Intn(9) + 1
-			fr.CallFile = "m.c"
+			fr.CallFile = Sym("m.c")
 			stack = append(stack, fr)
 		case 1: // push a loop
-			l := stack[len(stack)-1].Child(Key{Kind: KindLoop, File: "m.c", Line: rng.Intn(20) + 1}, true)
+			l := stack[len(stack)-1].Child(Key{Kind: KindLoop, File: Sym("m.c"), Line: rng.Intn(20) + 1}, true)
 			stack = append(stack, l)
 		case 2, 3: // sample at a statement
 			v := float64(rng.Intn(5) + 1)
-			s := stack[len(stack)-1].Child(Key{Kind: KindStmt, File: "m.c", Line: rng.Intn(40) + 1}, true)
+			s := stack[len(stack)-1].Child(Key{Kind: KindStmt, File: Sym("m.c"), Line: rng.Intn(40) + 1}, true)
 			s.Base.Add(0, v)
 			total += v
 		case 4: // pop
@@ -545,7 +545,7 @@ func TestWalkPrunes(t *testing.T) {
 	var visited int
 	Walk(tree.Root, func(n *Node) bool {
 		visited++
-		return n.Kind != KindFrame || n.Name != "f" // prune below f
+		return n.Kind != KindFrame || n.Name.String() != "f" // prune below f
 	})
 	total := tree.NumNodes() + 1
 	if visited >= total {

@@ -20,13 +20,13 @@ func TestFlatCallSiteDeepRecursionKnownDeviation(t *testing.T) {
 	}
 	tree := NewTree("deep", reg)
 	frame := func(parent *Node, name string, callLine int) *Node {
-		n := parent.Child(Key{Kind: KindFrame, Name: name, File: "a.c", Line: 1}, true)
-		n.CallFile = "a.c"
+		n := parent.Child(Key{Kind: KindFrame, Name: Sym(name), File: Sym("a.c"), Line: 1}, true)
+		n.CallFile = Sym("a.c")
 		n.CallLine = callLine
 		return n
 	}
 	work := func(fr *Node, line int, v float64) {
-		s := fr.Child(Key{Kind: KindStmt, File: "a.c", Line: line}, true)
+		s := fr.Child(Key{Kind: KindStmt, File: Sym("a.c"), Line: line}, true)
 		s.Base.Add(0, v)
 	}
 	// m -> g1 -> g2 -> g3, all through the same call site a.c:3.
@@ -47,10 +47,10 @@ func TestFlatCallSiteDeepRecursionKnownDeviation(t *testing.T) {
 	fv := BuildFlatView(tree)
 	var gx, gz *Node
 	Walk(fv.Roots[0], func(n *Node) bool {
-		if n.Kind == KindProc && n.Name == "g" {
+		if n.Kind == KindProc && n.Name.String() == "g" {
 			gx = n
 		}
-		if n.Kind == KindCallSite && n.Name == "g" {
+		if n.Kind == KindCallSite && n.Name.String() == "g" {
 			gz = n
 		}
 		return true

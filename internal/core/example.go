@@ -26,19 +26,19 @@ func Fig1Tree() *Tree {
 
 	const mod = "toy.exe"
 	frame := func(parent *Node, name, file string, declLine int, callFile string, callLine int) *Node {
-		n := parent.Child(Key{Kind: KindFrame, Name: name, File: file, Line: declLine}, true)
-		n.Mod = mod
-		n.CallFile = callFile
+		n := parent.Child(Key{Kind: KindFrame, Name: Sym(name), File: Sym(file), Line: declLine}, true)
+		n.Mod = Sym(mod)
+		n.CallFile = Sym(callFile)
 		n.CallLine = callLine
 		return n
 	}
 	stmt := func(parent *Node, file string, line int, cost float64) *Node {
-		n := parent.Child(Key{Kind: KindStmt, File: file, Line: line}, true)
+		n := parent.Child(Key{Kind: KindStmt, File: Sym(file), Line: line}, true)
 		n.Base.Add(0, cost)
 		return n
 	}
 	loop := func(parent *Node, file string, line int) *Node {
-		return parent.Child(Key{Kind: KindLoop, File: file, Line: line}, true)
+		return parent.Child(Key{Kind: KindLoop, File: Sym(file), Line: line}, true)
 	}
 
 	m := frame(t.Root, "m", "file1.c", 6, "", 0)

@@ -36,16 +36,16 @@ func labels(ns []*Node) []string {
 }
 
 func frameNamed(name string) func(*Node) bool {
-	return func(n *Node) bool { return n.Kind == KindFrame && n.Name == name }
+	return func(n *Node) bool { return n.Kind == KindFrame && n.Name.String() == name }
 }
 func procNamed(name string) func(*Node) bool {
-	return func(n *Node) bool { return n.Kind == KindProc && n.Name == name }
+	return func(n *Node) bool { return n.Kind == KindProc && n.Name.String() == name }
 }
 func loopAt(line int) func(*Node) bool {
 	return func(n *Node) bool { return n.Kind == KindLoop && n.Line == line }
 }
 func callSiteTo(name string) func(*Node) bool {
-	return func(n *Node) bool { return n.Kind == KindCallSite && n.Name == name }
+	return func(n *Node) bool { return n.Kind == KindCallSite && n.Name.String() == name }
 }
 
 // TestFig2aCallingContextView checks every (inclusive, exclusive) pair of
@@ -103,7 +103,7 @@ func TestFig2bCallersView(t *testing.T) {
 	}
 	byName := map[string]*Node{}
 	for _, r := range v.Roots {
-		byName[r.Name] = r
+		byName[r.Name.String()] = r
 	}
 
 	ga, fa, hr, mr := byName["g"], byName["f"], byName["h"], byName["m"]
@@ -187,7 +187,7 @@ func TestFig2cFlatView(t *testing.T) {
 	lm := v.Roots[0]
 	var file1, file2 *Node
 	for _, f := range lm.Children {
-		switch f.Name {
+		switch f.Name.String() {
 		case "file1.c":
 			file1 = f
 		case "file2.c":
@@ -260,7 +260,7 @@ func TestFig2cFlatView(t *testing.T) {
 	// ga's in the Callers View.
 	cv := BuildCallersView(tree)
 	for _, r := range cv.Roots {
-		if r.Name == "g" && r.Incl.Get(0) != gx.Incl.Get(0) {
+		if r.Name.String() == "g" && r.Incl.Get(0) != gx.Incl.Get(0) {
 			t.Errorf("callers g (%g) != flat g (%g)", r.Incl.Get(0), gx.Incl.Get(0))
 		}
 	}
@@ -273,7 +273,7 @@ func TestNaiveAggregationOvercounts(t *testing.T) {
 	tree := Fig1Tree()
 	var naiveIncl, naiveExcl float64
 	Walk(tree.Root, func(n *Node) bool {
-		if n.Kind == KindFrame && n.Name == "g" {
+		if n.Kind == KindFrame && n.Name.String() == "g" {
 			naiveIncl += n.Incl.Get(0)
 			naiveExcl += n.Excl.Get(0)
 		}

@@ -35,6 +35,9 @@ func BuildFlatView(t *Tree) *FlatView {
 	t.EnsureComputed()
 	v := &FlatView{Reg: t.Reg}
 	root := &Node{Key: Key{Kind: KindRoot}}
+	// The view is built by this one goroutine; a private arena packs its
+	// scopes into slabs like the CCT's.
+	root.arena = &nodeArena{}
 
 	// active counts, per flat scope, how many CCT ancestors on the
 	// current walk path map into that scope's flat subtree.
@@ -45,7 +48,7 @@ func BuildFlatView(t *Tree) *FlatView {
 	flatHome := func(fr *Node) []*Node {
 		lm := root.Child(Key{Kind: KindLM, Name: fr.Mod}, true)
 		file := lm.Child(Key{Kind: KindFile, Name: fr.File}, true)
-		file.NoSource = fr.File == ""
+		file.NoSource = fr.File == 0
 		proc := file.Child(Key{Kind: KindProc, Name: fr.Name, File: fr.File, Line: fr.Line}, true)
 		proc.NoSource = fr.NoSource
 		return []*Node{lm, file, proc}

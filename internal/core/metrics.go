@@ -42,36 +42,41 @@ func (t *Tree) EnsureComputed() {
 // recomputeMetrics does the actual Equation 1/2 walk; callers hold
 // computeMu.
 func (t *Tree) recomputeMetrics() {
-	var visit func(n *Node) (incl, frameLocal *metric.Vector)
-	visit = func(n *Node) (*metric.Vector, *metric.Vector) {
-		incl := n.Base.Clone()
-		frameLocal := n.Base.Clone()
+	// The walk works with value vectors and assigns them into the node
+	// without re-cloning: AddVector never aliases its argument's storage
+	// (the empty-receiver path copies), so a child's published Incl/Excl
+	// sharing arrays with the vector returned to its parent is safe — the
+	// parent only reads it.
+	var visit func(n *Node) (incl, frameLocal metric.Vector)
+	visit = func(n *Node) (metric.Vector, metric.Vector) {
+		incl := n.Base.CloneValue()
+		frameLocal := n.Base.CloneValue()
 		for _, c := range n.Children {
 			ci, cf := visit(c)
-			incl.AddVector(ci)
+			incl.AddVector(&ci)
 			if c.Kind != KindFrame {
-				frameLocal.AddVector(cf)
+				frameLocal.AddVector(&cf)
 			}
 		}
 		switch n.Kind {
 		case KindFrame:
-			n.Excl = *frameLocal.Clone()
+			n.Excl = frameLocal
 		case KindLoop, KindAlien:
-			ex := n.Base.Clone()
+			ex := n.Base.CloneValue()
 			for _, c := range n.Children {
 				if c.Kind == KindStmt {
 					ex.AddVector(&c.Base)
 				}
 			}
-			n.Excl = *ex
+			n.Excl = ex
 		case KindStmt:
-			n.Excl = *n.Base.Clone()
+			n.Excl = n.Base.CloneValue()
 		case KindRoot:
 			n.Excl = metric.Vector{}
 		default:
-			n.Excl = *n.Base.Clone()
+			n.Excl = n.Base.CloneValue()
 		}
-		n.Incl = *incl.Clone()
+		n.Incl = incl
 		return incl, frameLocal
 	}
 	visit(t.Root)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/intern"
 	"repro/internal/metric"
 )
 
@@ -71,15 +72,27 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// Sym interns a string into the process-wide symbol table. It is the
+// constructor for the Name/File fields of Key (and the Mod/CallFile fields
+// of Node); the zero Sym is the empty string.
+func Sym(s string) intern.Sym { return intern.S(s) }
+
 // Key identifies a child scope within its parent. Two samples fuse into the
 // same scope exactly when their keys match at every level.
+//
+// The key is a fixed-size comparable struct of integers: names and files
+// are interned symbols (intern.Sym), so map hashing and equality never
+// touch string bytes — the dominant cost of CCT construction before
+// interning. Strings are resolved back only at the presentation edge
+// (Label, serialization).
 type Key struct {
 	Kind Kind
 	// Name is the procedure name (Frame, Alien, Proc, CallSite), module
-	// name (LM) or file name (File).
-	Name string
-	// File is the source file of the scope (callee's file for frames).
-	File string
+	// name (LM) or file name (File), interned.
+	Name intern.Sym
+	// File is the source file of the scope (callee's file for frames),
+	// interned.
+	File intern.Sym
 	// Line is the statement line, call-site line, loop header line, or
 	// procedure declaration line.
 	Line int
@@ -96,17 +109,25 @@ type Node struct {
 	// "plain black" per Section III-D.2).
 	NoSource bool
 	// Mod is the load module containing the scope (used by the Flat
-	// View's top level); set on frames during correlation.
-	Mod string
+	// View's top level); set on frames during correlation. Interned.
+	Mod intern.Sym
 	// CallLine is the call-site line for Frame scopes (the caller-side
 	// line), and the inlined call line for Alien scopes.
 	CallLine int
-	// CallFile is the file containing that call site.
-	CallFile string
+	// CallFile is the file containing that call site. Interned.
+	CallFile intern.Sym
 
 	Parent   *Node
 	Children []*Node
-	index    map[Key]*Node
+	// index accelerates Child lookups once fan-out exceeds
+	// childIndexThreshold; below that, the Children slice is scanned
+	// directly (most CCT scopes have a handful of children, and a map
+	// per scope was a large share of tree-construction allocations).
+	index map[Key]*Node
+
+	// arena is the tree's node allocator; children of an arena-owned
+	// node are allocated from the same arena. Nil for hand-built nodes.
+	arena *nodeArena
 
 	// Base holds directly attributed costs: sample counts at statements
 	// (and barrier samples at dynamic scopes). Views and Equations 1/2
@@ -118,21 +139,47 @@ type Node struct {
 	Incl metric.Vector
 }
 
+// childIndexThreshold is the fan-out at which a scope switches from linear
+// child scans to a map index. Keys are 32-byte integer structs, so scanning
+// a short slice beats hashing; profiles show the crossover near a dozen.
+const childIndexThreshold = 8
+
 // Child returns the child with the given key, creating it when create is
 // true.
 func (n *Node) Child(k Key, create bool) *Node {
-	if c, ok := n.index[k]; ok {
-		return c
+	if n.index != nil {
+		if c, ok := n.index[k]; ok {
+			return c
+		}
+	} else {
+		for _, c := range n.Children {
+			if c.Key == k {
+				return c
+			}
+		}
 	}
 	if !create {
 		return nil
 	}
-	if n.index == nil {
-		n.index = map[Key]*Node{}
+	var c *Node
+	if n.arena != nil {
+		c = n.arena.alloc()
+	} else {
+		c = new(Node)
 	}
-	c := &Node{Key: k, Parent: n}
-	n.index[k] = c
+	c.Key = k
+	c.Parent = n
+	c.arena = n.arena
 	n.Children = append(n.Children, c)
+	if n.index != nil {
+		n.index[k] = c
+	} else if len(n.Children) > childIndexThreshold {
+		idx := make(map[Key]*Node, 2*len(n.Children))
+		for _, ch := range n.Children {
+			idx[ch.Key] = ch
+		}
+		n.index = idx
+	}
 	return c
 }
 
@@ -161,29 +208,30 @@ func (n *Node) Path() []*Node {
 
 // Label renders the scope the way hpcviewer's navigation pane would:
 // procedures by name, loops as "loop at file:line", statements as
-// "file:line", call sites with the callee name.
+// "file:line", call sites with the callee name. This is the presentation
+// edge where symbols resolve back to strings.
 func (n *Node) Label() string {
 	switch n.Kind {
 	case KindRoot:
 		return "<root>"
 	case KindFrame, KindProc, KindCallSite:
-		if n.Name == "" {
+		if n.Name == 0 {
 			return "<unknown>"
 		}
-		return n.Name
+		return n.Name.String()
 	case KindLoop:
-		return fmt.Sprintf("loop at %s: %d", baseName(n.File), n.Line)
+		return fmt.Sprintf("loop at %s: %d", baseName(n.File.String()), n.Line)
 	case KindAlien:
 		return fmt.Sprintf("inlined %s", n.Name)
 	case KindStmt:
-		return fmt.Sprintf("%s: %d", baseName(n.File), n.Line)
+		return fmt.Sprintf("%s: %d", baseName(n.File.String()), n.Line)
 	case KindLM:
-		return n.Name
+		return n.Name.String()
 	case KindFile:
-		if n.Name == "" {
+		if n.Name == 0 {
 			return "<unknown file>"
 		}
-		return n.Name
+		return n.Name.String()
 	}
 	return "?"
 }
@@ -208,6 +256,11 @@ type Tree struct {
 	// Root is the invisible root; its children are entry frames.
 	Root *Node
 
+	// arena owns every node created under Root via Child/AddPath: nodes
+	// live in chunked slabs and die with the tree instead of one heap
+	// object each.
+	arena nodeArena
+
 	// computeMu serializes metric (re)computation so derived views can be
 	// built concurrently over one shared tree.
 	computeMu sync.Mutex
@@ -220,7 +273,11 @@ func NewTree(program string, reg *metric.Registry) *Tree {
 	if reg == nil {
 		reg = metric.NewRegistry()
 	}
-	return &Tree{Program: program, Reg: reg, Root: &Node{Key: Key{Kind: KindRoot}}}
+	t := &Tree{Program: program, Reg: reg}
+	t.Root = t.arena.alloc()
+	t.Root.Key = Key{Kind: KindRoot}
+	t.Root.arena = &t.arena
+	return t
 }
 
 // AddPath materializes (or finds) the scope chain keys under the root and

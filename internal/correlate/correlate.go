@@ -60,6 +60,9 @@ func Into(tree *core.Tree, doc *structfile.Doc, prof *profile.Profile) ([]int, e
 		}
 		cols[i] = d.ID
 	}
+	// Intern every scope name/file once per document, so the per-sample
+	// loop below builds integer keys without touching string bytes.
+	doc.EnsureSyms()
 	c := &correlator{tree: tree, doc: doc, prof: prof, cols: cols}
 	if err := c.frame(prof.Root, tree.Root, 0); err != nil {
 		return nil, err
@@ -93,8 +96,8 @@ func (c *correlator) frame(raw *profile.Node, parent *core.Node, callPC uint64) 
 	ctx := parent
 	key := core.Key{
 		Kind: core.KindFrame,
-		Name: calleeRes.Proc.Name,
-		File: calleeRes.Proc.File,
+		Name: calleeRes.Proc.NameSym,
+		File: calleeRes.Proc.FileSym,
 		Line: calleeRes.Proc.Line,
 		ID:   callPC,
 	}
@@ -112,11 +115,11 @@ func (c *correlator) frame(raw *profile.Node, parent *core.Node, callPC uint64) 
 	fr := ctx.Child(key, true)
 	fr.NoSource = calleeRes.Proc.NoSource
 	if calleeRes.LM != nil {
-		fr.Mod = calleeRes.LM.Name
+		fr.Mod = calleeRes.LM.NameSym
 	}
 	if callPC != 0 && callRes.Stmt != nil {
 		fr.CallLine = callRes.Stmt.Line
-		fr.CallFile = callRes.Stmt.File
+		fr.CallFile = callRes.Stmt.FileSym
 	}
 
 	for _, row := range raw.Samples() {
@@ -127,7 +130,7 @@ func (c *correlator) frame(raw *profile.Node, parent *core.Node, callPC uint64) 
 		sctx := c.materializeChain(fr, res.Chain)
 		stmt := sctx.Child(core.Key{
 			Kind: core.KindStmt,
-			File: res.Stmt.File,
+			File: res.Stmt.FileSym,
 			Line: res.Stmt.Line,
 		}, true)
 		stmt.NoSource = res.Proc.NoSource
@@ -152,9 +155,9 @@ func (c *correlator) materializeChain(base *core.Node, chain []*structfile.Scope
 		var key core.Key
 		switch s.Kind {
 		case structfile.KindLoop:
-			key = core.Key{Kind: core.KindLoop, File: s.File, Line: s.Line, ID: scopeID(s)}
+			key = core.Key{Kind: core.KindLoop, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
 		case structfile.KindAlien:
-			key = core.Key{Kind: core.KindAlien, Name: s.Name, File: s.File, Line: s.Line, ID: scopeID(s)}
+			key = core.Key{Kind: core.KindAlien, Name: s.NameSym, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
 		default:
 			continue
 		}

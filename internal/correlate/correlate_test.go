@@ -58,14 +58,14 @@ func TestCorrelateSimpleCallChain(t *testing.T) {
 	if main == nil || main.Kind != core.KindFrame {
 		t.Fatal("main frame missing")
 	}
-	if main.Mod != "chain.exe" {
+	if main.Mod.String() != "chain.exe" {
 		t.Fatalf("main module = %q", main.Mod)
 	}
 	mid := tree.FindPath("main", "mid")
 	if mid == nil {
 		t.Fatalf("main/mid missing")
 	}
-	if mid.CallLine != 2 || mid.CallFile != "a.c" {
+	if mid.CallLine != 2 || mid.CallFile.String() != "a.c" {
 		t.Fatalf("mid call site = %s:%d, want a.c:2", mid.CallFile, mid.CallLine)
 	}
 	leaf := tree.FindPath("main", "mid", "leaf")
@@ -170,7 +170,7 @@ func TestCorrelateRecursion(t *testing.T) {
 	cv := core.BuildCallersView(tree)
 	cv.ExpandAll()
 	for _, r := range cv.Roots {
-		if r.Name == "g" && r.Incl.Get(0) > tree.Total(0) {
+		if r.Name.String() == "g" && r.Incl.Get(0) > tree.Total(0) {
 			t.Fatalf("g root %g exceeds total %g", r.Incl.Get(0), tree.Total(0))
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/intern"
 )
 
 // Compact binary database format ("CPDB1"):
@@ -32,11 +33,12 @@ const dbMagic = "CPDB1"
 
 type strTable struct {
 	byVal map[string]uint64
+	bySym map[intern.Sym]uint64
 	vals  []string
 }
 
 func newStrTable() *strTable {
-	t := &strTable{byVal: map[string]uint64{}}
+	t := &strTable{byVal: map[string]uint64{}, bySym: map[intern.Sym]uint64{}}
 	t.ref("") // index 0 is always the empty string
 	return t
 }
@@ -48,6 +50,19 @@ func (t *strTable) ref(s string) uint64 {
 	i := uint64(len(t.vals))
 	t.byVal[s] = i
 	t.vals = append(t.vals, s)
+	return i
+}
+
+// refSym references an interned symbol's string. The sym-keyed cache makes
+// the per-node path a single integer map probe; misses delegate to ref, so
+// table construction order — and hence the output bytes — are exactly those
+// of the string-keyed writer.
+func (t *strTable) refSym(y intern.Sym) uint64 {
+	if i, ok := t.bySym[y]; ok {
+		return i
+	}
+	i := t.ref(y.String())
+	t.bySym[y] = i
 	return i
 }
 
@@ -63,10 +78,10 @@ func (e *Experiment) WriteBinary(w io.Writer) error {
 		tab.ref(d.Formula)
 	}
 	core.Walk(e.Tree.Root, func(n *core.Node) bool {
-		tab.ref(n.Name)
-		tab.ref(n.File)
-		tab.ref(n.CallFile)
-		tab.ref(n.Mod)
+		tab.refSym(n.Name)
+		tab.refSym(n.File)
+		tab.refSym(n.CallFile)
+		tab.refSym(n.Mod)
 		return true
 	})
 
@@ -153,8 +168,8 @@ func (e *Experiment) WriteBinary(w io.Writer) error {
 		}
 		hdr := []uint64{
 			uint64(n.Kind),
-			tab.ref(n.Name), tab.ref(n.File), uint64(n.Line), n.ID,
-			uint64(n.CallLine), tab.ref(n.CallFile), tab.ref(n.Mod),
+			tab.refSym(n.Name), tab.refSym(n.File), uint64(n.Line), n.ID,
+			uint64(n.CallLine), tab.refSym(n.CallFile), tab.refSym(n.Mod),
 			flags,
 		}
 		for _, v := range hdr {
@@ -238,8 +253,13 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 	if nStr > 10_000_000 {
 		return nil, fmt.Errorf("expdb: implausible string count %d", nStr)
 	}
-	strs := make([]string, nStr)
-	for i := range strs {
+	// The on-disk string table maps straight onto interner ids: each
+	// distinct string is interned exactly once per load (zero per node),
+	// through a reused read buffer — intern.B probes without copying and
+	// only a first-ever-seen string is materialized on the heap.
+	syms := make([]intern.Sym, nStr)
+	var sbuf []byte
+	for i := range syms {
 		l, err := getU()
 		if err != nil {
 			return nil, err
@@ -247,21 +267,28 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 		if l > 1<<20 {
 			return nil, fmt.Errorf("expdb: implausible string length %d", l)
 		}
-		buf := make([]byte, l)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if uint64(cap(sbuf)) < l {
+			sbuf = make([]byte, l)
+		}
+		b := sbuf[:l]
+		if _, err := io.ReadFull(br, b); err != nil {
 			return nil, err
 		}
-		strs[i] = string(buf)
+		syms[i] = intern.B(b)
 	}
-	getS := func() (string, error) {
+	getSym := func() (intern.Sym, error) {
 		i, err := getU()
 		if err != nil {
-			return "", err
+			return 0, err
 		}
-		if i >= uint64(len(strs)) {
-			return "", fmt.Errorf("expdb: string ref %d out of range", i)
+		if i >= uint64(len(syms)) {
+			return 0, fmt.Errorf("expdb: string ref %d out of range", i)
 		}
-		return strs[i], nil
+		return syms[i], nil
+	}
+	getS := func() (string, error) {
+		y, err := getSym()
+		return y.String(), err
 	}
 
 	e := &Experiment{}
@@ -345,10 +372,10 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 		}
 		var key core.Key
 		key.Kind = core.Kind(kindU)
-		if key.Name, err = getS(); err != nil {
+		if key.Name, err = getSym(); err != nil {
 			return err
 		}
-		if key.File, err = getS(); err != nil {
+		if key.File, err = getSym(); err != nil {
 			return err
 		}
 		line, err := getU()
@@ -363,11 +390,11 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 		if err != nil {
 			return err
 		}
-		callFile, err := getS()
+		callFile, err := getSym()
 		if err != nil {
 			return err
 		}
-		mod, err := getS()
+		mod, err := getSym()
 		if err != nil {
 			return err
 		}
@@ -384,6 +411,9 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 		nb, err := getU()
 		if err != nil {
 			return err
+		}
+		if nb > 0 && nb <= 1<<16 {
+			n.Base.Grow(int(nb))
 		}
 		for i := uint64(0); i < nb; i++ {
 			col, err := getU()

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/intern"
 )
 
 // XML database format:
@@ -121,8 +122,8 @@ func encodeNode(enc *xml.Encoder, n *core.Node, inclOv, exclOv map[int]bool) err
 		return fmt.Errorf("expdb: cannot serialize node kind %v", n.Kind)
 	}
 	add("k", kn)
-	add("n", n.Name)
-	add("f", n.File)
+	add("n", n.Name.String())
+	add("f", n.File.String())
 	if n.Line != 0 {
 		add("l", strconv.Itoa(n.Line))
 	}
@@ -132,8 +133,8 @@ func encodeNode(enc *xml.Encoder, n *core.Node, inclOv, exclOv map[int]bool) err
 	if n.CallLine != 0 {
 		add("cl", strconv.Itoa(n.CallLine))
 	}
-	add("cf", n.CallFile)
-	add("mod", n.Mod)
+	add("cf", n.CallFile.String())
+	add("mod", n.Mod.String())
 	if n.NoSource {
 		add("ns", "1")
 	}
@@ -315,7 +316,7 @@ func decodeNodeStart(tok xml.StartElement, parent *core.Node) (*core.Node, error
 	var key core.Key
 	var noSource bool
 	var callLine int
-	var callFile, mod string
+	var callFile, mod intern.Sym
 	for _, a := range tok.Attr {
 		switch a.Name.Local {
 		case "k":
@@ -325,9 +326,9 @@ func decodeNodeStart(tok xml.StartElement, parent *core.Node) (*core.Node, error
 			}
 			key.Kind = k
 		case "n":
-			key.Name = a.Value
+			key.Name = intern.S(a.Value)
 		case "f":
-			key.File = a.Value
+			key.File = intern.S(a.Value)
 		case "l":
 			n, err := strconv.Atoi(a.Value)
 			if err != nil {
@@ -347,9 +348,9 @@ func decodeNodeStart(tok xml.StartElement, parent *core.Node) (*core.Node, error
 			}
 			callLine = n
 		case "cf":
-			callFile = a.Value
+			callFile = intern.S(a.Value)
 		case "mod":
-			mod = a.Value
+			mod = intern.S(a.Value)
 		case "ns":
 			noSource = a.Value == "1"
 		}

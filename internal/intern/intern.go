@@ -1,0 +1,143 @@
+// Package intern is a process-wide concurrent string interner. It hands out
+// dense uint32 symbol ids (Sym) for strings, so hot paths — CCT child
+// lookup, profile merging, binary database loads — can compare, hash and
+// store fixed-size integers instead of re-hashing string bytes.
+//
+// The design is read-mostly: after the first profile is loaded the working
+// set of procedure/file/module names is fully interned, and every further
+// lookup is a shard-local RLock plus one map probe (zero allocations).
+// Misses take the shard's write lock and a global append lock, so parallel
+// merge shards interning disjoint names rarely contend.
+//
+// Symbols are global to the process, which is what lets trees, shard
+// accumulators and experiment databases exchange core.Key values without
+// any translation: the same string always maps to the same Sym. Interned
+// strings are never freed; for a profiler whose vocabulary is the fixed
+// set of names in the measured program, that is the right trade.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is a dense interned-string id. The zero Sym is always the empty
+// string, so zero-valued keys and fields behave like their old ""
+// counterparts.
+type Sym uint32
+
+// String resolves the symbol. It is lock-free: the symbol table is an
+// append-only snapshot published atomically, and any Sym a caller can hold
+// was published no later than the snapshot it will load.
+func (y Sym) String() string {
+	t := *table.Load()
+	if int(y) < len(t) {
+		return t[y]
+	}
+	return ""
+}
+
+// shardCount bounds lock contention between concurrent interners (parallel
+// merge shards, concurrent database loads). Must be a power of two.
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]Sym
+}
+
+var (
+	shards [shardCount]shard
+
+	// appendMu serializes symbol allocation; all holds the strings owned
+	// by the interner, and table publishes read-only snapshots of it.
+	appendMu sync.Mutex
+	all      []string
+	table    atomic.Pointer[[]string]
+)
+
+func init() {
+	all = make([]string, 1, 1024) // Sym 0 is ""
+	snap := all
+	table.Store(&snap)
+}
+
+func shardFor(h uint32) *shard { return &shards[h&(shardCount-1)] }
+
+// fnv1a is the shard-selection hash (not the map hash); it never
+// allocates.
+func fnv1aString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func fnv1aBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint32(b[i])) * 16777619
+	}
+	return h
+}
+
+// S interns a string. The hit path takes one shard RLock and performs no
+// allocations.
+func S(s string) Sym {
+	if s == "" {
+		return 0
+	}
+	sh := shardFor(fnv1aString(s))
+	sh.mu.RLock()
+	y, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return y
+	}
+	return sh.intern(s)
+}
+
+// B interns a byte slice without allocating when the string is already
+// known (the compiler elides the string conversion in the map probe).
+// Binary database loads use it to intern each table entry straight from
+// the read buffer.
+func B(b []byte) Sym {
+	if len(b) == 0 {
+		return 0
+	}
+	sh := shardFor(fnv1aBytes(b))
+	sh.mu.RLock()
+	y, ok := sh.m[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return y
+	}
+	return sh.intern(string(b))
+}
+
+// intern is the miss path: allocate the next dense id, publish the new
+// symbol-table snapshot, then publish the map entry. The ordering matters —
+// a reader that observes the map entry must find the string in the table.
+func (sh *shard) intern(s string) Sym {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if y, ok := sh.m[s]; ok {
+		return y
+	}
+	appendMu.Lock()
+	all = append(all, s)
+	y := Sym(len(all) - 1)
+	snap := all
+	table.Store(&snap)
+	appendMu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[string]Sym, 64)
+	}
+	sh.m[s] = y
+	return y
+}
+
+// Len reports how many distinct strings (including "") are interned.
+// Intended for sizing sym-indexed side tables.
+func Len() int { return len(*table.Load()) }

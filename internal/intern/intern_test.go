@@ -1,0 +1,104 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	if S("") != 0 {
+		t.Fatalf("empty string must be Sym 0")
+	}
+	if Sym(0).String() != "" {
+		t.Fatalf("Sym 0 must resolve to the empty string")
+	}
+	a := S("intern_test_alpha")
+	b := S("intern_test_beta")
+	if a == b {
+		t.Fatalf("distinct strings share Sym %d", a)
+	}
+	if S("intern_test_alpha") != a {
+		t.Fatalf("re-interning changed the Sym")
+	}
+	if got := a.String(); got != "intern_test_alpha" {
+		t.Fatalf("resolve = %q", got)
+	}
+	if got := B([]byte("intern_test_beta")); got != b {
+		t.Fatalf("B disagrees with S: %d vs %d", got, b)
+	}
+	if got := B([]byte("intern_test_gamma")); got.String() != "intern_test_gamma" {
+		t.Fatalf("B miss path resolve = %q", got.String())
+	}
+}
+
+func TestDenseIDs(t *testing.T) {
+	before := Len()
+	for i := 0; i < 100; i++ {
+		y := S(fmt.Sprintf("intern_test_dense_%d", i))
+		if int(y) >= Len() {
+			t.Fatalf("Sym %d out of table range %d", y, Len())
+		}
+	}
+	if Len() != before+100 {
+		t.Fatalf("interned 100 fresh strings, table grew by %d", Len()-before)
+	}
+}
+
+func TestUnknownSymResolvesEmpty(t *testing.T) {
+	if got := Sym(1 << 30).String(); got != "" {
+		t.Fatalf("unknown sym resolves to %q", got)
+	}
+}
+
+// TestConcurrentIntern hammers the interner from many goroutines with
+// overlapping vocabularies and checks every goroutine agrees on the
+// string→Sym mapping. Run under -race this doubles as the interner's
+// publication-order test.
+func TestConcurrentIntern(t *testing.T) {
+	const workers = 8
+	const words = 400
+	results := make([][]Sym, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]Sym, words)
+			for i := 0; i < words; i++ {
+				y := S(fmt.Sprintf("intern_test_conc_%d", i))
+				if got := y.String(); got != fmt.Sprintf("intern_test_conc_%d", i) {
+					panic(fmt.Sprintf("worker %d: sym %d resolves to %q", w, y, got))
+				}
+				out[i] = y
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d disagrees at word %d: %d vs %d", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestInternHitAllocs locks down the zero-allocation guarantee of the hot
+// hit path: once a name is interned, neither S nor B nor String allocate.
+func TestInternHitAllocs(t *testing.T) {
+	s := "intern_test_hot_hit"
+	y := S(s)
+	buf := []byte(s)
+	if got := testing.AllocsPerRun(200, func() { S(s) }); got != 0 {
+		t.Fatalf("S hit allocates %v times", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { B(buf) }); got != 0 {
+		t.Fatalf("B hit allocates %v times", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { _ = y.String() }); got != 0 {
+		t.Fatalf("String allocates %v times", got)
+	}
+}

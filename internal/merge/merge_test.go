@@ -116,7 +116,7 @@ func TestProfilesIdlenessConcentratedOnFastRanks(t *testing.T) {
 	last := hp[len(hp)-1]
 	found := false
 	for _, n := range hp {
-		if n.Name == lower.WaitProcName {
+		if n.Name.String() == lower.WaitProcName {
 			found = true
 		}
 	}

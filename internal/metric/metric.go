@@ -273,6 +273,14 @@ func (v *Vector) Add(id int, x float64) {
 	if x == 0 {
 		return
 	}
+	// Columns are typically touched in ascending order (profile readers,
+	// summary builders); appending past the current tail keeps that hot
+	// path free of the binary search and the insertion copy.
+	if n := len(v.ids); n == 0 || v.ids[n-1] < int32(id) {
+		v.ids = append(v.ids, int32(id))
+		v.vals = append(v.vals, x)
+		return
+	}
 	if i, ok := v.find(id); ok {
 		v.vals[i] += x
 		if v.vals[i] == 0 {
@@ -292,6 +300,55 @@ func (v *Vector) AddVector(o *Vector) {
 	if len(v.ids) == 0 {
 		v.ids = append([]int32(nil), o.ids...)
 		v.vals = append([]float64(nil), o.vals...)
+		return
+	}
+	// Identical id sets — by far the hottest case: every scope of a tree
+	// carries the same few columns — sum in place with no allocation.
+	// Entries that cancel to zero are compacted in place.
+	if len(v.ids) == len(o.ids) {
+		same := true
+		for i := range v.ids {
+			if v.ids[i] != o.ids[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			zeroed := false
+			for i := range o.vals {
+				v.vals[i] += o.vals[i]
+				if v.vals[i] == 0 {
+					zeroed = true
+				}
+			}
+			if zeroed {
+				k := 0
+				for i := range v.ids {
+					if v.vals[i] != 0 {
+						v.ids[k] = v.ids[i]
+						v.vals[k] = v.vals[i]
+						k++
+					}
+				}
+				v.ids, v.vals = v.ids[:k], v.vals[:k]
+			}
+			return
+		}
+	}
+	// Disjoint id ranges need no merge: one side simply extends the other.
+	// Trees built from a single profile hit these constantly (every scope
+	// carries the same few column ids, in order).
+	if v.ids[len(v.ids)-1] < o.ids[0] {
+		v.ids = append(v.ids, o.ids...)
+		v.vals = append(v.vals, o.vals...)
+		return
+	}
+	if o.ids[len(o.ids)-1] < v.ids[0] {
+		ids := make([]int32, 0, len(v.ids)+len(o.ids))
+		vals := make([]float64, 0, len(v.vals)+len(o.vals))
+		ids = append(append(ids, o.ids...), v.ids...)
+		vals = append(append(vals, o.vals...), v.vals...)
+		v.ids, v.vals = ids, vals
 		return
 	}
 	// Merge two sorted runs.
@@ -335,6 +392,30 @@ func (v *Vector) Clone() *Vector {
 		c.vals = append([]float64(nil), v.vals...)
 	}
 	return c
+}
+
+// CloneValue returns an independent copy of v as a value, avoiding the
+// header allocation of Clone. Cloning an empty vector allocates nothing.
+func (v *Vector) CloneValue() Vector {
+	var c Vector
+	if len(v.ids) > 0 {
+		c.ids = append([]int32(nil), v.ids...)
+		c.vals = append([]float64(nil), v.vals...)
+	}
+	return c
+}
+
+// Grow ensures capacity for n additional entries, so a caller that knows
+// how many columns it is about to Add in order pays one allocation.
+func (v *Vector) Grow(n int) {
+	if cap(v.ids)-len(v.ids) >= n {
+		return
+	}
+	ids := make([]int32, len(v.ids), len(v.ids)+n)
+	vals := make([]float64, len(v.vals), len(v.vals)+n)
+	copy(ids, v.ids)
+	copy(vals, v.vals)
+	v.ids, v.vals = ids, vals
 }
 
 // Range calls f for every non-zero entry in ascending column order.

@@ -45,8 +45,8 @@ func TestRenderHTMLEscaping(t *testing.T) {
 		t.Fatal(err)
 	}
 	tree := core.NewTree("x", reg)
-	fr := tree.Root.Child(core.Key{Kind: core.KindFrame, Name: "evil<script>alert(1)</script>"}, true)
-	st := fr.Child(core.Key{Kind: core.KindStmt, File: "a&b.c", Line: 1}, true)
+	fr := tree.Root.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("evil<script>alert(1)</script>")}, true)
+	st := fr.Child(core.Key{Kind: core.KindStmt, File: core.Sym("a&b.c"), Line: 1}, true)
 	st.Base.Add(0, 3)
 	tree.ComputeMetrics()
 	var b strings.Builder

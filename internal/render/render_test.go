@@ -132,8 +132,8 @@ func TestRenderNoSourceMarker(t *testing.T) {
 		t.Fatal(err)
 	}
 	tree := core.NewTree("x", reg)
-	main := tree.Root.Child(core.Key{Kind: core.KindFrame, Name: "main"}, true)
-	ms := main.Child(core.Key{Kind: core.KindFrame, Name: "memset"}, true)
+	main := tree.Root.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("main")}, true)
+	ms := main.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("memset")}, true)
 	ms.NoSource = true
 	ms.CallLine = 2
 	s := ms.Child(core.Key{Kind: core.KindStmt, Line: 1}, true)

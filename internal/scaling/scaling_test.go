@@ -94,7 +94,7 @@ func TestWeakScalingLossAttribution(t *testing.T) {
 	path := core.HotPath(big.Root, res.Column, 0.5)
 	found := false
 	for _, n := range path {
-		if n.Name == "exchange" {
+		if n.Name.String() == "exchange" {
 			found = true
 		}
 	}
@@ -153,8 +153,8 @@ func TestScopeOnlyInBigRun(t *testing.T) {
 	if _, err := small.Reg.AddRaw("CYCLES", "cycles", 1); err != nil {
 		t.Fatal(err)
 	}
-	sm := small.AddPath(core.Key{Kind: core.KindFrame, Name: "main"})
-	ss := sm.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 1}, true)
+	sm := small.AddPath(core.Key{Kind: core.KindFrame, Name: core.Sym("main")})
+	ss := sm.Child(core.Key{Kind: core.KindStmt, File: core.Sym("a.c"), Line: 1}, true)
 	ss.Base.Add(0, 100)
 	small.ComputeMetrics()
 
@@ -162,11 +162,11 @@ func TestScopeOnlyInBigRun(t *testing.T) {
 	if _, err := big.Reg.AddRaw("CYCLES", "cycles", 1); err != nil {
 		t.Fatal(err)
 	}
-	bm := big.AddPath(core.Key{Kind: core.KindFrame, Name: "main"})
-	bs := bm.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 1}, true)
+	bm := big.AddPath(core.Key{Kind: core.KindFrame, Name: core.Sym("main")})
+	bs := bm.Child(core.Key{Kind: core.KindStmt, File: core.Sym("a.c"), Line: 1}, true)
 	bs.Base.Add(0, 100)
-	extra := bm.Child(core.Key{Kind: core.KindFrame, Name: "newphase"}, true)
-	es := extra.Child(core.Key{Kind: core.KindStmt, File: "a.c", Line: 9}, true)
+	extra := bm.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("newphase")}, true)
+	es := extra.Child(core.Key{Kind: core.KindStmt, File: core.Sym("a.c"), Line: 9}, true)
 	es.Base.Add(0, 50)
 	big.ComputeMetrics()
 

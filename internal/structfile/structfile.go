@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/cfg"
+	"repro/internal/intern"
 	"repro/internal/isa"
 )
 
@@ -89,6 +90,12 @@ type Scope struct {
 	Children []*Scope
 	// Parent is the enclosing scope (nil at the root); not serialized.
 	Parent *Scope
+
+	// NameSym/FileSym are the interned forms of Name/File, populated by
+	// Doc.EnsureSyms so that correlation builds CCT keys without
+	// re-interning strings per sample.
+	NameSym intern.Sym
+	FileSym intern.Sym
 }
 
 // ContainsAddr reports whether any of the scope's ranges contains addr.
@@ -111,6 +118,28 @@ type Doc struct {
 	// merge pipeline correlates one rank per worker against one Doc).
 	indexOnce sync.Once
 	leafIndex []leafEntry // built lazily by Resolve
+
+	// symOnce guards EnsureSyms for the same reason: many correlation
+	// goroutines share one Doc.
+	symOnce sync.Once
+}
+
+// EnsureSyms interns every scope's Name and File exactly once per document,
+// filling NameSym/FileSym. Safe (and cheap) to call from many goroutines.
+func (d *Doc) EnsureSyms() {
+	d.symOnce.Do(func() {
+		var walk func(s *Scope)
+		walk = func(s *Scope) {
+			s.NameSym = intern.S(s.Name)
+			s.FileSym = intern.S(s.File)
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		if d.Root != nil {
+			walk(d.Root)
+		}
+	})
 }
 
 type leafEntry struct {

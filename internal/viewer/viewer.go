@@ -383,9 +383,9 @@ func (s *Session) ShowSource(w io.Writer, context int) error {
 	if n.Kind == core.KindFrame && n.CallLine > 0 {
 		file, line = n.CallFile, n.CallLine
 	}
-	if file == "" || line <= 0 {
+	if file == 0 || line <= 0 {
 		return fmt.Errorf("viewer: %s has no source location", n.Label())
 	}
 	fmt.Fprintf(w, "%s:%d (%s)\n", file, line, n.Label())
-	return s.source.WriteSource(w, file, line, context)
+	return s.source.WriteSource(w, file.String(), line, context)
 }

@@ -150,7 +150,7 @@ func TestCallersViewLazyExpansion(t *testing.T) {
 	// materialized.
 	var g *core.Node
 	for _, r := range rows {
-		if r.Node.Name == "g" {
+		if r.Node.Name.String() == "g" {
 			if !r.HasHidden {
 				t.Fatal("unexpanded callers root lacks expander")
 			}
@@ -367,7 +367,7 @@ func TestHotPathInDerivedViews(t *testing.T) {
 	// no callers).
 	s.SwitchView(ViewCallers)
 	path := s.HotPath(0)
-	if len(path) == 0 || path[0].Name != "m" {
+	if len(path) == 0 || path[0].Name.String() != "m" {
 		t.Fatalf("callers hot path = %v", rowLabels(s.VisibleRows()))
 	}
 	// Flat view: starts from the only module and descends.
@@ -389,7 +389,7 @@ func TestExpandAllInCallersView(t *testing.T) {
 	// its whole caller trie (ga's 6 descendants in Figure 2b).
 	var g *core.Node
 	for _, r := range rows {
-		if r.Node.Name == "g" {
+		if r.Node.Name.String() == "g" {
 			g = r.Node
 		}
 	}

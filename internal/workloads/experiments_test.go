@@ -234,7 +234,7 @@ func TestFig6DerivedWaste(t *testing.T) {
 	// The exponential's loop runs at ~39%: "fairly tightly tuned".
 	var expLoop *core.Node
 	for _, l := range loops {
-		if l.File == "exp_avx.c" {
+		if l.File.String() == "exp_avx.c" {
 			expLoop = l
 		}
 	}
@@ -255,7 +255,7 @@ func TestFig4MemsetCallers(t *testing.T) {
 	cv.ExpandAll()
 	var memset *core.Node
 	for _, r := range cv.Roots {
-		if r.Name == "_intel_fast_memset.A" {
+		if r.Name.String() == "_intel_fast_memset.A" {
 			memset = r
 		}
 	}
@@ -280,7 +280,7 @@ func TestFig4MemsetCallers(t *testing.T) {
 	}
 	kids := append([]*core.Node(nil), memset.Children...)
 	core.SortScopes(kids, core.SortSpec{MetricID: l1})
-	if kids[0].Name != "Sequence_data::create" {
+	if kids[0].Name.String() != "Sequence_data::create" {
 		t.Fatalf("dominant caller = %q", kids[0].Name)
 	}
 	if frac := kids[0].Incl.Get(l1) / memset.Incl.Get(l1); frac < 0.95 {
@@ -298,7 +298,7 @@ func TestFig5FlatInlining(t *testing.T) {
 	var gc *core.Node
 	for _, lm := range fv.Roots {
 		core.Walk(lm, func(n *core.Node) bool {
-			if n.Kind == core.KindProc && n.Name == "MBCore::get_coords" {
+			if n.Kind == core.KindProc && n.Name.String() == "MBCore::get_coords" {
 				gc = n
 				return false
 			}
@@ -330,7 +330,7 @@ func TestFig5FlatInlining(t *testing.T) {
 	// compare.
 	var find *core.Node
 	for _, c := range loop.Children {
-		if c.Kind == core.KindAlien && c.Name == "SequenceManager::find" {
+		if c.Kind == core.KindAlien && c.Name.String() == "SequenceManager::find" {
 			find = c
 		}
 	}
@@ -348,7 +348,7 @@ func TestFig5FlatInlining(t *testing.T) {
 	}
 	var compare *core.Node
 	for _, c := range rbLoop.Children {
-		if c.Kind == core.KindAlien && c.Name == "SequenceCompare" {
+		if c.Kind == core.KindAlien && c.Name.String() == "SequenceCompare" {
 			compare = c
 		}
 	}

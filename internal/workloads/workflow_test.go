@@ -53,12 +53,12 @@ func TestSectionVIBAnalysisWorkflow(t *testing.T) {
 	rows = s.VisibleRows()
 	top3 := map[string]bool{}
 	for _, r := range rows[:3] {
-		top3[r.Node.Name] = true
+		top3[r.Node.Name.String()] = true
 	}
 	if !top3["MBCore::get_coords"] {
 		var names []string
 		for _, r := range rows[:5] {
-			names = append(names, r.Node.Name)
+			names = append(names, r.Node.Name.String())
 		}
 		t.Fatalf("get_coords not in callers top-3 by exclusive L1: %v", names)
 	}
@@ -67,7 +67,7 @@ func TestSectionVIBAnalysisWorkflow(t *testing.T) {
 	// one dominant (Figure 4's reading).
 	var memset *core.Node
 	for _, r := range rows {
-		if r.Node.Name == "_intel_fast_memset.A" {
+		if r.Node.Name.String() == "_intel_fast_memset.A" {
 			memset = r.Node
 		}
 	}
@@ -85,7 +85,7 @@ func TestSectionVIBAnalysisWorkflow(t *testing.T) {
 	var gc *core.Node
 	for _, r := range s.VisibleRows() {
 		core.Walk(r.Node, func(n *core.Node) bool {
-			if n.Kind == core.KindProc && n.Name == "MBCore::get_coords" {
+			if n.Kind == core.KindProc && n.Name.String() == "MBCore::get_coords" {
 				gc = n
 				return false
 			}
@@ -103,7 +103,7 @@ func TestSectionVIBAnalysisWorkflow(t *testing.T) {
 	names := map[string]bool{}
 	for _, n := range path {
 		kinds[n.Kind] = true
-		names[n.Name] = true
+		names[n.Name.String()] = true
 	}
 	if !kinds[core.KindLoop] || !kinds[core.KindAlien] {
 		t.Fatalf("flat drill-down misses loop/inline scopes: %v", pathLabels(path))
