@@ -11,9 +11,9 @@ BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|Benchmark
 BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
 	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem .
 
-.PHONY: verify build test race vet bench benchdiff bench-smoke bench-merge
+.PHONY: verify build test race vet bench benchdiff bench-smoke bench-merge faults
 
-verify: build test race vet bench-smoke
+verify: build test race vet bench-smoke faults
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,11 @@ bench-smoke:
 # Regenerate the numbers recorded in BENCH_merge.json.
 bench-merge:
 	$(GO) test -run XXX -bench 'BenchmarkMergeRanks|BenchmarkParallelMerge' -benchtime 30x .
+
+# Robustness gate: the fault-injection matrix (every workload's files, both
+# format versions, truncation + corruption sweeps) plus a short coverage-
+# guided fuzz of both binary readers.
+faults:
+	$(GO) test -run 'TestFaultMatrix|TestReaderFaults' ./internal/faultio
+	$(GO) test -run XXX -fuzz 'FuzzRead$$' -fuzztime 10s ./internal/profile
+	$(GO) test -run XXX -fuzz FuzzReadBinary -fuzztime 10s ./internal/expdb

@@ -628,7 +628,11 @@ func BenchmarkFormulaEval(b *testing.B) {
 	env := metric.EnvFunc(func(id int) float64 { return float64(id + 1) })
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if e.Eval(env) == 0 {
+		v, err := e.Eval(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v == 0 {
 			b.Fatal("unexpected zero")
 		}
 	}

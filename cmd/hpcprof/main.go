@@ -4,20 +4,32 @@
 // statistics (mean/min/max/stddev across ranks) can be added, implementing
 // the scalable finalization step of the paper's Section IV/VII.
 //
+// At scale some measurement files arrive damaged — truncated by killed
+// jobs, corrupted by flaky filesystems, unreadable after lost blocks. With
+// -keep-going those ranks are quarantined instead of aborting the merge:
+// each is reported on stderr, the database records the outcome as
+// provenance ("merged 1021/1024 ranks"), and summary statistics are
+// computed over the ranks actually merged. -max-bad-ranks bounds the
+// damage tolerated before giving up.
+//
 // Usage:
 //
 //	hpcprof -S s3d.hpcstruct [-format binary|xml] [-summaries] \
+//	        [-keep-going] [-max-bad-ranks N] \
 //	        -o s3d.db measurements/s3d-*.cpprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/expdb"
+	"repro/internal/ingest"
 	"repro/internal/merge"
 	"repro/internal/metric"
 	"repro/internal/profile"
@@ -38,6 +50,8 @@ func run(args []string) error {
 	format := fs.String("format", "binary", "database format: binary or xml")
 	summaries := fs.Bool("summaries", false, "add mean/min/max/stddev summary columns across ranks")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel merge workers (1 = sequential)")
+	keepGoing := fs.Bool("keep-going", false, "quarantine corrupt/truncated/unreadable measurement files instead of aborting")
+	maxBad := fs.Int("max-bad-ranks", -1, "abort once more than this many files are quarantined (-1 = unlimited; setting it implies -keep-going)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +64,9 @@ func run(args []string) error {
 	if *format != "binary" && *format != "xml" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
+	if *maxBad >= 0 {
+		*keepGoing = true
+	}
 
 	sf, err := os.Open(*structPath)
 	if err != nil {
@@ -61,7 +78,10 @@ func run(args []string) error {
 		return fmt.Errorf("reading %s: %w", *structPath, err)
 	}
 
-	res, err := mergeFiles(doc, fs.Args(), *jobs)
+	res, report, err := mergeFiles(context.Background(), doc, fs.Args(), *jobs, *keepGoing, *maxBad)
+	for _, bad := range report.Bad {
+		fmt.Fprintf(os.Stderr, "hpcprof: quarantined %s\n", bad)
+	}
 	if err != nil {
 		return err
 	}
@@ -76,6 +96,9 @@ func run(args []string) error {
 		}
 	}
 	exp := expdb.FromMerge(res)
+	if !report.Clean() {
+		exp.Provenance = report
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -93,8 +116,13 @@ func run(args []string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d ranks, %d scopes, %d metric columns)\n",
-		*out, res.NRanks, res.Tree.NumNodes(), res.Tree.Reg.Len())
+	if report.Clean() {
+		fmt.Printf("wrote %s (%d ranks, %d scopes, %d metric columns)\n",
+			*out, res.NRanks, res.Tree.NumNodes(), res.Tree.Reg.Len())
+	} else {
+		fmt.Printf("wrote %s (%s, %d scopes, %d metric columns)\n",
+			*out, report.Summary(), res.Tree.NumNodes(), res.Tree.Reg.Len())
+	}
 	return nil
 }
 
@@ -103,14 +131,36 @@ func run(args []string) error {
 // contiguous shard at a time, so arbitrarily many ranks fit in memory (the
 // Section IX concern) — then combines the shards with a pairwise tree
 // reduction. Contiguous shards keep the result identical to a sequential
-// merge regardless of the worker count.
-func mergeFiles(doc *structfile.Doc, paths []string, jobs int) (*merge.Result, error) {
+// merge regardless of the worker count, and a quarantined file is skipped
+// before it touches an accumulator, so the result with -keep-going is
+// byte-identical to merging only the good files.
+//
+// The returned Report is always valid, including on error, so callers can
+// show what was quarantined before the abort.
+func mergeFiles(ctx context.Context, doc *structfile.Doc, paths []string, jobs int, keepGoing bool, maxBad int) (*merge.Result, *ingest.Report, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if jobs > len(paths) {
 		jobs = len(paths)
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	report := &ingest.Report{Attempted: len(paths)}
+	var mu sync.Mutex
+	quarantine := func(path string, rank int, off int64, err error) bool {
+		bad := ingest.BadRank{
+			Path: path, Rank: rank, Offset: off,
+			Class: ingest.Classify(err), Message: err.Error(),
+		}
+		mu.Lock()
+		report.Quarantine(bad)
+		tooMany := maxBad >= 0 && len(report.Bad) > maxBad
+		mu.Unlock()
+		return tooMany
+	}
+
 	accs := make([]*merge.Accumulator, jobs)
 	errs := make([]error, jobs)
 	var wg sync.WaitGroup
@@ -121,40 +171,85 @@ func mergeFiles(doc *structfile.Doc, paths []string, jobs int) (*merge.Result, e
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for _, path := range paths[lo:hi] {
-				p, err := readProfile(path)
-				if err != nil {
+				if err := ctx.Err(); err != nil {
 					errs[w] = err
 					return
 				}
-				if err := accs[w].Add(p); err != nil {
-					errs[w] = fmt.Errorf("merging %s: %w", path, err)
+				rank, off, err := processFile(accs[w], path)
+				if err == nil {
+					continue
+				}
+				if !keepGoing {
+					errs[w] = err
+					cancel()
+					return
+				}
+				if quarantine(path, rank, off, err) {
+					errs[w] = fmt.Errorf("more than %d measurement files failed (-max-bad-ranks); last: %w", maxBad, err)
+					cancel()
 					return
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	report.Sort()
+	// Prefer a real failure over the cancellation it triggered in the
+	// other workers.
+	var first error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			return nil, report, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, report, first
+	}
+	report.Merged = len(paths) - len(report.Bad)
+	if report.Merged == 0 {
+		return nil, report, fmt.Errorf("all %d measurement files were quarantined", len(paths))
 	}
 	acc, err := merge.Combine(accs)
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
-	return acc.Finish()
+	res, err := acc.Finish()
+	if err != nil {
+		return nil, report, err
+	}
+	return res, report, nil
 }
 
-func readProfile(path string) (*profile.Profile, error) {
+// processFile reads and folds one measurement file, containing panics so
+// one poisoned file cannot crash the whole merge. rank is -1 until the
+// header parsed; off is the approximate byte offset reached (read-buffer
+// granularity), -1 if the file never opened.
+func processFile(acc *merge.Accumulator, path string) (rank int, off int64, err error) {
+	rank, off = -1, -1
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ingest.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return rank, off, err
 	}
 	defer f.Close()
-	p, err := profile.Read(f)
+	cr := &ingest.CountReader{R: f}
+	p, err := profile.Read(cr)
 	if err != nil {
-		return nil, fmt.Errorf("reading %s: %w", path, err)
+		return rank, cr.N, fmt.Errorf("reading %s: %w", path, err)
 	}
-	return p, nil
+	rank = p.Rank
+	if err := acc.Add(p); err != nil {
+		return rank, cr.N, fmt.Errorf("merging %s: %w", path, err)
+	}
+	return rank, cr.N, nil
 }

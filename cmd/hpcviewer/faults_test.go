@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expdb"
+	"repro/internal/ingest"
+)
+
+// captureStderr runs f with os.Stderr redirected to a pipe.
+func captureStderr(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	ferr := f()
+	w.Close()
+	os.Stderr = old
+	var data []byte
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	return string(data), ferr
+}
+
+// quarantinedDB writes a v2 database carrying a merge provenance record
+// and returns its path and raw bytes.
+func quarantinedDB(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	e := expdb.New(core.Fig1Tree())
+	e.Provenance = &ingest.Report{Attempted: 4, Merged: 3, Bad: []ingest.BadRank{
+		{Path: "run/r0002.cpprof", Rank: 2, Offset: 99, Class: ingest.ClassTruncated, Message: "unexpected EOF"},
+	}}
+	var buf bytes.Buffer
+	if err := e.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "quarantined.db")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+// A database produced by a -keep-going merge announces its provenance on
+// stderr while the views render normally.
+func TestViewerReportsProvenance(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := quarantinedDB(t, dir)
+	var out string
+	errText, err := captureStderr(t, func() error {
+		var ierr error
+		out, ierr = captureStdout(t, func() error {
+			return run([]string{"-db", path})
+		})
+		return ierr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errText, "merged 3/4 ranks") {
+		t.Fatalf("provenance summary missing from stderr:\n%s", errText)
+	}
+	if !strings.Contains(out, "cost (I)") {
+		t.Fatalf("view did not render:\n%s", out)
+	}
+}
+
+// Damaging the optional provenance section degrades the open — the viewer
+// warns and renders from the intact sections instead of failing.
+func TestViewerOpensDegradedDB(t *testing.T) {
+	dir := t.TempDir()
+	_, data := quarantinedDB(t, dir)
+	// Flip a payload byte of section 6 (provenance) by walking the frame
+	// structure: magic, then id | uvarint len | payload | crc32c per section.
+	off := len("CPDB2")
+	for {
+		if off >= len(data) || data[off] == 0 {
+			t.Fatal("provenance section not found")
+		}
+		id := data[off]
+		n, vlen := binary.Uvarint(data[off+1:])
+		if vlen <= 0 {
+			t.Fatal("bad frame")
+		}
+		payload := off + 1 + vlen
+		if id == 6 {
+			data[payload+int(n)/2] ^= 0xff
+			break
+		}
+		off = payload + int(n) + 4
+	}
+	path := filepath.Join(dir, "degraded.db")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	errText, err := captureStderr(t, func() error {
+		var ierr error
+		out, ierr = captureStdout(t, func() error {
+			return run([]string{"-db", path})
+		})
+		return ierr
+	})
+	if err != nil {
+		t.Fatalf("degraded database refused: %v", err)
+	}
+	if !strings.Contains(errText, "hpcviewer: warning:") || !strings.Contains(errText, "provenance") {
+		t.Fatalf("degradation warning missing:\n%s", errText)
+	}
+	if !strings.Contains(out, "cost (I)") {
+		t.Fatalf("view did not render:\n%s", out)
+	}
+}
+
+// Unusable databases fail with an error naming the file, never a panic.
+func TestViewerRejectsDamagedDB(t *testing.T) {
+	dir := t.TempDir()
+	_, good := quarantinedDB(t, dir)
+	mk := func(name string, data []byte) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"empty.db":     mk("empty.db", nil),
+		"badmagic.db":  mk("badmagic.db", []byte("XXXXX not a database")),
+		"truncated.db": mk("truncated.db", good[:len(good)*3/5]),
+	}
+	for name, path := range cases {
+		if _, err := captureStderr(t, func() error {
+			_, ierr := captureStdout(t, func() error { return run([]string{"-db", path}) })
+			return ierr
+		}); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error does not name the file: %v", name, err)
+		}
+	}
+}

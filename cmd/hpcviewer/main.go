@@ -190,7 +190,9 @@ func run(args []string) error {
 		// Root rows are cheap; the caller subtries are built lazily and
 		// expanded here across -jobs goroutines for the full render.
 		cv := core.BuildCallersView(tree)
-		cv.ExpandAllParallel(*jobs)
+		if err := cv.ExpandAllParallel(*jobs); err != nil {
+			return err
+		}
 		return render.RenderCallers(w, cv, tree, opt)
 	case "flat":
 		fv := core.BuildFlatView(tree)
@@ -270,14 +272,21 @@ func readDB(path string) (*expdb.Experiment, error) {
 		return nil, err
 	}
 	defer f.Close()
-	// Sniff the magic to accept either format.
-	br := bufio.NewReader(f)
-	head, err := br.Peek(5)
+	// expdb.Read sniffs the magic, accepting binary v1, binary v2 and XML.
+	// The raw file is passed (not a buffered wrapper) so the reader can
+	// bound allocations by the file's actual size.
+	exp, err := expdb.Read(f)
 	if err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
 	}
-	if string(head) == "CPDB1" {
-		return expdb.ReadBinary(br)
+	// A v2 database can open degraded (a damaged optional section was
+	// dropped) and can carry merge provenance; tell the user on stderr so
+	// the rendered views are never silently incomplete.
+	for _, note := range exp.Notes {
+		fmt.Fprintf(os.Stderr, "hpcviewer: warning: %s\n", note)
 	}
-	return expdb.ReadXML(br)
+	if exp.Provenance != nil && !exp.Provenance.Clean() {
+		fmt.Fprintf(os.Stderr, "hpcviewer: %s\n", exp.Provenance.Summary())
+	}
+	return exp, nil
 }

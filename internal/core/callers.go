@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -196,43 +199,94 @@ func (v *CallersView) buildSubtrie(root *Node) {
 	}
 }
 
-// ExpandAll eagerly builds every caller subtrie.
-func (v *CallersView) ExpandAll() {
-	for _, r := range v.Roots {
-		v.Expand(r)
-	}
+// ExpandAll eagerly builds every caller subtrie. A panic while expanding
+// one root (a poisoned subtrie) is recovered and returned as an error
+// instead of crashing the process.
+func (v *CallersView) ExpandAll() error {
+	return v.ExpandAllCtx(context.Background(), 1)
 }
 
 // ExpandAllParallel builds every caller subtrie using up to jobs
 // goroutines (GOMAXPROCS when jobs <= 0). Roots are independent, so the
 // result is identical to ExpandAll.
-func (v *CallersView) ExpandAllParallel(jobs int) {
+func (v *CallersView) ExpandAllParallel(jobs int) error {
+	return v.ExpandAllCtx(context.Background(), jobs)
+}
+
+// ExpandAllCtx is ExpandAllParallel with cancellation: expansion stops at
+// the next root once ctx is done, and a worker panic is recovered,
+// reported as an error, and cancels the remaining work — one poisoned
+// subtrie cannot crash or wedge the process.
+func (v *CallersView) ExpandAllCtx(ctx context.Context, jobs int) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if jobs > len(v.Roots) {
 		jobs = len(v.Roots)
 	}
+	expand := func(root *Node) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: panic expanding callers view of %q: %v", root.Name.String(), r)
+			}
+		}()
+		v.Expand(root)
+		return nil
+	}
 	if jobs <= 1 {
-		v.ExpandAll()
-		return
+		for _, r := range v.Roots {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := expand(r); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	var next atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, jobs)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(v.Roots) {
 					return
 				}
-				v.Expand(v.Roots[i])
+				if err := expand(v.Roots[i]); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	// Prefer a real failure over a cancellation notice.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // reversedPath returns the caller-frame chain of inst from innermost to

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A poisoned instance list (nil instance) panics inside buildSubtrie;
+// ExpandAll must recover it into an error naming the root instead of
+// crashing.
+func TestExpandAllRecoversPanic(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		v := BuildCallersView(Fig1Tree())
+		if len(v.Roots) == 0 {
+			t.Fatal("no roots")
+		}
+		root := v.Roots[0]
+		v.instances[root] = append(v.instances[root], nil)
+		err := v.ExpandAllCtx(context.Background(), jobs)
+		if err == nil {
+			t.Fatalf("jobs=%d: poisoned subtrie accepted", jobs)
+		}
+		if !strings.Contains(err.Error(), "panic expanding callers view") {
+			t.Fatalf("jobs=%d: err = %v", jobs, err)
+		}
+	}
+}
+
+func TestExpandAllCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		v := BuildCallersView(Fig1Tree())
+		if err := v.ExpandAllCtx(ctx, jobs); !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+	}
+}
+
+// A clean tree still expands without error through the error-returning
+// entry points.
+func TestExpandAllNoError(t *testing.T) {
+	v := BuildCallersView(Fig1Tree())
+	if err := v.ExpandAll(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := BuildCallersView(Fig1Tree())
+	if err := v2.ExpandAllParallel(3); err != nil {
+		t.Fatal(err)
+	}
+}

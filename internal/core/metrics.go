@@ -120,15 +120,33 @@ func ApplyDerived(reg *metric.Registry, start *Node) error {
 	if len(derived) == 0 {
 		return nil
 	}
+	// Evaluation errors (possible only for hand-built expression trees;
+	// Parse validates operators and functions) abort the walk and surface
+	// as a typed error instead of a panic mid-traversal.
+	var evalErr error
 	Walk(start, func(n *Node) bool {
+		if evalErr != nil {
+			return false
+		}
 		for _, d := range derived {
-			ev := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Excl.Get(id) }))
+			ev, err := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Excl.Get(id) }))
+			if err != nil {
+				evalErr = err
+				return false
+			}
 			n.Excl.Set(d.id, ev)
-			iv := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Incl.Get(id) }))
+			iv, err := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Incl.Get(id) }))
+			if err != nil {
+				evalErr = err
+				return false
+			}
 			n.Incl.Set(d.id, iv)
 		}
 		return true
 	})
+	if evalErr != nil {
+		return fmt.Errorf("core: %w", evalErr)
+	}
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/merge"
 	"repro/internal/metric"
 )
@@ -27,7 +28,31 @@ type Experiment struct {
 	NRanks int
 	// Tree is the canonical CCT with metrics computed.
 	Tree *core.Tree
+	// Provenance records how the database was produced when hpcprof
+	// quarantined ranks ("merged 1021/1024 ranks"); nil when every rank
+	// merged cleanly or the database predates provenance.
+	Provenance *ingest.Report
+	// Notes lists degradations applied while loading: a v2 database with a
+	// damaged optional section opens without it, and each drop is recorded
+	// here so the viewer can tell the user what is missing.
+	Notes []string
 }
+
+// SectionError reports fatal damage to one section of a v2 database: the
+// section is required and its payload was damaged or malformed, so the
+// database cannot be opened.
+type SectionError struct {
+	// Section names the damaged section ("strings", "header", "metrics",
+	// "tree", "overrides", "provenance" or "framing").
+	Section string
+	Err     error
+}
+
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("expdb: %s section: %v", e.Section, e.Err)
+}
+
+func (e *SectionError) Unwrap() error { return e.Err }
 
 // New wraps a computed tree as a single-rank experiment.
 func New(t *core.Tree) *Experiment {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/lower"
 	"repro/internal/merge"
 	"repro/internal/metric"
@@ -64,13 +65,18 @@ func mergedSeed(f *testing.F) *Experiment {
 // arbitrary input; anything accepted must re-encode cleanly.
 func FuzzReadBinary(f *testing.F) {
 	e := New(core.Fig1Tree())
-	var buf bytes.Buffer
+	var buf, bufV1 bytes.Buffer
 	if err := e.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	if err := e.WriteBinaryV1(&bufV1); err != nil {
 		f.Fatal(err)
 	}
 	good := buf.Bytes()
 	f.Add(good)
+	f.Add(bufV1.Bytes())
 	f.Add([]byte("CPDB1"))
+	f.Add([]byte("CPDB2"))
 	f.Add([]byte{})
 	mutated := append([]byte(nil), good...)
 	if len(mutated) > 20 {
@@ -78,14 +84,23 @@ func FuzzReadBinary(f *testing.F) {
 		f.Add(mutated)
 		f.Add(good[:len(good)*2/3])
 	}
-	// Multi-rank merged seed: summary-statistics columns exercise the
-	// inclusive-override records the Fig1 tree never produces.
-	var mbuf bytes.Buffer
-	if err := mergedSeed(f).WriteBinary(&mbuf); err != nil {
+	// Multi-rank merged seed in both versions: summary-statistics columns
+	// exercise the override records the Fig1 tree never produces, and a
+	// provenance section exercises the quarantine decoding.
+	ms := mergedSeed(f)
+	ms.Provenance = &ingest.Report{Attempted: 4, Merged: 3, Bad: []ingest.BadRank{
+		{Path: "r3.cpprof", Rank: 3, Offset: 17, Class: ingest.ClassTruncated, Message: "unexpected EOF"},
+	}}
+	var mbuf, mbufV1 bytes.Buffer
+	if err := ms.WriteBinary(&mbuf); err != nil {
+		f.Fatal(err)
+	}
+	if err := ms.WriteBinaryV1(&mbufV1); err != nil {
 		f.Fatal(err)
 	}
 	merged := mbuf.Bytes()
 	f.Add(merged)
+	f.Add(mbufV1.Bytes())
 	if len(merged) > 30 {
 		f.Add(merged[:len(merged)/2])
 		tweaked := append([]byte(nil), merged...)

@@ -1,0 +1,145 @@
+// Package faultio provides deterministic fault-injection wrappers around
+// io.Reader and []byte, used by the robustness test matrix to simulate the
+// ways measurement files and databases really break at scale: truncation
+// (killed jobs), bit flips (flaky filesystems), short reads (network
+// filesystems) and transient I/O errors. Every wrapper is deterministic —
+// seeded, never wall-clock dependent — so a failing corruption reproduces
+// byte-for-byte.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the default error surfaced by ErrReaderAt.
+var ErrInjected = errors.New("faultio: injected I/O error")
+
+// Truncate returns a copy of data cut to n bytes (all of it when n is out
+// of range).
+func Truncate(data []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	return append([]byte(nil), data[:n]...)
+}
+
+// Corrupt returns a copy of data with the byte at off XORed with xor
+// (which must be nonzero to actually change the byte).
+func Corrupt(data []byte, off int, xor byte) []byte {
+	out := append([]byte(nil), data...)
+	if off >= 0 && off < len(out) {
+		out[off] ^= xor
+	}
+	return out
+}
+
+// TruncateReader reads from r but reports io.EOF after n bytes, simulating
+// a file whose tail was never written.
+func TruncateReader(r io.Reader, n int64) io.Reader {
+	return &truncReader{r: r, left: n}
+}
+
+type truncReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (t *truncReader) Read(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+	}
+	n, err := t.r.Read(p)
+	t.left -= int64(n)
+	return n, err
+}
+
+// CorruptReader passes r through but XORs the byte at stream offset off
+// with xor, simulating a single flipped storage block byte.
+func CorruptReader(r io.Reader, off int64, xor byte) io.Reader {
+	return &corruptReader{r: r, target: off, xor: xor}
+}
+
+type corruptReader struct {
+	r      io.Reader
+	off    int64
+	target int64
+	xor    byte
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 && c.target >= c.off && c.target < c.off+int64(n) {
+		p[c.target-c.off] ^= c.xor
+	}
+	c.off += int64(n)
+	return n, err
+}
+
+// ErrReaderAt reads from r until off bytes have been served, then returns
+// err (ErrInjected when err is nil) on every subsequent call, simulating a
+// transient device error mid-file.
+func ErrReaderAt(r io.Reader, off int64, err error) io.Reader {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &errReader{r: r, left: off, err: err}
+}
+
+type errReader struct {
+	r    io.Reader
+	left int64
+	err  error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if e.left <= 0 {
+		return 0, e.err
+	}
+	if int64(len(p)) > e.left {
+		p = p[:e.left]
+	}
+	n, err := e.r.Read(p)
+	e.left -= int64(n)
+	return n, err
+}
+
+// ShortReader delivers r's bytes in deterministically sized small reads
+// (1..8 bytes, derived from seed), exercising every partial-read path in a
+// parser without changing the byte stream.
+func ShortReader(r io.Reader, seed uint64) io.Reader {
+	return &shortReader{r: r, rng: rng{state: seed}}
+}
+
+type shortReader struct {
+	r   io.Reader
+	rng rng
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.r.Read(p)
+	}
+	n := int(s.rng.next()%8) + 1
+	if n > len(p) {
+		n = len(p)
+	}
+	return s.r.Read(p[:n])
+}
+
+// rng is splitmix64: tiny, seedable and good enough for read-size jitter.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

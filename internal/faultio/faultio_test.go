@@ -1,0 +1,126 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTruncate(t *testing.T) {
+	data := []byte("0123456789")
+	if got := Truncate(data, 4); string(got) != "0123" {
+		t.Fatalf("Truncate = %q", got)
+	}
+	if got := Truncate(data, -1); len(got) != 0 {
+		t.Fatalf("Truncate(-1) = %q", got)
+	}
+	if got := Truncate(data, 99); string(got) != "0123456789" {
+		t.Fatalf("Truncate(99) = %q", got)
+	}
+	// Copies: mutating the result must not touch the input.
+	got := Truncate(data, 10)
+	got[0] = 'X'
+	if data[0] != '0' {
+		t.Fatal("Truncate aliases its input")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	data := []byte("abcd")
+	got := Corrupt(data, 2, 0xff)
+	if string(data) != "abcd" {
+		t.Fatal("Corrupt mutated its input")
+	}
+	if got[2] != 'c'^0xff || got[0] != 'a' || got[3] != 'd' {
+		t.Fatalf("Corrupt = %v", got)
+	}
+	if got := Corrupt(data, 99, 0xff); !bytes.Equal(got, data) {
+		t.Fatal("out-of-range offset changed data")
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	r := TruncateReader(strings.NewReader("0123456789"), 6)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "012345" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// A parser that keeps reading sees clean EOF, as with a real cut file.
+	if _, err := r.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("after cut: %v", err)
+	}
+}
+
+func TestCorruptReader(t *testing.T) {
+	// The flip must land on the right stream offset even across small reads.
+	r := CorruptReader(strings.NewReader("0123456789"), 7, 0x01)
+	var got []byte
+	buf := make([]byte, 3)
+	for {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	want := []byte("0123456789")
+	want[7] ^= 0x01
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestErrReaderAt(t *testing.T) {
+	r := ErrReaderAt(strings.NewReader("0123456789"), 4, nil)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("got %q before the fault", got)
+	}
+	custom := errors.New("device error")
+	r = ErrReaderAt(strings.NewReader("x"), 0, custom)
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, custom) {
+		t.Fatalf("custom err = %v", err)
+	}
+}
+
+func TestShortReaderDeterministic(t *testing.T) {
+	src := strings.Repeat("abcdefgh", 100)
+	read := func(seed uint64) ([]byte, []int) {
+		r := ShortReader(strings.NewReader(src), seed)
+		var data []byte
+		var sizes []int
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(buf)
+			data = append(data, buf[:n]...)
+			if n > 0 {
+				sizes = append(sizes, n)
+			}
+			if err != nil {
+				break
+			}
+		}
+		return data, sizes
+	}
+	a, sa := read(42)
+	b, sb := read(42)
+	if string(a) != src || string(b) != src {
+		t.Fatal("ShortReader changed the byte stream")
+	}
+	if len(sa) != len(sb) {
+		t.Fatal("same seed, different read pattern")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed, different read pattern")
+		}
+		if sa[i] < 1 || sa[i] > 8 {
+			t.Fatalf("read size %d out of range", sa[i])
+		}
+	}
+}

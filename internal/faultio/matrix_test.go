@@ -1,0 +1,255 @@
+package faultio_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/expdb"
+	"repro/internal/faultio"
+	"repro/internal/ingest"
+	"repro/internal/lower"
+	"repro/internal/merge"
+	"repro/internal/metric"
+	"repro/internal/mpi"
+	"repro/internal/profile"
+	"repro/internal/sampler"
+	"repro/internal/structfile"
+	"repro/internal/workloads"
+)
+
+// The fault-injection matrix: every workload's measurement files and
+// experiment databases, in both format versions, under truncation and
+// byte-corruption sweeps. The invariant is the robustness contract of the
+// ingestion pipeline — a damaged input produces a clean typed error or a
+// documented degraded result, never a panic or a hang.
+
+// artifact is one on-disk byte image plus the decoder contract for it.
+type artifact struct {
+	name string
+	data []byte
+	// decode parses data, reporting (degraded, err). degraded means the
+	// open succeeded but carried notes about dropped sections.
+	decode func(data []byte) (bool, error)
+	// checksummed formats must detect any single-byte corruption; v1
+	// formats only promise not to crash (a flipped byte may decode into
+	// different, internally consistent data).
+	checksummed bool
+}
+
+func decodeProfile(data []byte) (bool, error) {
+	_, err := profile.Read(bytes.NewReader(data))
+	return false, err
+}
+
+func decodeDB(data []byte) (bool, error) {
+	e, err := expdb.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return false, err
+	}
+	return len(e.Notes) > 0, nil
+}
+
+// buildArtifacts simulates one workload at a small rank count and encodes
+// its first rank profile and merged database in every format version.
+func buildArtifacts(t *testing.T, name string) []artifact {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := lower.Lower(spec.Program, spec.LowerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := structfile.Recover(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := mpi.Run(im, mpi.Config{NRanks: 2, Events: sampler.DefaultEvents(spec.Period)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := merge.Profiles(doc, profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Summary columns populate the overrides section; a provenance record
+	// populates section 6, so the sweep exercises every v2 section kind.
+	for _, d := range res.Tree.Reg.Columns() {
+		if d.Kind == metric.Raw {
+			if err := res.AddSummaries(d.ID, metric.OpMean, metric.OpMax); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	exp := expdb.FromMerge(res)
+	exp.Provenance = &ingest.Report{Attempted: 3, Merged: 2, Bad: []ingest.BadRank{
+		{Path: "lost.cpprof", Rank: 2, Offset: 5, Class: ingest.ClassTruncated, Message: "unexpected EOF"},
+	}}
+
+	enc := func(name string, f func(*bytes.Buffer) error, decode func([]byte) (bool, error), sum bool) artifact {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return artifact{name: name, data: buf.Bytes(), decode: decode, checksummed: sum}
+	}
+	p := profs[0]
+	return []artifact{
+		enc("profile-v2", func(b *bytes.Buffer) error { return p.Write(b) }, decodeProfile, true),
+		enc("profile-v1", func(b *bytes.Buffer) error { return p.WriteV1(b) }, decodeProfile, false),
+		enc("expdb-v2", func(b *bytes.Buffer) error { return exp.WriteBinary(b) }, decodeDB, true),
+		enc("expdb-v1", func(b *bytes.Buffer) error { return exp.WriteBinaryV1(b) }, decodeDB, false),
+	}
+}
+
+// sweepOffsets picks byte positions covering both ends densely and the
+// interior with an even stride, bounding the quadratic sweep cost.
+func sweepOffsets(n, samples int) []int {
+	seen := make(map[int]bool)
+	var offs []int
+	add := func(i int) {
+		if i >= 0 && i < n && !seen[i] {
+			seen[i] = true
+			offs = append(offs, i)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		add(i)
+		add(n - 1 - i)
+	}
+	if samples > 0 {
+		step := n / samples
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			add(i)
+		}
+	}
+	return offs
+}
+
+// frameOffsets walks a v2 frame and returns one offset inside every
+// structural element: each id byte, length varint, payload and CRC
+// trailer, plus magic and end marker — "every section of every file".
+func frameOffsets(data []byte, magicLen int) []int {
+	offs := []int{0, magicLen - 1} // magic
+	off := magicLen
+	for off < len(data) {
+		offs = append(offs, off) // id byte (or end marker)
+		if data[off] == 0 {
+			break
+		}
+		n, vlen := binary.Uvarint(data[off+1:])
+		if vlen <= 0 {
+			break
+		}
+		offs = append(offs, off+1) // length varint
+		payload := off + 1 + vlen
+		if n > 0 {
+			offs = append(offs, payload+int(n)/2, payload, payload+int(n)-1)
+		}
+		offs = append(offs, payload+int(n), payload+int(n)+3) // CRC trailer
+		off = payload + int(n) + 4
+	}
+	return offs
+}
+
+// decodeSafely runs decode with panic containment so a crash is reported
+// as a test failure naming the byte offset, not a process abort.
+func decodeSafely(t *testing.T, a artifact, data []byte, what string) (degraded bool, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("%s/%s: PANIC: %v", a.name, what, r)
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return a.decode(data)
+}
+
+func TestFaultMatrix(t *testing.T) {
+	for _, workload := range workloads.Names() {
+		t.Run(workload, func(t *testing.T) {
+			for _, a := range buildArtifacts(t, workload) {
+				a := a
+				t.Run(a.name+"/baseline", func(t *testing.T) {
+					degraded, err := decodeSafely(t, a, a.data, "baseline")
+					if err != nil {
+						t.Fatalf("pristine file rejected: %v", err)
+					}
+					if degraded {
+						t.Fatal("pristine file opened degraded")
+					}
+				})
+				t.Run(a.name+"/truncate", func(t *testing.T) {
+					for _, cut := range sweepOffsets(len(a.data), 64) {
+						_, err := decodeSafely(t, a, faultio.Truncate(a.data, cut), fmt.Sprintf("cut@%d", cut))
+						if err == nil {
+							t.Errorf("truncation at %d/%d read cleanly", cut, len(a.data))
+						}
+					}
+				})
+				t.Run(a.name+"/corrupt", func(t *testing.T) {
+					offs := sweepOffsets(len(a.data), 64)
+					if a.checksummed {
+						// Also hit every structural element of the frame:
+						// magic ("CPP2" is 4 bytes, "CPDB2" is 5), ids,
+						// lengths, payloads, CRC trailers, end marker.
+						magicLen := 4
+						if a.name == "expdb-v2" {
+							magicLen = 5
+						}
+						offs = append(offs, frameOffsets(a.data, magicLen)...)
+					}
+					for _, off := range offs {
+						mut := faultio.Corrupt(a.data, off, 0x10)
+						degraded, err := decodeSafely(t, a, mut, fmt.Sprintf("flip@%d", off))
+						if !a.checksummed {
+							continue // v1: no-crash is the whole contract
+						}
+						if err == nil && !degraded {
+							t.Errorf("corruption at %d/%d went undetected", off, len(a.data))
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// Streaming faults: the readers must also behave when the transport —
+// not the stored bytes — fails or dribbles.
+func TestReaderFaults(t *testing.T) {
+	for _, a := range buildArtifacts(t, "toy") {
+		a := a
+		t.Run(a.name+"/ioerror", func(t *testing.T) {
+			r := faultio.ErrReaderAt(bytes.NewReader(a.data), int64(len(a.data)/2), nil)
+			var err error
+			if a.name == "profile-v1" || a.name == "profile-v2" {
+				_, err = profile.Read(r)
+			} else {
+				_, err = expdb.ReadBinary(r)
+			}
+			if err == nil {
+				t.Fatal("mid-file I/O error ignored")
+			}
+		})
+		t.Run(a.name+"/shortreads", func(t *testing.T) {
+			r := faultio.ShortReader(bytes.NewReader(a.data), 7)
+			var err error
+			if a.name == "profile-v1" || a.name == "profile-v2" {
+				_, err = profile.Read(r)
+			} else {
+				_, err = expdb.ReadBinary(r)
+			}
+			if err != nil {
+				t.Fatalf("short reads broke a pristine file: %v", err)
+			}
+		})
+	}
+}

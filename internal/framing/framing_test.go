@@ -1,0 +1,209 @@
+package framing
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func frame(t *testing.T, magic string, secs map[byte][]byte, order []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range order {
+		if err := w.Section(id, secs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	secs := map[byte][]byte{
+		1: []byte("hello"),
+		2: {},
+		3: bytes.Repeat([]byte{0xab}, 3000),
+	}
+	data := frame(t, "MAGK", secs, []byte{1, 2, 3})
+	// Both with a known size and with size unknown (non-seekable source).
+	for _, size := range []int64{int64(len(data)), -1} {
+		r, err := NewReader(bytes.NewReader(data), size, "MAGK")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for {
+			id, payload, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("size=%d: %v", size, err)
+			}
+			got = append(got, id)
+			if !bytes.Equal(payload, secs[id]) {
+				t.Fatalf("size=%d: section %d payload mismatch", size, id)
+			}
+		}
+		if string(got) != "\x01\x02\x03" {
+			t.Fatalf("size=%d: sections %v", size, got)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := frame(t, "MAGK", map[byte][]byte{1: []byte("x")}, []byte{1})
+	var fe *FrameError
+	if _, err := NewReader(bytes.NewReader(data), int64(len(data)), "OTHR"); !errors.As(err, &fe) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	if _, err := NewReader(strings.NewReader("MA"), 2, "MAGK"); err == nil {
+		t.Fatal("short magic accepted")
+	}
+}
+
+func TestChecksumErrorIsRecoverable(t *testing.T) {
+	secs := map[byte][]byte{1: []byte("first"), 2: []byte("second"), 3: []byte("third")}
+	data := frame(t, "MAGK", secs, []byte{1, 2, 3})
+	// Corrupt a payload byte of section 2 ("second" starts after
+	// 4 magic + 1 id + 1 len + 5 payload + 4 crc + 1 id + 1 len).
+	off := bytes.Index(data, []byte("second"))
+	data[off] ^= 0xff
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)), "MAGK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]bool{}
+	for {
+		id, payload, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		var ck *ChecksumError
+		if errors.As(err, &ck) {
+			if ck.SectionID != 2 {
+				t.Fatalf("checksum failure on section %d", ck.SectionID)
+			}
+			// The damaged payload is still surfaced, fully consumed.
+			if len(payload) != len(secs[2]) {
+				t.Fatalf("damaged payload length %d", len(payload))
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[id] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("intact sections lost: %v", seen)
+	}
+}
+
+func TestTruncationIsFatal(t *testing.T) {
+	data := frame(t, "MAGK", map[byte][]byte{1: []byte("payload"), 2: []byte("more")}, []byte{1, 2})
+	for n := len("MAGK"); n < len(data); n++ {
+		r, err := NewReader(bytes.NewReader(data[:n]), int64(n), "MAGK")
+		if err != nil {
+			continue // magic itself truncated
+		}
+		for {
+			_, _, err := r.Next()
+			if err == io.EOF {
+				t.Fatalf("prefix %d/%d read cleanly", n, len(data))
+			}
+			if err != nil {
+				var fe *FrameError
+				var ck *ChecksumError
+				if !errors.As(err, &fe) && !errors.As(err, &ck) {
+					t.Fatalf("prefix %d: untyped error %v", n, err)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestLyingLengthBounded(t *testing.T) {
+	// A section claiming far more payload than the input holds must be
+	// rejected when the size is known, and must not allocate it either way.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, "MAGK")
+	buf.WriteByte(7)
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // uvarint ~2^62
+	_ = w
+	data := buf.Bytes()
+	for _, size := range []int64{int64(len(data)), -1} {
+		r, err := NewReader(bytes.NewReader(data), size, "MAGK")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fe *FrameError
+		if _, _, err := r.Next(); !errors.As(err, &fe) {
+			t.Fatalf("size=%d: lying length error = %v", size, err)
+		}
+	}
+}
+
+func TestWriterRejectsEndMarkerID(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "MAGK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section(0, []byte("x")); err == nil {
+		t.Fatal("section id 0 accepted")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	br := bytes.NewReader([]byte("hello world"))
+	if got := SizeOf(br); got != 11 {
+		t.Fatalf("SizeOf = %d", got)
+	}
+	// Partially consumed: remaining bytes only.
+	var one [6]byte
+	if _, err := io.ReadFull(br, one[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeOf(br); got != 5 {
+		t.Fatalf("SizeOf after read = %d", got)
+	}
+	// The measurement must not disturb the read position.
+	rest, err := io.ReadAll(br)
+	if err != nil || string(rest) != "world" {
+		t.Fatalf("position disturbed: %q, %v", rest, err)
+	}
+	if got := SizeOf(strings.NewReader("x")); got != 1 {
+		t.Fatalf("SizeOf(strings.Reader) = %d", got)
+	}
+	if got := SizeOf(io.LimitReader(br, 1)); got != -1 {
+		t.Fatalf("SizeOf(non-seeker) = %d", got)
+	}
+}
+
+func TestTrailingGarbageAfterEndMarker(t *testing.T) {
+	// The reader stops at the end marker; callers detect trailing bytes
+	// themselves. Next after EOF keeps returning EOF-ish results without
+	// panicking.
+	data := frame(t, "MAGK", map[byte][]byte{1: []byte("x")}, []byte{1})
+	data = append(data, "garbage"...)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)), "MAGK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF at end marker, got %v", err)
+	}
+}

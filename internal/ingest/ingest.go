@@ -1,0 +1,178 @@
+// Package ingest tracks what happened while a set of per-rank measurement
+// files was merged into one experiment database. At scale some ranks will
+// be truncated (killed jobs), corrupted (flaky filesystems) or unreadable
+// (permissions, lost blocks); hpcprof's -keep-going mode quarantines those
+// files instead of aborting, and the Report records exactly which ranks
+// were dropped so the database can carry "merged 1021/1024 ranks" as
+// provenance rather than silently presenting partial data as complete.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Class buckets ingestion failures by what went wrong, so operators can
+// distinguish "the filesystem lost the tail" from "the file is garbage".
+type Class uint8
+
+const (
+	// ClassCorrupt: the file parsed wrongly — bad magic, failed checksum,
+	// implausible counts, validation failure.
+	ClassCorrupt Class = iota
+	// ClassTruncated: the file ended mid-structure (killed job, partial
+	// write).
+	ClassTruncated
+	// ClassUnreadable: the file could not be opened or read at all.
+	ClassUnreadable
+	// ClassInternal: processing the file panicked or failed inside the
+	// merge pipeline; the file itself may be fine.
+	ClassInternal
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCorrupt:
+		return "corrupt"
+	case ClassTruncated:
+		return "truncated"
+	case ClassUnreadable:
+		return "unreadable"
+	case ClassInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ClassFromName inverts Class.String, for deserializing provenance.
+func ClassFromName(s string) (Class, error) {
+	for _, c := range []Class{ClassCorrupt, ClassTruncated, ClassUnreadable, ClassInternal} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("ingest: unknown error class %q", s)
+}
+
+// Classify buckets an ingestion error. Unexpected EOFs are truncation
+// (including bare io.EOF, which binary readers surface when a count
+// promises more data than the file holds); filesystem errors are
+// unreadable; panics are internal; everything else is corruption.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassCorrupt
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassInternal
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return ClassTruncated
+	}
+	var pathErr *fs.PathError
+	if errors.As(err, &pathErr) || errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) {
+		return ClassUnreadable
+	}
+	return ClassCorrupt
+}
+
+// PanicError wraps a recovered panic from a merge worker so one poisoned
+// shard surfaces as a typed error instead of crashing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in worker: %v", e.Value)
+}
+
+// BadRank records one quarantined measurement file. Fields are plain
+// values (the error is flattened to a message) so the record serializes
+// into the experiment database's provenance section.
+type BadRank struct {
+	// Path is the measurement file.
+	Path string
+	// Rank is the MPI rank, or -1 when the file broke before the rank
+	// could be parsed.
+	Rank int
+	// Offset is the approximate byte offset reached before the failure
+	// (read-buffer granularity), or -1 when unknown.
+	Offset int64
+	// Class buckets the failure.
+	Class Class
+	// Message is the error text.
+	Message string
+}
+
+func (b BadRank) String() string {
+	rank := "?"
+	if b.Rank >= 0 {
+		rank = fmt.Sprintf("%d", b.Rank)
+	}
+	return fmt.Sprintf("%s (rank %s, %s at offset %d): %s", b.Path, rank, b.Class, b.Offset, b.Message)
+}
+
+// Report is the structured outcome of a fault-tolerant merge: how many
+// files were attempted, how many merged, and exactly which were
+// quarantined. The zero value is ready to use.
+type Report struct {
+	// Attempted is the number of measurement files the merge was given.
+	Attempted int
+	// Merged is the number successfully folded in.
+	Merged int
+	// Bad lists the quarantined files, sorted by path.
+	Bad []BadRank
+}
+
+// Quarantine records one bad file. Concurrent callers must synchronize
+// (cmd/hpcprof guards the report with a mutex).
+func (r *Report) Quarantine(b BadRank) {
+	r.Bad = append(r.Bad, b)
+}
+
+// Sort orders the quarantine list by path, making reports deterministic
+// regardless of which worker hit which file first.
+func (r *Report) Sort() {
+	sort.Slice(r.Bad, func(i, j int) bool { return r.Bad[i].Path < r.Bad[j].Path })
+}
+
+// Clean reports whether every attempted file merged.
+func (r *Report) Clean() bool { return len(r.Bad) == 0 && r.Merged == r.Attempted }
+
+// Summary is the one-line provenance string, e.g.
+// "merged 1021/1024 ranks (3 quarantined: 2 truncated, 1 corrupt)".
+func (r *Report) Summary() string {
+	if r.Clean() {
+		return fmt.Sprintf("merged %d/%d ranks", r.Merged, r.Attempted)
+	}
+	counts := map[Class]int{}
+	for _, b := range r.Bad {
+		counts[b.Class]++
+	}
+	var parts []string
+	for _, c := range []Class{ClassCorrupt, ClassTruncated, ClassUnreadable, ClassInternal} {
+		if counts[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", counts[c], c))
+		}
+	}
+	return fmt.Sprintf("merged %d/%d ranks (%d quarantined: %s)",
+		r.Merged, r.Attempted, len(r.Bad), strings.Join(parts, ", "))
+}
+
+// CountReader counts bytes read through it, giving quarantine records an
+// offset even when the underlying parser buffers ahead.
+type CountReader struct {
+	R io.Reader
+	N int64
+}
+
+func (c *CountReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.N += int64(n)
+	return n, err
+}

@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{io.ErrUnexpectedEOF, ClassTruncated},
+		{fmt.Errorf("reading x: %w", io.ErrUnexpectedEOF), ClassTruncated},
+		{io.EOF, ClassTruncated},
+		{&fs.PathError{Op: "open", Path: "x", Err: fs.ErrNotExist}, ClassUnreadable},
+		{fs.ErrPermission, ClassUnreadable},
+		{&PanicError{Value: "boom"}, ClassInternal},
+		{fmt.Errorf("wrap: %w", &PanicError{Value: 1}), ClassInternal},
+		{errors.New("bad magic"), ClassCorrupt},
+		{nil, ClassCorrupt},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestClassNamesRoundTrip(t *testing.T) {
+	for _, c := range []Class{ClassCorrupt, ClassTruncated, ClassUnreadable, ClassInternal} {
+		got, err := ClassFromName(c.String())
+		if err != nil || got != c {
+			t.Errorf("ClassFromName(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ClassFromName("martian"); err == nil {
+		t.Error("unknown class name accepted")
+	}
+}
+
+func TestReportSummaryAndSort(t *testing.T) {
+	r := &Report{Attempted: 1024, Merged: 1021}
+	r.Quarantine(BadRank{Path: "z.cpprof", Rank: 9, Offset: 4, Class: ClassTruncated, Message: "eof"})
+	r.Quarantine(BadRank{Path: "a.cpprof", Rank: -1, Offset: -1, Class: ClassCorrupt, Message: "bad magic"})
+	r.Quarantine(BadRank{Path: "m.cpprof", Rank: 3, Offset: 10, Class: ClassTruncated, Message: "eof"})
+	if r.Clean() {
+		t.Fatal("Clean with quarantined files")
+	}
+	r.Sort()
+	if r.Bad[0].Path != "a.cpprof" || r.Bad[2].Path != "z.cpprof" {
+		t.Fatalf("sort order: %v", r.Bad)
+	}
+	got := r.Summary()
+	want := "merged 1021/1024 ranks (3 quarantined: 1 corrupt, 2 truncated)"
+	if got != want {
+		t.Fatalf("Summary = %q, want %q", got, want)
+	}
+
+	clean := &Report{Attempted: 4, Merged: 4}
+	if !clean.Clean() {
+		t.Fatal("clean report not Clean")
+	}
+	if s := clean.Summary(); s != "merged 4/4 ranks" {
+		t.Fatalf("clean Summary = %q", s)
+	}
+}
+
+func TestBadRankString(t *testing.T) {
+	b := BadRank{Path: "r7.cpprof", Rank: 7, Offset: 99, Class: ClassCorrupt, Message: "bad node kind"}
+	s := b.String()
+	for _, want := range []string{"r7.cpprof", "rank 7", "corrupt", "offset 99", "bad node kind"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	unk := BadRank{Path: "x", Rank: -1, Offset: -1, Class: ClassUnreadable, Message: "denied"}
+	if !strings.Contains(unk.String(), "rank ?") {
+		t.Errorf("unknown rank rendered as %q", unk.String())
+	}
+}
+
+func TestCountReader(t *testing.T) {
+	cr := &CountReader{R: strings.NewReader("0123456789")}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(cr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if cr.N != 4 {
+		t.Fatalf("N = %d after 4 bytes", cr.N)
+	}
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.N != 10 {
+		t.Fatalf("N = %d after drain", cr.N)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	err := error(&PanicError{Value: "kaboom", Stack: []byte("stack")})
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", err)
+	}
+	var pe *PanicError
+	if !errors.As(fmt.Errorf("merge: %w", err), &pe) {
+		t.Fatal("PanicError lost through wrapping")
+	}
+}

@@ -1,11 +1,16 @@
 package merge
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/metric"
 	"repro/internal/profile"
 	"repro/internal/structfile"
@@ -119,6 +124,11 @@ func Combine(accs []*Accumulator) (*Accumulator, error) {
 			wg.Add(1)
 			go func(slot int, dst, src *Accumulator) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[slot] = &ingest.PanicError{Value: r, Stack: debug.Stack()}
+					}
+				}()
 				errs[slot] = dst.Merge(src)
 			}(i/2, accs[i], accs[i+1])
 		}
@@ -143,6 +153,26 @@ func Combine(accs []*Accumulator) (*Accumulator, error) {
 // to the sequential Profiles fold: identical tree, scope order and metric
 // sums; summary statistics within floating-point reassociation error.
 func ProfilesJobs(doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Result, error) {
+	return ProfilesJobsCtx(context.Background(), doc, profs, jobs)
+}
+
+// addRecover folds one profile with panic containment: a poisoned profile
+// (or a bug tickled by it) surfaces as a typed *ingest.PanicError instead
+// of crashing the whole merge.
+func addRecover(acc *Accumulator, p *profile.Profile) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ingest.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return acc.Add(p)
+}
+
+// ProfilesJobsCtx is ProfilesJobs with cancellation and panic containment:
+// workers stop at the next profile once ctx is done, the first failure
+// halts the remaining work, and a panic while folding one profile is
+// reported as an *ingest.PanicError rather than crashing the process.
+func ProfilesJobsCtx(ctx context.Context, doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Result, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -152,7 +182,10 @@ func ProfilesJobs(doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Res
 	if jobs <= 1 {
 		acc := NewAccumulator(doc)
 		for _, p := range profs {
-			if err := acc.Add(p); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := addRecover(acc, p); err != nil {
 				return nil, err
 			}
 		}
@@ -161,6 +194,7 @@ func ProfilesJobs(doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Res
 
 	accs := make([]*Accumulator, jobs)
 	errs := make([]error, jobs)
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		accs[w] = NewAccumulator(doc)
@@ -169,18 +203,37 @@ func ProfilesJobs(doc *structfile.Doc, profs []*profile.Profile, jobs int) (*Res
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			for _, p := range profs[lo:hi] {
-				if err := accs[w].Add(p); err != nil {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
 					errs[w] = err
+					return
+				}
+				if err := addRecover(accs[w], p); err != nil {
+					errs[w] = err
+					stop.Store(true)
 					return
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Prefer a real failure over a cancellation notice.
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
 	}
 	acc, err := Combine(accs)
 	if err != nil {

@@ -1,0 +1,65 @@
+package merge
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+// A nil profile in the slice panics inside Add (the correlate layer
+// dereferences it); the worker must surface that as a typed error, not
+// crash the process.
+func TestMergePanicBecomesError(t *testing.T) {
+	doc, profs := workloadFixture(t, "toy", 4)
+	profs[1] = nil
+	for _, jobs := range []int{1, 2, 4} {
+		_, err := ProfilesJobs(doc, profs, jobs)
+		if err == nil {
+			t.Fatalf("jobs=%d: nil profile accepted", jobs)
+		}
+		var pe *ingest.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: error %T is not a PanicError: %v", jobs, err, err)
+		}
+		if ingest.Classify(err) != ingest.ClassInternal {
+			t.Fatalf("jobs=%d: panic classified as %v", jobs, ingest.Classify(err))
+		}
+	}
+}
+
+func TestMergeCtxCancel(t *testing.T) {
+	doc, profs := workloadFixture(t, "toy", 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 4} {
+		_, err := ProfilesJobsCtx(ctx, doc, profs, jobs)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+	}
+}
+
+// A poisoned accumulator (nil tree) panics inside Merge during the
+// pairwise reduction; Combine must recover it into an error.
+func TestCombinePanicRecovered(t *testing.T) {
+	doc, profs := workloadFixture(t, "toy", 2)
+	a := NewAccumulator(doc)
+	if err := a.Add(profs[0]); err != nil {
+		t.Fatal(err)
+	}
+	b := NewAccumulator(doc)
+	if err := b.Add(profs[1]); err != nil {
+		t.Fatal(err)
+	}
+	b.res.Tree = nil
+	_, err := Combine([]*Accumulator{a, b})
+	if err == nil {
+		t.Fatal("poisoned accumulator accepted")
+	}
+	var pe *ingest.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a PanicError: %v", err, err)
+	}
+}

@@ -1,6 +1,7 @@
 package metric
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -46,8 +47,33 @@ func (e *Expr) String() string { return e.src }
 // in ascending order.
 func (e *Expr) ColumnRefs() []int { return e.refs }
 
-// Eval evaluates the formula against env.
-func (e *Expr) Eval(env Env) float64 { return e.root.eval(env) }
+// EvalError reports a formula that could not be evaluated (an operator or
+// function the evaluator does not implement — possible only for expression
+// trees not produced by Parse, which validates both). It is a typed error
+// rather than a panic so a bad user formula reaches hpcviewer's error
+// reporting instead of crashing the process.
+type EvalError struct {
+	Formula string
+	Detail  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("metric: formula %q: %s", e.Formula, e.Detail)
+}
+
+// Eval evaluates the formula against env. Formulas produced by Parse
+// cannot fail; hand-built expression trees may return an *EvalError.
+func (e *Expr) Eval(env Env) (float64, error) {
+	v, err := e.root.eval(env)
+	if err != nil {
+		var ee *EvalError
+		if errors.As(err, &ee) && ee.Formula == "" {
+			ee.Formula = e.src
+		}
+		return 0, err
+	}
+	return v, nil
+}
 
 // Parse compiles a formula.
 func Parse(src string) (*Expr, error) {
@@ -82,47 +108,57 @@ func MustParse(src string) *Expr {
 }
 
 type node interface {
-	eval(Env) float64
+	eval(Env) (float64, error)
 }
 
 type numNode float64
 
-func (n numNode) eval(Env) float64 { return float64(n) }
+func (n numNode) eval(Env) (float64, error) { return float64(n), nil }
 
 type colNode int
 
-func (n colNode) eval(env Env) float64 { return env.Column(int(n)) }
+func (n colNode) eval(env Env) (float64, error) { return env.Column(int(n)), nil }
 
 type unaryNode struct{ x node }
 
-func (n unaryNode) eval(env Env) float64 { return -n.x.eval(env) }
+func (n unaryNode) eval(env Env) (float64, error) {
+	v, err := n.x.eval(env)
+	return -v, err
+}
 
 type binNode struct {
 	op   byte
 	l, r node
 }
 
-func (n binNode) eval(env Env) float64 {
-	a, b := n.l.eval(env), n.r.eval(env)
+func (n binNode) eval(env Env) (float64, error) {
+	a, err := n.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	b, err := n.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
 	switch n.op {
 	case '+':
-		return a + b
+		return a + b, nil
 	case '-':
-		return a - b
+		return a - b, nil
 	case '*':
-		return a * b
+		return a * b, nil
 	case '/':
 		if b == 0 {
 			// Metric tables are sparse; division by an absent metric is
 			// common (e.g. efficiency of a scope with no cycles). Treat
 			// it as zero rather than propagating Inf/NaN into sorts.
-			return 0
+			return 0, nil
 		}
-		return a / b
+		return a / b, nil
 	case '^':
-		return math.Pow(a, b)
+		return math.Pow(a, b), nil
 	}
-	panic("metric: unknown operator " + string(n.op))
+	return 0, &EvalError{Detail: fmt.Sprintf("unknown operator %q", string(n.op))}
 }
 
 type callNode struct {
@@ -130,36 +166,49 @@ type callNode struct {
 	args []node
 }
 
-func (n callNode) eval(env Env) float64 {
+func (n callNode) eval(env Env) (float64, error) {
+	// Small arg lists (every function except variadic min/max with many
+	// arguments) evaluate into a stack buffer.
+	var buf [4]float64
+	vals := buf[:0]
+	if len(n.args) > len(buf) {
+		vals = make([]float64, 0, len(n.args))
+	}
+	for _, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
 	switch n.name {
 	case "abs":
-		return math.Abs(n.args[0].eval(env))
+		return math.Abs(vals[0]), nil
 	case "sqrt":
-		return math.Sqrt(n.args[0].eval(env))
+		return math.Sqrt(vals[0]), nil
 	case "log":
-		x := n.args[0].eval(env)
-		if x <= 0 {
-			return 0
+		if vals[0] <= 0 {
+			return 0, nil
 		}
-		return math.Log(x)
+		return math.Log(vals[0]), nil
 	case "exp":
-		return math.Exp(n.args[0].eval(env))
+		return math.Exp(vals[0]), nil
 	case "pow":
-		return math.Pow(n.args[0].eval(env), n.args[1].eval(env))
+		return math.Pow(vals[0], vals[1]), nil
 	case "min":
-		m := n.args[0].eval(env)
-		for _, a := range n.args[1:] {
-			m = math.Min(m, a.eval(env))
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Min(m, v)
 		}
-		return m
+		return m, nil
 	case "max":
-		m := n.args[0].eval(env)
-		for _, a := range n.args[1:] {
-			m = math.Max(m, a.eval(env))
+		m := vals[0]
+		for _, v := range vals[1:] {
+			m = math.Max(m, v)
 		}
-		return m
+		return m, nil
 	}
-	panic("metric: unknown function " + n.name)
+	return 0, &EvalError{Detail: fmt.Sprintf("unknown function %q", n.name)}
 }
 
 func collectRefs(n node, seen map[int]bool, out *[]int) {

@@ -1,7 +1,9 @@
 package metric
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -21,7 +23,20 @@ func evalOK(t *testing.T, src string, env Env) float64 {
 	if err != nil {
 		t.Fatalf("Parse(%q): %v", src, err)
 	}
-	return e.Eval(env)
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+// mustEval evaluates an expression that is known to be valid.
+func mustEval(e *Expr, env Env) float64 {
+	v, err := e.Eval(env)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 func TestFormulaArithmetic(t *testing.T) {
@@ -143,7 +158,7 @@ func TestFormulaDivisionNeverNaN(t *testing.T) {
 			return true
 		}
 		e := MustParse("$0 / $1 + $2 / ($0 - $0)")
-		got := e.Eval(cols{a, b, c})
+		got := mustEval(e, cols{a, b, c})
 		return !math.IsNaN(got)
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -158,9 +173,39 @@ func TestFormulaDistributivity(t *testing.T) {
 	right := MustParse("$0*$2 + $1*$2")
 	f := func(a, b, c int16) bool {
 		env := cols{float64(a), float64(b), float64(c)}
-		return left.Eval(env) == right.Eval(env)
+		return mustEval(left, env) == mustEval(right, env)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Evaluation errors are typed, not panics: a hand-built expression tree
+// with an operator or function the evaluator does not implement must
+// surface an *EvalError carrying the formula source.
+func TestEvalErrorsAreTyped(t *testing.T) {
+	env := cols{1, 2, 3}
+	badOp := &Expr{root: binNode{op: '%', l: numNode(1), r: numNode(2)}, src: "1%2"}
+	if _, err := badOp.Eval(env); err == nil {
+		t.Fatal("unknown operator evaluated without error")
+	} else {
+		var ee *EvalError
+		if !errors.As(err, &ee) {
+			t.Fatalf("unknown operator error is %T, want *EvalError", err)
+		}
+		if ee.Formula != "1%2" {
+			t.Fatalf("EvalError.Formula = %q, want the expression source", ee.Formula)
+		}
+	}
+	badFn := &Expr{root: callNode{name: "median", args: []node{numNode(1)}}, src: "median(1)"}
+	if _, err := badFn.Eval(env); err == nil {
+		t.Fatal("unknown function evaluated without error")
+	} else if !strings.Contains(err.Error(), "median") {
+		t.Fatalf("error does not name the function: %v", err)
+	}
+	// The error must also propagate out of nested expressions.
+	nested := &Expr{root: binNode{op: '+', l: numNode(1), r: callNode{name: "median", args: []node{numNode(1)}}}, src: "1+median(1)"}
+	if _, err := nested.Eval(env); err == nil {
+		t.Fatal("nested unknown function evaluated without error")
 	}
 }

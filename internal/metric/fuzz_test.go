@@ -25,7 +25,9 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		_ = e.Eval(env)
+		if _, everr := e.Eval(env); everr != nil {
+			t.Fatalf("parsed formula failed to evaluate: %v", everr)
+		}
 		_ = e.ColumnRefs()
 		if e.String() != src {
 			t.Fatalf("String() = %q, want %q", e.String(), src)

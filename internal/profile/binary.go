@@ -2,27 +2,51 @@ package profile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/framing"
 )
 
-// Binary measurement-file format ("CPP1"): varint-based, preorder tree.
+// Binary measurement-file formats.
 //
-//	magic "CPP1"
-//	program string, rank, thread
-//	nMetrics { name, unit, period }*
-//	node := callPC(delta-less uvarint)
+// v1 ("CPP1") is a bare varint stream: magic, program/rank/thread/
+// fingerprint, metric descriptors, then the preorder tree
+//
+//	node := callPC uvarint
 //	        nSamples { pc uvarint, counts[nMetrics] uvarint }*
 //	        nChildren node*
 //
-// Strings are uvarint length + bytes. The format is the stand-in for
-// hpcrun's measurement files and is deliberately compact: Section IX of the
-// paper names replacing XML with "a more compact binary format" as ongoing
-// work.
+// v2 ("CPP2") wraps the same encodings in the checksummed section
+// container of internal/framing:
+//
+//	magic "CPP2"
+//	section 1 (header): program, rank, thread, fingerprint, metrics
+//	section 2 (tree):   preorder node stream as in v1
+//	end marker
+//
+// Every section carries a CRC32C trailer, so a flipped bit anywhere in a
+// measurement file is detected at read time instead of silently skewing
+// merged metrics. Both sections are required: damage to either fails the
+// read (rank-level quarantine in hpcprof handles the fallout). Strings are
+// uvarint length + bytes throughout. The format is the stand-in for
+// hpcrun's measurement files and is deliberately compact: Section IX of
+// the paper names replacing XML with "a more compact binary format" as
+// ongoing work.
 
-const profMagic = "CPP1"
+const (
+	profMagic   = "CPP1"
+	profMagicV2 = "CPP2"
+)
+
+// v2 section ids.
+const (
+	profSecHeader byte = 1
+	profSecTree   byte = 2
+)
 
 const maxProfileStrLen = 1 << 20
 
@@ -60,20 +84,70 @@ func readString(r *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-// Write serializes the profile.
+// Write serializes the profile in the current (v2, checksummed) format.
 func (p *Profile) Write(w io.Writer) error {
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if p.Rank < 0 || p.Thread < 0 {
+		return fmt.Errorf("profile: negative rank/thread %d/%d", p.Rank, p.Thread)
+	}
+	var hdr bytes.Buffer
+	hw := bufio.NewWriter(&hdr)
+	if err := p.writeHeader(hw); err != nil {
+		return err
+	}
+	if err := hw.Flush(); err != nil {
+		return err
+	}
+	var tree bytes.Buffer
+	tw := bufio.NewWriter(&tree)
+	if err := writeNode(tw, p.Root, len(p.Metrics)); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fw, err := framing.NewWriter(w, profMagicV2)
+	if err != nil {
+		return err
+	}
+	if err := fw.Section(profSecHeader, hdr.Bytes()); err != nil {
+		return err
+	}
+	if err := fw.Section(profSecTree, tree.Bytes()); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// WriteV1 serializes the profile in the legacy unchecksummed v1 format,
+// kept for compatibility tests and for producing old-format files.
+func (p *Profile) WriteV1(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Rank < 0 || p.Thread < 0 {
+		return fmt.Errorf("profile: negative rank/thread %d/%d", p.Rank, p.Thread)
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(profMagic); err != nil {
 		return err
 	}
-	if err := writeString(bw, p.Program); err != nil {
+	if err := p.writeHeader(bw); err != nil {
 		return err
 	}
-	if p.Rank < 0 || p.Thread < 0 {
-		return fmt.Errorf("profile: negative rank/thread %d/%d", p.Rank, p.Thread)
+	if err := writeNode(bw, p.Root, len(p.Metrics)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeHeader emits the fields shared by both versions: program, rank,
+// thread, fingerprint and the metric descriptors.
+func (p *Profile) writeHeader(bw *bufio.Writer) error {
+	if err := writeString(bw, p.Program); err != nil {
+		return err
 	}
 	if err := writeUvarint(bw, uint64(p.Rank)); err != nil {
 		return err
@@ -98,10 +172,7 @@ func (p *Profile) Write(w io.Writer) error {
 			return err
 		}
 	}
-	if err := writeNode(bw, p.Root, len(p.Metrics)); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return nil
 }
 
 func writeNode(w *bufio.Writer, n *Node, nMetrics int) error {
@@ -134,55 +205,41 @@ func writeNode(w *bufio.Writer, n *Node, nMetrics int) error {
 	return nil
 }
 
-// Read deserializes a profile written by Write.
+// Read deserializes a profile in either format, sniffing the magic.
 func Read(r io.Reader) (*Profile, error) {
+	size := framing.SizeOf(r)
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(profMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("profile: reading magic: %w", err)
+	magic, err := br.Peek(len(profMagic))
+	if err != nil {
+		return nil, fmt.Errorf("profile: reading magic: %w", noEOF(err))
 	}
-	if string(magic) != profMagic {
+	switch string(magic) {
+	case profMagic:
+		return readV1(br)
+	case profMagicV2:
+		return readV2(br, size)
+	default:
 		return nil, fmt.Errorf("profile: bad magic %q", magic)
 	}
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: callers of Read
+// always expect a complete profile, so running out of input mid-stream is
+// truncation, not a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func readV1(br *bufio.Reader) (*Profile, error) {
+	if _, err := br.Discard(len(profMagic)); err != nil {
+		return nil, err
+	}
 	p := &Profile{}
-	var err error
-	if p.Program, err = readString(br); err != nil {
+	if err := p.readHeader(br); err != nil {
 		return nil, err
-	}
-	rank, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	thread, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if rank > math.MaxInt32 || thread > math.MaxInt32 {
-		return nil, fmt.Errorf("profile: implausible rank/thread %d/%d", rank, thread)
-	}
-	p.Rank, p.Thread = int(rank), int(thread)
-	if p.Fingerprint, err = readUvarint(br); err != nil {
-		return nil, err
-	}
-	nm, err := readUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nm > 1024 {
-		return nil, fmt.Errorf("profile: implausible metric count %d", nm)
-	}
-	for i := uint64(0); i < nm; i++ {
-		var m MetricInfo
-		if m.Name, err = readString(br); err != nil {
-			return nil, err
-		}
-		if m.Unit, err = readString(br); err != nil {
-			return nil, err
-		}
-		if m.Period, err = readUvarint(br); err != nil {
-			return nil, err
-		}
-		p.Metrics = append(p.Metrics, m)
 	}
 	root, err := readNode(br, len(p.Metrics), 0)
 	if err != nil {
@@ -195,6 +252,111 @@ func Read(r io.Reader) (*Profile, error) {
 	return p, nil
 }
 
+func readV2(br *bufio.Reader, size int64) (*Profile, error) {
+	fr, err := framing.NewReader(br, size, profMagicV2)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	p := &Profile{}
+	var sawHeader, sawTree bool
+	for {
+		id, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Both sections are required, so checksum damage is as fatal
+			// as framing damage here.
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		switch id {
+		case profSecHeader:
+			if sawHeader {
+				return nil, fmt.Errorf("profile: duplicate header section")
+			}
+			pr := bufio.NewReader(bytes.NewReader(payload))
+			if err := p.readHeader(pr); err != nil {
+				return nil, err
+			}
+			if _, err := pr.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("profile: trailing bytes in header section")
+			}
+			sawHeader = true
+		case profSecTree:
+			if !sawHeader {
+				return nil, fmt.Errorf("profile: tree section before header")
+			}
+			if sawTree {
+				return nil, fmt.Errorf("profile: duplicate tree section")
+			}
+			pr := bufio.NewReader(bytes.NewReader(payload))
+			root, err := readNode(pr, len(p.Metrics), 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := pr.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("profile: trailing bytes in tree section")
+			}
+			p.Root = root
+			sawTree = true
+		default:
+			// Unknown sections are skipped for forward compatibility;
+			// their checksum was still verified by Next.
+		}
+	}
+	if !sawHeader || !sawTree {
+		return nil, fmt.Errorf("profile: missing required section (header %v, tree %v)", sawHeader, sawTree)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// readHeader parses the fields shared by both versions into p.
+func (p *Profile) readHeader(br *bufio.Reader) error {
+	var err error
+	if p.Program, err = readString(br); err != nil {
+		return noEOF(err)
+	}
+	rank, err := readUvarint(br)
+	if err != nil {
+		return noEOF(err)
+	}
+	thread, err := readUvarint(br)
+	if err != nil {
+		return noEOF(err)
+	}
+	if rank > math.MaxInt32 || thread > math.MaxInt32 {
+		return fmt.Errorf("profile: implausible rank/thread %d/%d", rank, thread)
+	}
+	p.Rank, p.Thread = int(rank), int(thread)
+	if p.Fingerprint, err = readUvarint(br); err != nil {
+		return noEOF(err)
+	}
+	nm, err := readUvarint(br)
+	if err != nil {
+		return noEOF(err)
+	}
+	if nm > 1024 {
+		return fmt.Errorf("profile: implausible metric count %d", nm)
+	}
+	for i := uint64(0); i < nm; i++ {
+		var m MetricInfo
+		if m.Name, err = readString(br); err != nil {
+			return noEOF(err)
+		}
+		if m.Unit, err = readString(br); err != nil {
+			return noEOF(err)
+		}
+		if m.Period, err = readUvarint(br); err != nil {
+			return noEOF(err)
+		}
+		p.Metrics = append(p.Metrics, m)
+	}
+	return nil
+}
+
 const maxTreeDepth = 100_000
 
 func readNode(r *bufio.Reader, nMetrics int, depth int) (*Node, error) {
@@ -204,21 +366,21 @@ func readNode(r *bufio.Reader, nMetrics int, depth int) (*Node, error) {
 	n := &Node{}
 	var err error
 	if n.CallPC, err = readUvarint(r); err != nil {
-		return nil, err
+		return nil, noEOF(err)
 	}
 	ns, err := readUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, noEOF(err)
 	}
 	for i := uint64(0); i < ns; i++ {
 		pc, err := readUvarint(r)
 		if err != nil {
-			return nil, err
+			return nil, noEOF(err)
 		}
 		row := make([]uint64, nMetrics)
 		for j := 0; j < nMetrics; j++ {
 			if row[j], err = readUvarint(r); err != nil {
-				return nil, err
+				return nil, noEOF(err)
 			}
 		}
 		if n.samples == nil {
@@ -231,7 +393,7 @@ func readNode(r *bufio.Reader, nMetrics int, depth int) (*Node, error) {
 	}
 	nc, err := readUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, noEOF(err)
 	}
 	for i := uint64(0); i < nc; i++ {
 		c, err := readNode(r, nMetrics, depth+1)

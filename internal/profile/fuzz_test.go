@@ -9,15 +9,20 @@ import (
 // parse into a valid profile or return an error — never panic, never
 // produce a profile that fails validation.
 func FuzzRead(f *testing.F) {
-	// Seed with a genuine encoding and some mutations.
+	// Seed with genuine encodings of both versions and some mutations.
 	p := randomProfile(7)
-	var buf bytes.Buffer
+	var buf, bufV1 bytes.Buffer
 	if err := p.Write(&buf); err != nil {
 		f.Fatal(err)
 	}
+	if err := p.WriteV1(&bufV1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufV1.Bytes())
 	good := buf.Bytes()
 	f.Add(good)
 	f.Add([]byte("CPP1"))
+	f.Add([]byte("CPP2"))
 	f.Add([]byte{})
 	if len(good) > 10 {
 		mutated := append([]byte(nil), good...)

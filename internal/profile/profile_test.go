@@ -275,3 +275,57 @@ func TestEmptyNodeAccessors(t *testing.T) {
 		t.Fatal("empty node accessors wrong")
 	}
 }
+
+func TestV1CompatRoundTrip(t *testing.T) {
+	// Old-format files must keep reading after the v2 switch.
+	p := randomProfile(11)
+	var buf bytes.Buffer
+	if err := p.WriteV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("CPP1")) {
+		t.Fatalf("WriteV1 magic = %q", buf.Bytes()[:4])
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !profilesEqual(p, got) {
+		t.Fatal("v1 round trip changed the profile")
+	}
+}
+
+func TestV2MagicAndChecksum(t *testing.T) {
+	p := randomProfile(12)
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("CPP2")) {
+		t.Fatalf("Write magic = %q", data[:4])
+	}
+	// Any single flipped bit in the body must be caught by a section CRC
+	// (or the parse), never accepted silently.
+	for off := 4; off < len(data); off += 7 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off)
+		}
+	}
+}
+
+func TestV2TruncationAlwaysErrors(t *testing.T) {
+	p := randomProfile(13)
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n++ {
+		if _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+}

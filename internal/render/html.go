@@ -212,7 +212,9 @@ func RenderHTMLReport(w io.Writer, t *core.Tree, title string, hotMetric int, op
 		return err
 	}
 	cv := core.BuildCallersView(t)
-	cv.ExpandAllParallel(0)
+	if err := cv.ExpandAllParallel(0); err != nil {
+		return err
+	}
 	if err := RenderHTML(w, title+" — Callers View", cv.Roots, t.Reg, opt); err != nil {
 		return err
 	}

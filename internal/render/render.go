@@ -91,7 +91,9 @@ func RenderTree(w io.Writer, t *core.Tree, opt Options) error {
 // RenderCallers expands (concurrently, one goroutine per CPU) and renders
 // a Callers View. totals should come from the originating tree.
 func RenderCallers(w io.Writer, v *core.CallersView, t *core.Tree, opt Options) error {
-	v.ExpandAllParallel(0)
+	if err := v.ExpandAllParallel(0); err != nil {
+		return err
+	}
 	if opt.Totals == nil {
 		opt.Totals = t.Total
 	}

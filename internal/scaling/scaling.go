@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/merge"
 )
 
 // Mode selects the scaling expectation.
@@ -74,6 +75,20 @@ func (r *Result) LossFraction() float64 {
 		return 0
 	}
 	return r.TotalExcess / r.TotalCost
+}
+
+// AnalyzeMerged compares two merge results, taking the rank counts from
+// the merges themselves rather than from cfg. After a quarantining
+// (-keep-going) merge, NRanks counts only the ranks actually folded, so
+// the per-rank normalization stays correct even when some measurement
+// files were dropped. Any rank counts set in cfg are overridden.
+func AnalyzeMerged(small, big *merge.Result, cfg Config) (*Result, error) {
+	if small == nil || big == nil {
+		return nil, fmt.Errorf("scaling: nil merge result")
+	}
+	cfg.RanksSmall = small.NRanks
+	cfg.RanksBig = big.NRanks
+	return Analyze(small.Tree, big.Tree, cfg)
 }
 
 // Analyze annotates big's tree with the excess-work column. Both trees

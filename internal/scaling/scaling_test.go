@@ -44,7 +44,10 @@ func (nRanks) Eval(p *prog.Params) int64 {
 	return int64(p.NRanks)
 }
 
-func runAt(t *testing.T, ranks int) *core.Tree {
+// runResAt simulates the program at the given width and merges the first
+// keep ranks (all of them when keep <= 0), mimicking a quarantining merge
+// where some rank files were dropped.
+func runResAt(t *testing.T, ranks, keep int) *merge.Result {
 	t.Helper()
 	im, err := lower.Lower(scalableProg(t), lower.Options{})
 	if err != nil {
@@ -60,11 +63,19 @@ func runAt(t *testing.T, ranks int) *core.Tree {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if keep > 0 && keep < len(profs) {
+		profs = profs[:keep]
+	}
 	res, err := merge.Profiles(doc, profs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return res.Tree
+	return res
+}
+
+func runAt(t *testing.T, ranks int) *core.Tree {
+	t.Helper()
+	return runResAt(t, ranks, 0).Tree
 }
 
 func TestWeakScalingLossAttribution(t *testing.T) {
@@ -126,6 +137,44 @@ func TestStrongScalingExpectation(t *testing.T) {
 	// is 10000/4 = 2500, so excess ~7500.
 	if ex := comp.Incl.Get(res.Column); ex < 6500 || ex > 8500 {
 		t.Fatalf("compute strong-scaling excess = %g, want ~7500", ex)
+	}
+}
+
+// AnalyzeMerged takes the rank counts from the merges, so a merge that
+// quarantined ranks normalizes by the ranks actually folded — identical to
+// Analyze fed the post-quarantine counts explicitly.
+func TestAnalyzeMergedUsesActualRankCounts(t *testing.T) {
+	small := runResAt(t, 2, 0)
+	// Two ranks of the 8-wide run were "quarantined".
+	big := runResAt(t, 8, 6)
+	if big.NRanks != 6 {
+		t.Fatalf("NRanks = %d, want 6", big.NRanks)
+	}
+	res, err := AnalyzeMerged(small, big, Config{Metric: "CYCLES", Mode: Weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runResAt(t, 8, 6)
+	refRes, err := Analyze(small.Tree, ref.Tree, Config{
+		Metric: "CYCLES", Mode: Weak, RanksSmall: 2, RanksBig: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalExcess-refRes.TotalExcess) > 1e-9 {
+		t.Fatalf("TotalExcess = %g, want %g", res.TotalExcess, refRes.TotalExcess)
+	}
+	exch := big.Tree.FindPath("main", "exchange")
+	if exch == nil {
+		t.Fatal("exchange missing")
+	}
+	// Per-rank exchange work is rank-count-proportional even in the
+	// truncated merge: 160*100 − 40*100 = 12000 per rank.
+	if ex := exch.Incl.Get(res.Column); ex < 10000 || ex > 14000 {
+		t.Fatalf("exchange excess = %g, want ~12000", ex)
+	}
+	if _, err := AnalyzeMerged(nil, big, Config{}); err == nil {
+		t.Fatal("nil result accepted")
 	}
 }
 

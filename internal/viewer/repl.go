@@ -107,14 +107,18 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 	case "expandall":
 		if len(args) == 0 {
 			for _, r := range s.VisibleRows() {
-				s.ExpandAll(r.Node)
+				if err := s.ExpandAll(r.Node); err != nil {
+					return false, err
+				}
 			}
 		} else {
 			n, err := rowArg()
 			if err != nil {
 				return false, err
 			}
-			s.ExpandAll(n)
+			if err := s.ExpandAll(n); err != nil {
+				return false, err
+			}
 		}
 		return false, renderNow()
 	case "select":

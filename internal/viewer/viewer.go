@@ -221,15 +221,19 @@ func (s *Session) Expand(n *core.Node) {
 // Collapse closes one scope.
 func (s *Session) Collapse(n *core.Node) { delete(s.expanded, n) }
 
-// ExpandAll opens every scope under n (and n itself).
-func (s *Session) ExpandAll(n *core.Node) {
+// ExpandAll opens every scope under n (and n itself). In the Callers View
+// this materializes every caller subtrie, which can fail on a damaged
+// view; the scopes opened so far stay open.
+func (s *Session) ExpandAll(n *core.Node) error {
+	var err error
 	if s.view == ViewCallers && s.callers != nil {
-		s.callers.ExpandAll()
+		err = s.callers.ExpandAll()
 	}
 	core.Walk(n, func(x *core.Node) bool {
 		s.expanded[x] = true
 		return true
 	})
+	return err
 }
 
 // HotPath runs hot-path analysis (Equation 3) over the given metric from
