@@ -4,10 +4,11 @@
 
 GO ?= go
 
-# Merge + core benchmark selection shared by bench/benchdiff. ChildLookup
-# is a nanosecond-scale operation and needs a fixed high iteration count —
-# 30 iterations of a ~50ns op is pure timer noise.
-BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary
+# Merge + core + query benchmark selection shared by bench/benchdiff.
+# ChildLookup is a nanosecond-scale operation and needs a fixed high
+# iteration count — 30 iterations of a ~50ns op is pure timer noise.
+# HotPath is anchored so it does not also select BenchmarkHotPathSize.
+BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen
 BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
 	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem .
 
@@ -27,8 +28,8 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Merge + core benchmarks with allocation stats — the numbers recorded in
-# BENCH_merge.json and BENCH_core.json.
+# Merge + core + query benchmarks with allocation stats — the numbers
+# recorded in BENCH_merge.json, BENCH_core.json and BENCH_query.json.
 bench:
 	@$(BENCH_CMD)
 
@@ -36,7 +37,7 @@ bench:
 # deterministic and fail the diff when they regress; ns/op is reported but
 # only fails beyond 50% (single-CPU container timing is noisy).
 benchdiff:
-	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json
+	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json
 
 # Run every root benchmark body once (N=1) — the rot guard behind verify.
 bench-smoke:

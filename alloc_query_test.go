@@ -1,0 +1,56 @@
+// Allocation regression tests for the columnar query engine: once warm,
+// re-evaluating derived metrics and re-sorting the tree must not allocate
+// at all — the scratch buffers (topo index, kernel column lists, label
+// cache) are the mechanism behind the BENCH_query.json allocs/op claims,
+// and these tests keep them from regressing silently.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestApplyDerivedTreeSteadyStateAllocs(t *testing.T) {
+	tr := syntheticCCT(20_000, 7)
+	if _, err := tr.Reg.AddDerived("d1", "$0 * 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Reg.AddDerived("d2", "$1 + $0"); err != nil {
+		t.Fatal(err)
+	}
+	tr.ComputeMetrics()
+	// First run materializes the output columns and the compiled programs.
+	if err := tr.ApplyDerivedTree(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := tr.ApplyDerivedTree(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ApplyDerivedTree allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+func TestSortTreeSteadyStateAllocs(t *testing.T) {
+	tr := syntheticCCT(20_000, 7)
+	tr.ComputeMetrics()
+	desc := core.SortSpec{}
+	asc := core.SortSpec{Ascending: true}
+	byLabel := core.SortSpec{ByLabel: true}
+	// Warm every direction once: the first sort interns the tie-break
+	// labels and materializes the read-only column slabs.
+	core.SortTree(tr.Root, desc)
+	core.SortTree(tr.Root, asc)
+	core.SortTree(tr.Root, byLabel)
+	allocs := testing.AllocsPerRun(5, func() {
+		core.SortTree(tr.Root, desc)
+		core.SortTree(tr.Root, asc)
+		core.SortTree(tr.Root, byLabel)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SortTree allocates %.1f objects/run, want 0", allocs)
+	}
+}

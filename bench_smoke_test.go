@@ -55,6 +55,11 @@ func TestBenchSmoke(t *testing.T) {
 		{"BuildCCT", BenchmarkBuildCCT},
 		{"ReadBinary", BenchmarkReadBinary},
 		{"ChildLookup", BenchmarkChildLookup},
+		{"DerivedEval", BenchmarkDerivedEval},
+		{"SortTree", BenchmarkSortTree},
+		{"HotPath", BenchmarkHotPath},
+		{"ComputeMetrics", BenchmarkComputeMetrics},
+		{"LazyOpen", BenchmarkLazyOpen},
 	}
 	for _, bm := range benches {
 		bm := bm

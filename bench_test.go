@@ -32,7 +32,7 @@ import (
 
 // --- shared fixtures -------------------------------------------------------
 
-func mustSeqTree(b *testing.B, name string) *core.Tree {
+func mustSeqTree(b testing.TB, name string) *core.Tree {
 	b.Helper()
 	spec, err := workloads.ByName(name)
 	if err != nil {
@@ -64,7 +64,7 @@ func mustSeqTree(b *testing.B, name string) *core.Tree {
 	return tree
 }
 
-func mustMPIProfiles(b *testing.B, name string, ranks int) (*structfile.Doc, []*profile.Profile) {
+func mustMPIProfiles(b testing.TB, name string, ranks int) (*structfile.Doc, []*profile.Profile) {
 	b.Helper()
 	spec, err := workloads.ByName(name)
 	if err != nil {

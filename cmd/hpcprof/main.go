@@ -28,6 +28,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"repro/internal/diag"
 	"repro/internal/expdb"
 	"repro/internal/ingest"
 	"repro/internal/merge"
@@ -43,8 +44,9 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("hpcprof", flag.ContinueOnError)
+	dflags := diag.Register(fs)
 	structPath := fs.String("S", "", "structure file from hpcstruct (required)")
 	out := fs.String("o", "experiment.db", "output database path")
 	format := fs.String("format", "binary", "database format: binary or xml")
@@ -67,6 +69,15 @@ func run(args []string) error {
 	if *maxBad >= 0 {
 		*keepGoing = true
 	}
+	stopDiag, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if derr := stopDiag(); derr != nil && err == nil {
+			err = derr
+		}
+	}()
 
 	sf, err := os.Open(*structPath)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/expdb"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -43,8 +44,9 @@ type derivedFlags []string
 func (d *derivedFlags) String() string     { return strings.Join(*d, ";") }
 func (d *derivedFlags) Set(s string) error { *d = append(*d, s); return nil }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("hpcviewer", flag.ContinueOnError)
+	dflags := diag.Register(fs)
 	db := fs.String("db", "", "experiment database from hpcprof (required)")
 	view := fs.String("view", "cc", "view: cc (calling context), callers, flat")
 	sortBy := fs.String("sort", "", "metric column to sort by, e.g. CYCLES or CYCLES:excl (default first column inclusive)")
@@ -67,6 +69,22 @@ func run(args []string) error {
 	}
 	if *db == "" {
 		return fmt.Errorf("missing -db")
+	}
+	stopDiag, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if derr := stopDiag(); derr != nil && err == nil {
+			err = derr
+		}
+	}()
+
+	if *interactive {
+		// Interactive sessions open the database lazily: the CCT and metric
+		// table decode now; the overrides and provenance sections decode
+		// only if a command touches them.
+		return runInteractive(*db, derived, *workload, *structPath, *measDir)
 	}
 
 	exp, err := readDB(*db)
@@ -120,26 +138,6 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *htmlOut)
 		return nil
-	}
-
-	if *interactive {
-		var source *prog.Program
-		if *workload != "" {
-			spec, err := workloads.ByName(*workload)
-			if err != nil {
-				return err
-			}
-			source = spec.Program
-		}
-		s := viewer.New(tree, source)
-		if *structPath != "" && *measDir != "" {
-			doc, profs, err := loadMeasurements(*structPath, *measDir)
-			if err != nil {
-				return err
-			}
-			s.AttachProfiles(doc, profs)
-		}
-		return repl(s)
 	}
 
 	sortSpec := core.SortSpec{}
@@ -201,6 +199,67 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown view %q (want cc, callers or flat)", *view)
 	}
+}
+
+// runInteractive opens the database lazily and drives the REPL over it.
+// For a v2 database only the string table, header, metric table and CCT
+// are decoded up front; override-backed metric columns (summaries,
+// computed values) fault in through the session's column faulter the first
+// time a command sorts by, renders or hot-paths them, and degradation
+// notes appear on stderr the moment a damaged section is first touched —
+// exactly the notes an eager open would have printed at startup.
+func runInteractive(dbPath string, derived derivedFlags, workload, structPath, measDir string) error {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	// OpenLazy consumes the whole stream (the CRC scan), retaining section
+	// payloads in memory, so the file handle can close now.
+	ldb, err := expdb.OpenLazy(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", dbPath, err)
+	}
+	exp := ldb.Experiment()
+	printed := 0
+	flushNotes := func() {
+		for ; printed < len(exp.Notes); printed++ {
+			fmt.Fprintf(os.Stderr, "hpcviewer: warning: %s\n", exp.Notes[printed])
+		}
+	}
+	flushNotes()
+
+	var source *prog.Program
+	if workload != "" {
+		spec, err := workloads.ByName(workload)
+		if err != nil {
+			return err
+		}
+		source = spec.Program
+	}
+	s := viewer.New(exp.Tree, source)
+	s.SetColumnFaulter(func(id int) error {
+		err := ldb.NeedColumn(id)
+		flushNotes()
+		return err
+	})
+	for _, d := range derived {
+		kv := strings.SplitN(d, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -derived %q (want name=formula)", d)
+		}
+		if err := s.AddDerivedMetric(kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	if structPath != "" && measDir != "" {
+		doc, profs, err := loadMeasurements(structPath, measDir)
+		if err != nil {
+			return err
+		}
+		s.AttachProfiles(doc, profs)
+	}
+	return repl(s)
 }
 
 // loadMeasurements reads a structure file plus every .cpprof profile in a

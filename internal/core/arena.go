@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/metric"
+
 // nodeArena allocates Nodes in chunked slabs. A CCT allocates tens of
 // thousands of scopes that live and die together with their tree, so
 // individual heap objects buy nothing and cost an allocation (plus GC
@@ -13,6 +15,12 @@ package core
 // readers only follow node pointers, never alloc.
 type nodeArena struct {
 	slab []Node
+	// store is the columnar metric store backing this arena's nodes: each
+	// alloc claims one dense row and binds the node's Base/Incl/Excl views
+	// to it. One store per arena keeps the invariant that slab views never
+	// alias across trees (a tree, a callers-view root, a flat view each
+	// own a private store, so parallel builders never share slabs).
+	store *metric.Store
 }
 
 // Slab capacities double from arenaMinChunk to arenaMaxChunk: a toy tree
@@ -38,5 +46,12 @@ func (a *nodeArena) alloc() *Node {
 		a.slab = make([]Node, 0, c)
 	}
 	a.slab = a.slab[:len(a.slab)+1]
-	return &a.slab[len(a.slab)-1]
+	n := &a.slab[len(a.slab)-1]
+	if a.store != nil {
+		row := a.store.AddRow()
+		n.Base = metric.NewView(a.store, metric.PlaneBase, row)
+		n.Incl = metric.NewView(a.store, metric.PlaneIncl, row)
+		n.Excl = metric.NewView(a.store, metric.PlaneExcl, row)
+	}
+	return n
 }

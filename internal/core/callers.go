@@ -88,20 +88,23 @@ func BuildCallersView(t *Tree) *CallersView {
 		id := frameProc(n)
 		row, ok := rows[id]
 		if !ok {
-			row = &Node{Key: Key{Kind: KindProc, Name: n.Name, File: n.File, Line: n.Line},
-				NoSource: n.NoSource}
-			// Each root row owns a private arena: its subtrie is built by
-			// exactly one goroutine (under the expansion Once), so disjoint
-			// roots expand in parallel with no allocator contention.
-			row.arena = &nodeArena{}
+			// Each root row owns a private arena and metric store: its
+			// subtrie is built by exactly one goroutine (under the expansion
+			// Once), so disjoint roots expand in parallel with no allocator
+			// contention — and no store's slabs are ever shared across trees.
+			arena := &nodeArena{store: metric.NewStore()}
+			row = arena.alloc()
+			row.Key = Key{Kind: KindProc, Name: n.Name, File: n.File, Line: n.Line}
+			row.NoSource = n.NoSource
+			row.arena = arena
 			rows[id] = row
 			v.Roots = append(v.Roots, row)
 			v.expand[row] = &expandState{}
 		}
 		v.instances[row] = append(v.instances[row], n)
 		if exposed(n) {
-			row.Incl.AddVector(&n.Incl)
-			row.Excl.AddVector(&n.Excl)
+			row.Incl.AddView(&n.Incl)
+			row.Excl.AddView(&n.Excl)
 		}
 		return true
 	})
@@ -191,8 +194,8 @@ func (v *CallersView) buildSubtrie(root *Node) {
 			// d+1; the instance contributes when that length exceeds
 			// the deepest prefix shared with an ancestor instance.
 			if d+1 > d0 {
-				cur.Incl.AddVector(&inst.Incl)
-				cur.Excl.AddVector(&inst.Excl)
+				cur.Incl.AddView(&inst.Incl)
+				cur.Excl.AddView(&inst.Excl)
 			}
 			callee = caller
 		}

@@ -34,10 +34,13 @@ type FlatView struct {
 func BuildFlatView(t *Tree) *FlatView {
 	t.EnsureComputed()
 	v := &FlatView{Reg: t.Reg}
-	root := &Node{Key: Key{Kind: KindRoot}}
-	// The view is built by this one goroutine; a private arena packs its
-	// scopes into slabs like the CCT's.
-	root.arena = &nodeArena{}
+	// The view is built by this one goroutine; a private arena with its own
+	// metric store packs its scopes into slabs like the CCT's, keeping the
+	// no-cross-tree-aliasing invariant.
+	arena := &nodeArena{store: metric.NewStore()}
+	root := arena.alloc()
+	root.Key = Key{Kind: KindRoot}
+	root.arena = arena
 
 	// active counts, per flat scope, how many CCT ancestors on the
 	// current walk path map into that scope's flat subtree.
@@ -91,17 +94,17 @@ func BuildFlatView(t *Tree) *FlatView {
 
 			for _, s := range fp {
 				if active[s] == 0 {
-					s.Incl.AddVector(&n.Incl)
+					s.Incl.AddView(&n.Incl)
 				}
 			}
 			self := fp[len(fp)-1]
 			switch n.Kind {
 			case KindFrame:
 				if active[self] == 0 {
-					self.Excl.AddVector(&n.Excl)
+					self.Excl.AddView(&n.Excl)
 				}
 			case KindLoop, KindAlien, KindStmt:
-				self.Excl.AddVector(&n.Excl)
+				self.Excl.AddView(&n.Excl)
 			}
 			touched = append(touched, fp...)
 
@@ -111,7 +114,7 @@ func BuildFlatView(t *Tree) *FlatView {
 				cs := ctx.Child(Key{Kind: KindCallSite, Name: n.Name, File: n.CallFile, Line: n.CallLine, ID: n.ID}, true)
 				cs.NoSource = n.NoSource
 				if active[cs] == 0 {
-					cs.Incl.AddVector(&n.Incl)
+					cs.Incl.AddView(&n.Incl)
 					cs.Excl.AddVector(StaticExcl(n))
 				}
 				touched = append(touched, cs)
@@ -141,11 +144,10 @@ func BuildFlatView(t *Tree) *FlatView {
 			fixContainers(c)
 		}
 		if s.Kind == KindFile || s.Kind == KindLM {
-			var sum metric.Vector
+			s.Excl.Reset()
 			for _, c := range s.Children {
-				sum.AddVector(&c.Excl)
+				s.Excl.AddView(&c.Excl)
 			}
-			s.Excl = sum
 		}
 	}
 	fixContainers(root)

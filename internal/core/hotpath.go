@@ -1,6 +1,11 @@
 package core
 
-import "sort"
+import (
+	"slices"
+	"strings"
+
+	"repro/internal/metric"
+)
 
 // Hot path analysis (Section V-C, Equation 3): starting from a scope x,
 // repeatedly descend into the child with the greatest inclusive value of
@@ -24,20 +29,38 @@ func HotPath(start *Node, metricID int, t float64) []*Node {
 	if t <= 0 {
 		t = DefaultHotPathThreshold
 	}
+	// Hoist the inclusive column slab out of the descent: per-child reads
+	// become direct row loads instead of store lookups. ColRead never
+	// materializes anything, so concurrent queries over a shared tree stay
+	// race-free; nodes from a different store (or none) take the slow path.
+	st := start.Incl.Store()
+	var slab []float64
+	if st != nil {
+		slab = st.ColRead(metric.PlaneIncl, metricID)
+	}
+	incl := func(n *Node) float64 {
+		if st != nil && n.Incl.Store() == st {
+			if r := int(n.Incl.Row()); r < len(slab) {
+				return slab[r]
+			}
+			return 0
+		}
+		return n.Incl.Get(metricID)
+	}
 	path := []*Node{start}
 	cur := start
 	for {
 		var best *Node
 		var bestVal float64
 		for _, c := range cur.Children {
-			if v := c.Incl.Get(metricID); best == nil || v > bestVal {
+			if v := incl(c); best == nil || v > bestVal {
 				best, bestVal = c, v
 			}
 		}
 		if best == nil {
 			return path
 		}
-		parentVal := cur.Incl.Get(metricID)
+		parentVal := incl(cur)
 		if parentVal <= 0 || bestVal < t*parentVal {
 			return path
 		}
@@ -97,29 +120,82 @@ func (s SortSpec) value(n *Node) float64 {
 // SortScopes orders a sibling list by the spec, breaking ties by label so
 // output is deterministic. The paper's navigation pane keeps every level
 // sorted by the selected metric column (Section V-A).
+//
+// Stable-sorting by a fixed less relation is uniquely determined, so the
+// slices.SortStableFunc comparator here orders identically to the
+// sort.SliceStable closure it replaces — without the interface boxing and
+// per-call closure allocations. On store-backed trees metric reads are
+// direct slab loads and tie-break labels come from the per-node label
+// cache, so steady-state sorting does not allocate.
 func SortScopes(scopes []*Node, spec SortSpec) {
 	if spec.ByLabel {
-		sort.SliceStable(scopes, func(i, j int) bool {
-			return scopes[i].Label() < scopes[j].Label()
+		slices.SortStableFunc(scopes, func(a, b *Node) int {
+			return strings.Compare(a.labelString(), b.labelString())
 		})
 		return
 	}
-	sort.SliceStable(scopes, func(i, j int) bool {
-		a, b := spec.value(scopes[i]), spec.value(scopes[j])
-		if a != b {
-			if spec.Ascending {
-				return a < b
-			}
-			return a > b
+	// Hoist the metric column slab out of the O(n log n) comparisons: on
+	// store-backed siblings each comparison is two direct row loads. The
+	// read-only slab may lag the row count; rows past its end are zero.
+	plane := metric.PlaneIncl
+	if spec.Exclusive {
+		plane = metric.PlaneExcl
+	}
+	var st *metric.Store
+	var slab []float64
+	if len(scopes) > 0 {
+		if st = scopes[0].Incl.Store(); st != nil {
+			slab = st.ColRead(plane, spec.MetricID)
 		}
-		return scopes[i].Label() < scopes[j].Label()
+	}
+	value := func(n *Node) float64 {
+		v := &n.Incl
+		if spec.Exclusive {
+			v = &n.Excl
+		}
+		if st != nil && v.Store() == st {
+			if r := int(v.Row()); r < len(slab) {
+				return slab[r]
+			}
+			return 0
+		}
+		return v.Get(spec.MetricID)
+	}
+	slices.SortStableFunc(scopes, func(x, y *Node) int {
+		a, b := value(x), value(y)
+		if a != b {
+			// Translated from the former sort.SliceStable less function:
+			// NaNs compare as ties here (both directions false), with no
+			// label fallback, preserving its exact ordering.
+			if spec.Ascending {
+				switch {
+				case a < b:
+					return -1
+				case b < a:
+					return 1
+				}
+				return 0
+			}
+			switch {
+			case a > b:
+				return -1
+			case b > a:
+				return 1
+			}
+			return 0
+		}
+		return strings.Compare(x.labelString(), y.labelString())
 	})
 }
 
 // SortTree sorts every sibling list in the subtree.
 func SortTree(start *Node, spec SortSpec) {
-	Walk(start, func(n *Node) bool {
-		SortScopes(n.Children, spec)
-		return true
-	})
+	sortTreeRec(start, spec)
+}
+
+func sortTreeRec(n *Node, spec SortSpec) {
+	SortScopes(n.Children, spec)
+	for _, c := range n.Children {
+		sortTreeRec(c, spec)
+	}
 }

@@ -22,6 +22,14 @@ import (
 // Inclusive costs (Equation 2) are the bottom-up sums of Base, so a fused
 // call-site/callee line reports "the cost of the callee and any routine it
 // calls" (Section V-B).
+//
+// On a store-backed tree the computation runs column-at-a-time over the
+// contiguous metric slabs: one postorder index is built per recomputation
+// (child lists may have been re-sorted since) and each column is then a
+// pair of linear sweeps. Per-parent accumulation follows child order — the
+// same addition sequence as the per-node recursion — and zero additions are
+// bitwise no-ops (slabs never hold negative zero), so the columnar results
+// are bitwise identical to the sparse-vector recursion they replace.
 func (t *Tree) ComputeMetrics() {
 	t.computeMu.Lock()
 	defer t.computeMu.Unlock()
@@ -39,48 +47,191 @@ func (t *Tree) EnsureComputed() {
 	}
 }
 
-// recomputeMetrics does the actual Equation 1/2 walk; callers hold
-// computeMu.
+// Exclusive-rule classes, precomputed per postorder entry so the finalize
+// sweep is a flat switch over dense arrays.
+const (
+	exBase      uint8 = iota // statements, view rows: exclusive = Base
+	exFrame                  // frames: exclusive = frame-local sum
+	exLoopAlien              // loops/inlined code: Base + direct stmt children
+	exRoot                   // the invisible root: empty
+)
+
+// topoScratch is the flattened postorder index of a tree: children precede
+// parents, and siblings appear in child-list order, so a linear pass that
+// adds post[i] into parent[i] replays exactly the additions the recursive
+// walk performed. Rebuilt on each recomputation (sorting reorders child
+// lists) reusing slice capacity, so the steady state allocates nothing.
+type topoScratch struct {
+	post     []int32 // node rows in postorder
+	parent   []int32 // parent row of post[i], -1 for the root
+	addFL    []bool  // post[i] feeds its parent's frame-local sum (Kind != Frame)
+	exKind   []uint8 // exclusive rule class for post[i]
+	stmtLo   []int32 // exLoopAlien entries: range into stmtRows
+	stmtHi   []int32
+	stmtRows []int32 // rows of direct statement children, in child order
+}
+
+func (tp *topoScratch) reset() {
+	tp.post = tp.post[:0]
+	tp.parent = tp.parent[:0]
+	tp.addFL = tp.addFL[:0]
+	tp.exKind = tp.exKind[:0]
+	tp.stmtLo = tp.stmtLo[:0]
+	tp.stmtHi = tp.stmtHi[:0]
+	tp.stmtRows = tp.stmtRows[:0]
+}
+
+// buildTopo flattens the tree into t.topo. It reports false when some node
+// is not backed by the tree's store (hand-attached children on a hand-built
+// tree), in which case the caller must use the per-node recursion.
+func (t *Tree) buildTopo() bool {
+	st := t.arena.store
+	tp := &t.topo
+	tp.reset()
+	ok := true
+	var visit func(n *Node, parentRow int32)
+	visit = func(n *Node, parentRow int32) {
+		if !ok || n.Base.Store() != st {
+			ok = false
+			return
+		}
+		row := n.Base.Row()
+		for _, c := range n.Children {
+			visit(c, row)
+			if !ok {
+				return
+			}
+		}
+		tp.post = append(tp.post, row)
+		tp.parent = append(tp.parent, parentRow)
+		tp.addFL = append(tp.addFL, n.Kind != KindFrame)
+		lo := int32(len(tp.stmtRows))
+		var ek uint8
+		switch n.Kind {
+		case KindFrame:
+			ek = exFrame
+		case KindLoop, KindAlien:
+			ek = exLoopAlien
+			for _, c := range n.Children {
+				if c.Kind == KindStmt {
+					tp.stmtRows = append(tp.stmtRows, c.Base.Row())
+				}
+			}
+		case KindRoot:
+			ek = exRoot
+		default:
+			ek = exBase
+		}
+		tp.exKind = append(tp.exKind, ek)
+		tp.stmtLo = append(tp.stmtLo, lo)
+		tp.stmtHi = append(tp.stmtHi, int32(len(tp.stmtRows)))
+	}
+	visit(t.Root, -1)
+	return ok
+}
+
+// recomputeMetrics does the actual Equation 1/2 computation; callers hold
+// computeMu. Presented values are replaced outright — summary/computed
+// overrides and derived columns are wiped and re-applied by their owners
+// afterwards, exactly as with the per-node vector replacement this
+// supersedes.
 func (t *Tree) recomputeMetrics() {
-	// The walk works with value vectors and assigns them into the node
-	// without re-cloning: AddVector never aliases its argument's storage
-	// (the empty-receiver path copies), so a child's published Incl/Excl
-	// sharing arrays with the vector returned to its parent is safe — the
-	// parent only reads it.
-	var visit func(n *Node) (incl, frameLocal metric.Vector)
-	visit = func(n *Node) (metric.Vector, metric.Vector) {
-		incl := n.Base.CloneValue()
-		frameLocal := n.Base.CloneValue()
+	st := t.arena.store
+	if st == nil || !t.buildTopo() {
+		t.recomputeMetricsGeneric()
+		t.computed = true
+		return
+	}
+	tp := &t.topo
+	rows := st.NumRows()
+	if cap(t.fl) < rows {
+		t.fl = make([]float64, rows)
+	}
+	fl := t.fl[:rows]
+
+	baseCols := st.NumCols(metric.PlaneBase)
+	for col := 0; col < baseCols; col++ {
+		base := st.Col(metric.PlaneBase, col)
+		incl := st.Col(metric.PlaneIncl, col)
+		excl := st.Col(metric.PlaneExcl, col)
+		// Equation 2, plus the frame-local sums feeding Equation 1:
+		// postorder guarantees a child's total is final before it is added
+		// into its parent, in child-list order.
+		copy(incl, base)
+		copy(fl, base)
+		for i, r := range tp.post {
+			if p := tp.parent[i]; p >= 0 {
+				incl[p] += incl[r]
+				if tp.addFL[i] {
+					fl[p] += fl[r]
+				}
+			}
+		}
+		// Equation 1 by precomputed rule class.
+		for i, r := range tp.post {
+			switch tp.exKind[i] {
+			case exBase:
+				excl[r] = base[r]
+			case exFrame:
+				excl[r] = fl[r]
+			case exLoopAlien:
+				v := base[r]
+				for _, sr := range tp.stmtRows[tp.stmtLo[i]:tp.stmtHi[i]] {
+					v += base[sr]
+				}
+				excl[r] = v
+			case exRoot:
+				excl[r] = 0
+			}
+		}
+	}
+	// Presented columns with no base samples (summaries, computed values,
+	// derived results written by earlier passes) are wiped: recomputation
+	// replaces the presented vectors entirely.
+	for col := baseCols; col < st.NumCols(metric.PlaneIncl); col++ {
+		clear(st.Col(metric.PlaneIncl, col))
+	}
+	for col := baseCols; col < st.NumCols(metric.PlaneExcl); col++ {
+		clear(st.Col(metric.PlaneExcl, col))
+	}
+	t.computed = true
+}
+
+// recomputeMetricsGeneric is the per-node recursion, kept for trees whose
+// nodes are not all backed by the tree's store (hand-built Tree literals,
+// hand-attached children in tests).
+func (t *Tree) recomputeMetricsGeneric() {
+	var visit func(n *Node) (incl, frameLocal *metric.Vector)
+	visit = func(n *Node) (*metric.Vector, *metric.Vector) {
+		incl := n.Base.Clone()
+		frameLocal := n.Base.Clone()
 		for _, c := range n.Children {
 			ci, cf := visit(c)
-			incl.AddVector(&ci)
+			incl.AddVector(ci)
 			if c.Kind != KindFrame {
-				frameLocal.AddVector(&cf)
+				frameLocal.AddVector(cf)
 			}
 		}
 		switch n.Kind {
 		case KindFrame:
-			n.Excl = frameLocal
+			n.Excl.SetVector(frameLocal)
 		case KindLoop, KindAlien:
-			ex := n.Base.CloneValue()
+			ex := n.Base.Clone()
 			for _, c := range n.Children {
 				if c.Kind == KindStmt {
-					ex.AddVector(&c.Base)
+					c.Base.Range(func(id int, x float64) { ex.Add(id, x) })
 				}
 			}
-			n.Excl = ex
-		case KindStmt:
-			n.Excl = n.Base.CloneValue()
+			n.Excl.SetVector(ex)
 		case KindRoot:
-			n.Excl = metric.Vector{}
+			n.Excl.Reset()
 		default:
-			n.Excl = n.Base.CloneValue()
+			n.Excl.SetVector(n.Base.Clone())
 		}
-		n.Incl = incl
+		n.Incl.SetVector(incl)
 		return incl, frameLocal
 	}
 	visit(t.Root)
-	t.computed = true
 }
 
 // StaticExcl computes a frame's exclusive cost under the *static* rule: the
@@ -91,64 +242,105 @@ func StaticExcl(frame *Node) *metric.Vector {
 	ex := frame.Base.Clone()
 	for _, c := range frame.Children {
 		if c.Kind == KindStmt {
-			ex.AddVector(&c.Base)
+			c.Base.Range(func(id int, x float64) { ex.Add(id, x) })
 		}
 	}
 	return ex
+}
+
+// compiledDerived pairs a derived column with its compiled stack program.
+type compiledDerived struct {
+	id   int
+	prog *metric.Program
+}
+
+// compileDerived compiles every Derived column of the registry, in registry
+// order, appending to dst (reused scratch for steady-state zero-alloc
+// callers). Compilation reports exactly the *EvalError the tree evaluator
+// would have produced (possible only for hand-built expression trees; Parse
+// validates operators and functions), wrapped the same way.
+func compileDerived(reg *metric.Registry, dst []compiledDerived) ([]compiledDerived, error) {
+	derived := dst
+	for _, d := range reg.Columns() {
+		if d.Kind != metric.Derived {
+			continue
+		}
+		p, err := d.Program()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		derived = append(derived, compiledDerived{id: d.ID, prog: p})
+	}
+	return derived, nil
 }
 
 // ApplyDerived evaluates every Derived column of the registry over each
 // node of the subtree rooted at start, storing results in both the
 // exclusive and inclusive vectors (a derived column is a spreadsheet
 // formula applied row-wise to whichever flavor is displayed, Section V-D).
+// Formulas are compiled once; the per-node evaluation cannot fail after
+// that.
 func ApplyDerived(reg *metric.Registry, start *Node) error {
-	type compiled struct {
-		id   int
-		expr *metric.Expr
-	}
-	var derived []compiled
-	for _, d := range reg.Columns() {
-		if d.Kind != metric.Derived {
-			continue
-		}
-		e, err := d.Expr()
-		if err != nil {
-			return fmt.Errorf("core: %w", err)
-		}
-		derived = append(derived, compiled{id: d.ID, expr: e})
+	derived, err := compileDerived(reg, nil)
+	if err != nil {
+		return err
 	}
 	if len(derived) == 0 {
 		return nil
 	}
-	// Evaluation errors (possible only for hand-built expression trees;
-	// Parse validates operators and functions) abort the walk and surface
-	// as a typed error instead of a panic mid-traversal.
-	var evalErr error
 	Walk(start, func(n *Node) bool {
-		if evalErr != nil {
-			return false
-		}
 		for _, d := range derived {
-			ev, err := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Excl.Get(id) }))
-			if err != nil {
-				evalErr = err
-				return false
-			}
+			ev := d.prog.EvalEnv(metric.EnvFunc(n.Excl.Get))
 			n.Excl.Set(d.id, ev)
-			iv, err := d.expr.Eval(metric.EnvFunc(func(id int) float64 { return n.Incl.Get(id) }))
-			if err != nil {
-				evalErr = err
-				return false
-			}
+			iv := d.prog.EvalEnv(metric.EnvFunc(n.Incl.Get))
 			n.Incl.Set(d.id, iv)
 		}
 		return true
 	})
-	if evalErr != nil {
-		return fmt.Errorf("core: %w", evalErr)
+	return nil
+}
+
+// ApplyDerivedTree applies derived metrics to the whole tree. On a
+// store-backed tree each formula runs as a vectorized kernel over whole
+// metric columns: per derived column — in registry order, so a later
+// formula referencing an earlier derived column sees its final values, like
+// the per-node walk — the referenced slabs are prefetched once and the
+// compiled program fills the output column in a single pass.
+func (t *Tree) ApplyDerivedTree() error {
+	st := t.arena.store
+	if st == nil || !storeBacked(t.Root, st) {
+		return ApplyDerived(t.Reg, t.Root)
+	}
+	derived, err := compileDerived(t.Reg, t.derived[:0])
+	t.derived = derived
+	if err != nil {
+		return err
+	}
+	for _, d := range derived {
+		refs := d.prog.ColumnRefs()
+		for _, plane := range [2]metric.Plane{metric.PlaneExcl, metric.PlaneIncl} {
+			cols := t.kernCols[:0]
+			for _, rc := range refs {
+				cols = append(cols, st.Col(plane, rc))
+			}
+			t.kernCols = cols
+			d.prog.EvalCols(st.Col(plane, d.id), cols)
+		}
 	}
 	return nil
 }
 
-// ApplyDerivedTree applies derived metrics to the whole tree.
-func (t *Tree) ApplyDerivedTree() error { return ApplyDerived(t.Reg, t.Root) }
+// storeBacked reports whether every node under n reads and writes store st
+// — the precondition for whole-column kernels. Closure-free so the check
+// itself does not allocate.
+func storeBacked(n *Node, st *metric.Store) bool {
+	if n.Base.Store() != st {
+		return false
+	}
+	for _, c := range n.Children {
+		if !storeBacked(c, st) {
+			return false
+		}
+	}
+	return true
+}

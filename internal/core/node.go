@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/intern"
 	"repro/internal/metric"
@@ -129,14 +130,22 @@ type Node struct {
 	// node are allocated from the same arena. Nil for hand-built nodes.
 	arena *nodeArena
 
+	// labelSym caches the interned Label() so repeated sort tie-breaks
+	// resolve a symbol instead of re-formatting the label. Zero means
+	// unset (labels are never empty); accessed atomically because sibling
+	// lists may be sorted by concurrent readers.
+	labelSym uint32
+
 	// Base holds directly attributed costs: sample counts at statements
 	// (and barrier samples at dynamic scopes). Views and Equations 1/2
-	// are computed from Base.
-	Base metric.Vector
+	// are computed from Base. For nodes of an arena-owned tree the three
+	// vectors are views into the tree's columnar metric store, indexed by
+	// the node's dense row id.
+	Base metric.View
 	// Excl is the presented exclusive cost (Equation 1 / view rules).
-	Excl metric.Vector
+	Excl metric.View
 	// Incl is the presented inclusive cost (Equation 2).
-	Incl metric.Vector
+	Incl metric.View
 }
 
 // childIndexThreshold is the fan-out at which a scope switches from linear
@@ -246,6 +255,19 @@ func baseName(path string) string {
 	return path
 }
 
+// labelString returns Label(), interned and cached on the node: the sort
+// comparators call it O(n log n) times per sibling list, and formatting
+// loop/statement labels allocates. Safe under concurrent sorts of disjoint
+// sibling lists (the cache cell is atomic; intern.S is idempotent).
+func (n *Node) labelString() string {
+	if s := atomic.LoadUint32(&n.labelSym); s != 0 {
+		return intern.Sym(s).String()
+	}
+	l := n.Label()
+	atomic.StoreUint32(&n.labelSym, uint32(intern.S(l)))
+	return l
+}
+
 // Tree is a canonical calling context tree plus its metric registry.
 type Tree struct {
 	// Program names the measured program.
@@ -265,6 +287,14 @@ type Tree struct {
 	// built concurrently over one shared tree.
 	computeMu sync.Mutex
 	computed  bool
+
+	// topo and the kernel scratch slices are reused across recomputations
+	// and derived-metric sweeps so the steady state allocates nothing;
+	// they are only touched by the single writer that mutates the tree.
+	topo     topoScratch
+	fl       []float64
+	kernCols [][]float64
+	derived  []compiledDerived
 }
 
 // NewTree creates an empty tree with the given registry (a fresh one when
@@ -274,11 +304,17 @@ func NewTree(program string, reg *metric.Registry) *Tree {
 		reg = metric.NewRegistry()
 	}
 	t := &Tree{Program: program, Reg: reg}
+	t.arena.store = metric.NewStore()
 	t.Root = t.arena.alloc()
 	t.Root.Key = Key{Kind: KindRoot}
 	t.Root.arena = &t.arena
 	return t
 }
+
+// MetricStore returns the tree's columnar metric store: one slab per metric
+// column per plane, indexed by dense node row (Node.Base.Row()). Nil only
+// for hand-built Tree literals.
+func (t *Tree) MetricStore() *metric.Store { return t.arena.store }
 
 // AddPath materializes (or finds) the scope chain keys under the root and
 // returns the final node. Intended for tests and tree builders.

@@ -1,0 +1,96 @@
+// Package diag wires Go's runtime diagnostics into the command-line tools:
+// one Register call gives a tool -cpuprofile, -memprofile and -trace flags,
+// and one Start call turns them on. The resulting files feed `go tool
+// pprof` and `go tool trace`, which is how the query-path optimizations in
+// this repository were measured.
+package diag
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the diagnostic output paths (empty = disabled).
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register installs the standard diagnostic flags on a flag set; call
+// before Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	d := &Flags{}
+	fs.StringVar(&d.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&d.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&d.Trace, "trace", "", "write a runtime execution trace to this file")
+	return d
+}
+
+// Start begins the requested collections, returning a stop function that
+// ends them and flushes the files — call it exactly once (the heap profile
+// is written by stop, so it captures the live heap at the end of the run).
+// If any collection fails to start, the ones already running are stopped
+// and the error returned.
+func (d *Flags) Start() (stop func() error, err error) {
+	var stops []func() error
+	stopAll := func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if d.CPUProfile != "" {
+		f, err := os.Create(d.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if d.Trace != "" {
+		f, err := os.Create(d.Trace)
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			stopAll()
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if d.MemProfile != "" {
+		path := d.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			// Collect up-to-date allocation statistics first.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	return stopAll, nil
+}

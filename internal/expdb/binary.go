@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -844,166 +843,21 @@ func readBaseValues(br *bufio.Reader, n *core.Node, remaining func() int64) erro
 	return nil
 }
 
-// readBinaryV2 parses the framed format. Required sections (strings,
-// header, metrics, tree) fail the open on any damage; optional sections
-// (overrides, provenance) degrade: a failed checksum drops the section and
-// records the loss in Experiment.Notes.
+// readBinaryV2 parses the framed format by running the lazy open and
+// immediately materializing every retained section, so the eager and lazy
+// paths cannot diverge. Required sections (strings, header, metrics, tree)
+// fail the open on any damage; optional sections (overrides, provenance)
+// degrade: a failed checksum drops the section and records the loss in
+// Experiment.Notes.
 func readBinaryV2(br *bufio.Reader, size int64) (*Experiment, error) {
-	fr, err := framing.NewReader(br, size, dbMagicV2)
+	db, err := openLazyV2(br, size)
 	if err != nil {
-		return nil, fmt.Errorf("expdb: %w", err)
-	}
-	e := &Experiment{}
-	var syms []intern.Sym
-	var descs []metricDesc
-	var nodes []*core.Node // preorder, as written by encodeTree
-	inclOv := map[*core.Node][]colVal{}
-	exclOv := map[*core.Node][]colVal{}
-	var haveStrings, haveHeader, haveMetrics, haveTree bool
-
-	for {
-		id, payload, err := fr.Next()
-		if err == io.EOF {
-			break
-		}
-		var ck *framing.ChecksumError
-		if errors.As(err, &ck) {
-			switch id {
-			case dbSecOverrides:
-				e.Notes = append(e.Notes, "overrides section failed its checksum; summary and computed columns were dropped")
-				continue
-			case dbSecProvenance:
-				e.Notes = append(e.Notes, "provenance section failed its checksum; the quarantine record was dropped")
-				continue
-			default:
-				return nil, &SectionError{Section: sectionName(id), Err: err}
-			}
-		}
-		if err != nil {
-			return nil, &SectionError{Section: sectionName(id), Err: err}
-		}
-		pr := bufio.NewReader(bytes.NewReader(payload))
-		// The payload length is CRC-verified, so it is a sound allocation
-		// bound for every count inside the section.
-		bound := int64(len(payload))
-		switch id {
-		case dbSecStrings:
-			if haveStrings {
-				return nil, &SectionError{Section: "strings", Err: fmt.Errorf("duplicate section")}
-			}
-			nStr, err := getU(pr)
-			if err != nil {
-				return nil, &SectionError{Section: "strings", Err: noEOF(err)}
-			}
-			if int64(nStr) > bound {
-				return nil, &SectionError{Section: "strings", Err: fmt.Errorf("implausible string count %d", nStr)}
-			}
-			syms, err = readStrTable(pr, nStr, func() int64 { return bound })
-			if err != nil {
-				return nil, &SectionError{Section: "strings", Err: err}
-			}
-			haveStrings = true
-		case dbSecHeader:
-			if !haveStrings {
-				return nil, &SectionError{Section: "header", Err: fmt.Errorf("appears before the strings section")}
-			}
-			if haveHeader {
-				return nil, &SectionError{Section: "header", Err: fmt.Errorf("duplicate section")}
-			}
-			progRef, err := getU(pr)
-			if err != nil {
-				return nil, &SectionError{Section: "header", Err: noEOF(err)}
-			}
-			if progRef >= uint64(len(syms)) {
-				return nil, &SectionError{Section: "header", Err: fmt.Errorf("string ref %d out of range", progRef)}
-			}
-			e.Program = syms[progRef].String()
-			ranks, err := getU(pr)
-			if err != nil {
-				return nil, &SectionError{Section: "header", Err: noEOF(err)}
-			}
-			if ranks > math.MaxInt32 {
-				return nil, &SectionError{Section: "header", Err: fmt.Errorf("implausible rank count %d", ranks)}
-			}
-			e.NRanks = int(ranks)
-			haveHeader = true
-		case dbSecMetrics:
-			if !haveStrings {
-				return nil, &SectionError{Section: "metrics", Err: fmt.Errorf("appears before the strings section")}
-			}
-			if haveMetrics {
-				return nil, &SectionError{Section: "metrics", Err: fmt.Errorf("duplicate section")}
-			}
-			getS := func() (string, error) {
-				i, err := getU(pr)
-				if err != nil {
-					return "", err
-				}
-				if i >= uint64(len(syms)) {
-					return "", fmt.Errorf("expdb: string ref %d out of range", i)
-				}
-				return syms[i].String(), nil
-			}
-			descs, err = readMetricDescs(pr, getS, func() int64 { return bound })
-			if err != nil {
-				return nil, &SectionError{Section: "metrics", Err: err}
-			}
-			haveMetrics = true
-		case dbSecTree:
-			if !haveStrings || !haveHeader || !haveMetrics {
-				return nil, &SectionError{Section: "tree", Err: fmt.Errorf("appears before strings/header/metrics")}
-			}
-			if haveTree {
-				return nil, &SectionError{Section: "tree", Err: fmt.Errorf("duplicate section")}
-			}
-			reg, err := rebuildRegistry(descs)
-			if err != nil {
-				return nil, &SectionError{Section: "metrics", Err: err}
-			}
-			e.Tree = core.NewTree(e.Program, reg)
-			nodes, err = readTreeSection(pr, e, syms, func() int64 { return bound })
-			if err != nil {
-				return nil, &SectionError{Section: "tree", Err: err}
-			}
-			haveTree = true
-		case dbSecOverrides:
-			if !haveTree {
-				return nil, &SectionError{Section: "overrides", Err: fmt.Errorf("appears before the tree section")}
-			}
-			if err := readOverridesSection(pr, nodes, inclOv, exclOv, func() int64 { return bound }); err != nil {
-				return nil, &SectionError{Section: "overrides", Err: err}
-			}
-		case dbSecProvenance:
-			rep, err := readProvenanceSection(pr, func() int64 { return bound })
-			if err != nil {
-				return nil, &SectionError{Section: "provenance", Err: err}
-			}
-			e.Provenance = rep
-		default:
-			// Unknown sections are skipped (their checksum was verified by
-			// Next), but noted: with no newer format version in existence,
-			// an unknown id more likely means a damaged id byte, and the
-			// open should be visibly degraded either way.
-			e.Notes = append(e.Notes, fmt.Sprintf("unknown section %d was skipped", id))
-		}
-	}
-	if !haveStrings || !haveHeader || !haveMetrics || !haveTree {
-		missing := ""
-		for _, s := range []struct {
-			ok   bool
-			name string
-		}{{haveStrings, "strings"}, {haveHeader, "header"}, {haveMetrics, "metrics"}, {haveTree, "tree"}} {
-			if !s.ok {
-				missing = s.name
-				break
-			}
-		}
-		return nil, &SectionError{Section: missing, Err: fmt.Errorf("section missing")}
-	}
-	if err := e.finalize(inclOv, exclOv); err != nil {
 		return nil, err
 	}
-	return e, nil
+	if err := db.MaterializeAll(); err != nil {
+		return nil, err
+	}
+	return db.exp, nil
 }
 
 // readTreeSection parses section 4's preorder node stream, returning the

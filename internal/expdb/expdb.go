@@ -105,8 +105,8 @@ func overrideCols(reg *metric.Registry) (incl, excl map[int]bool) {
 	return incl, excl
 }
 
-// overrideValues extracts from a vector the entries in cols.
-func overrideValues(v *metric.Vector, cols map[int]bool) []colVal {
+// overrideValues extracts from a metric view the entries in cols.
+func overrideValues(v *metric.View, cols map[int]bool) []colVal {
 	if len(cols) == 0 {
 		return nil
 	}

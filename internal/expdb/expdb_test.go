@@ -82,7 +82,7 @@ func equalExperiments(t *testing.T, a, b *Experiment) {
 			x.CallLine != y.CallLine || x.CallFile != y.CallFile {
 			t.Fatalf("node identity changed: %+v vs %+v", x.Key, y.Key)
 		}
-		for _, pair := range []struct{ va, vb *metric.Vector }{
+		for _, pair := range []struct{ va, vb *metric.View }{
 			{&x.Base, &y.Base}, {&x.Excl, &y.Excl}, {&x.Incl, &y.Incl},
 		} {
 			if pair.va.Len() != pair.vb.Len() {

@@ -1,0 +1,381 @@
+package expdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/framing"
+	"repro/internal/ingest"
+	"repro/internal/metric"
+)
+
+// v2Bytes encodes an experiment in the v2 framed format.
+func v2Bytes(t *testing.T, e *Experiment) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// firstSummaryCol returns the ID of the first summary column.
+func firstSummaryCol(t *testing.T, e *Experiment) int {
+	t.Helper()
+	for _, d := range e.Tree.Reg.Columns() {
+		if d.Kind == metric.Summary {
+			return d.ID
+		}
+	}
+	t.Fatal("fixture has no summary column")
+	return -1
+}
+
+// maxAbsIncl returns the largest magnitude of column id over every scope's
+// inclusive vector.
+func maxAbsIncl(e *Experiment, id int) float64 {
+	var m float64
+	core.Walk(e.Tree.Root, func(n *core.Node) bool {
+		if v := n.Incl.Get(id); v > m || -v > m {
+			if v < 0 {
+				v = -v
+			}
+			m = v
+		}
+		return true
+	})
+	return m
+}
+
+// TestLazyOpenSkipsUntouchedSections is the section-access counter test: a
+// lazy open decodes exactly the four required sections, raw and raw-derived
+// column accesses fault nothing in, and the overrides/provenance sections
+// are decoded once each on first demand.
+func TestLazyOpenSkipsUntouchedSections(t *testing.T) {
+	e := fixture(t)
+	e.Provenance = &ingest.Report{Attempted: 3, Merged: 3}
+	data := v2Bytes(t, e)
+
+	db, err := OpenLazy(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Lazy() {
+		t.Fatal("v2 open is not lazy")
+	}
+	reads := db.SectionReads()
+	for _, s := range []string{"strings", "header", "metrics", "tree"} {
+		if reads[s] != 1 {
+			t.Fatalf("required section %s decoded %d times at open, want 1", s, reads[s])
+		}
+	}
+	if reads["overrides"] != 0 || reads["provenance"] != 0 {
+		t.Fatalf("optional sections decoded eagerly: %v", reads)
+	}
+
+	// Raw columns and derived formulas over raw columns are resident
+	// without faulting anything.
+	reg := db.Experiment().Tree.Reg
+	if err := db.NeedColumn(reg.ByName("CYCLES").ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.NeedColumn(reg.ByName("fpwaste").ID); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.SectionReads()["overrides"]; n != 0 {
+		t.Fatalf("raw/derived access decoded overrides %d times, want 0", n)
+	}
+
+	// A summary column faults the overrides section in — once, no matter
+	// how many columns demand it.
+	sum := firstSummaryCol(t, db.Experiment())
+	if err := db.NeedColumn(sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.NeedColumn(sum); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.SectionReads()["overrides"]; n != 1 {
+		t.Fatalf("overrides decoded %d times, want 1", n)
+	}
+	if m := maxAbsIncl(db.Experiment(), sum); m == 0 {
+		t.Fatal("summary column still zero after faulting overrides in")
+	}
+
+	if n := db.SectionReads()["provenance"]; n != 0 {
+		t.Fatalf("provenance decoded before being asked for: %d", n)
+	}
+	rep, err := db.Provenance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Attempted != 3 {
+		t.Fatalf("provenance report = %+v", rep)
+	}
+	if _, err := db.Provenance(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.SectionReads()["provenance"]; n != 1 {
+		t.Fatalf("provenance decoded %d times, want 1", n)
+	}
+}
+
+// TestLazyMaterializeMatchesEager checks that a lazy open plus
+// MaterializeAll lands on exactly the state the eager reader builds, and
+// that override-backed columns read zero until faulted.
+func TestLazyMaterializeMatchesEager(t *testing.T) {
+	e := fixture(t)
+	e.Provenance = &ingest.Report{Attempted: 4, Merged: 3,
+		Bad: []ingest.BadRank{{Path: "rank3", Rank: 3, Class: ingest.ClassTruncated}}}
+	data := v2Bytes(t, e)
+
+	eager, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := firstSummaryCol(t, eager)
+	if maxAbsIncl(eager, sum) == 0 {
+		t.Fatal("eager summary column is zero; fixture too weak")
+	}
+
+	db, err := OpenLazy(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxAbsIncl(db.Experiment(), sum); m != 0 {
+		t.Fatalf("summary column nonzero (%g) before faulting", m)
+	}
+	if db.Experiment().Provenance != nil {
+		t.Fatal("provenance decoded before faulting")
+	}
+	if err := db.MaterializeAll(); err != nil {
+		t.Fatal(err)
+	}
+	equalExperiments(t, eager, db.Experiment())
+	rep := db.Experiment().Provenance
+	if rep == nil || rep.Attempted != 4 || len(rep.Bad) != 1 {
+		t.Fatalf("provenance report = %+v", rep)
+	}
+}
+
+// TestLazyDamagedOverridesDegradeOnAccess flips a bit inside the overrides
+// payload: the lazy open succeeds silently, and the first access to an
+// override-backed column degrades with exactly the note the eager open
+// reports — not an error, never a panic.
+func TestLazyDamagedOverridesDegradeOnAccess(t *testing.T) {
+	e := fixture(t)
+	data := v2Bytes(t, e)
+
+	// Locate the overrides payload in the stream and corrupt one byte.
+	fr, err := framing.NewReader(bytes.NewReader(data), int64(len(data)), dbMagicV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ovPayload []byte
+	for {
+		id, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == dbSecOverrides {
+			ovPayload = payload
+		}
+	}
+	if len(ovPayload) == 0 {
+		t.Fatal("fixture wrote no overrides section")
+	}
+	at := bytes.LastIndex(data, ovPayload)
+	if at < 0 {
+		t.Fatal("overrides payload not found in stream")
+	}
+	data[at+len(ovPayload)/2] ^= 0x40
+
+	eager, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const note = "overrides section failed its checksum; summary and computed columns were dropped"
+	if len(eager.Notes) != 1 || eager.Notes[0] != note {
+		t.Fatalf("eager notes = %q", eager.Notes)
+	}
+
+	db, err := OpenLazy(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Experiment().Notes) != 0 {
+		t.Fatalf("degradation noted before access: %q", db.Experiment().Notes)
+	}
+	sum := firstSummaryCol(t, db.Experiment())
+	if err := db.NeedColumn(sum); err != nil {
+		t.Fatalf("checksum damage must degrade, not error: %v", err)
+	}
+	if got := db.Experiment().Notes; len(got) != 1 || got[0] != note {
+		t.Fatalf("lazy notes = %q, want %q", got, note)
+	}
+	if m := maxAbsIncl(db.Experiment(), sum); m != 0 {
+		t.Fatalf("dropped summary column reads %g, want 0", m)
+	}
+	equalExperiments(t, eager, db.Experiment())
+}
+
+// TestLazyMalformedOverridesTypedError rebuilds the stream with an
+// overrides payload that passes its checksum but is garbage: the open still
+// succeeds, and the first access reports the same typed *SectionError the
+// eager reader does.
+func TestLazyMalformedOverridesTypedError(t *testing.T) {
+	e := fixture(t)
+	data := v2Bytes(t, e)
+
+	var out bytes.Buffer
+	fw, err := framing.NewWriter(&out, dbMagicV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := framing.NewReader(bytes.NewReader(data), int64(len(data)), dbMagicV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		id, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == dbSecOverrides {
+			// An absurd entry count: well-framed, correctly checksummed,
+			// semantically malformed.
+			payload = binary.AppendUvarint(nil, 1<<40)
+		}
+		if err := fw.Section(id, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var eagerErr *SectionError
+	if _, err := Read(bytes.NewReader(out.Bytes())); !errors.As(err, &eagerErr) {
+		t.Fatalf("eager read of malformed overrides: %v", err)
+	}
+
+	db, err := OpenLazy(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := firstSummaryCol(t, db.Experiment())
+	err = db.NeedColumn(sum)
+	var se *SectionError
+	if !errors.As(err, &se) || se.Section != "overrides" {
+		t.Fatalf("fault-in error = %v, want *SectionError for overrides", err)
+	}
+	if eagerErr.Section != se.Section {
+		t.Fatalf("eager error %v vs lazy error %v", eagerErr, se)
+	}
+	// The error is sticky: later accesses repeat it rather than pretending
+	// the section loaded.
+	if err2 := db.NeedColumn(sum); !errors.As(err2, &se) {
+		t.Fatalf("second access lost the error: %v", err2)
+	}
+}
+
+// TestLazyOpenEagerFallback opens v1 and XML databases through OpenLazy:
+// both formats decode eagerly (no framing to exploit) and every accessor is
+// already satisfied.
+func TestLazyOpenEagerFallback(t *testing.T) {
+	e := fixture(t)
+	for _, tc := range []struct {
+		name  string
+		write func(*Experiment, *bytes.Buffer) error
+	}{
+		{"v1", func(e *Experiment, b *bytes.Buffer) error { return e.WriteBinaryV1(b) }},
+		{"xml", func(e *Experiment, b *bytes.Buffer) error { return e.WriteXML(b) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(e, &buf); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+			eager, err := Read(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := OpenLazy(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Lazy() {
+				t.Fatalf("%s open claims to be lazy", tc.name)
+			}
+			if len(db.SectionReads()) != 0 {
+				t.Fatalf("eager fallback counted section reads: %v", db.SectionReads())
+			}
+			sum := firstSummaryCol(t, db.Experiment())
+			if err := db.NeedColumn(sum); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.MaterializeAll(); err != nil {
+				t.Fatal(err)
+			}
+			equalExperiments(t, eager, db.Experiment())
+			if m := maxAbsIncl(db.Experiment(), sum); m == 0 {
+				t.Fatal("summary column empty after eager fallback")
+			}
+		})
+	}
+}
+
+// TestLazyOpenErrors mirrors the eager open's fatal cases: truncation and a
+// damaged required section fail at OpenLazy, not at first access.
+func TestLazyOpenErrors(t *testing.T) {
+	e := fixture(t)
+	data := v2Bytes(t, e)
+
+	if _, err := OpenLazy(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream opened")
+	}
+	if _, err := OpenLazy(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream opened")
+	}
+
+	// Damage the tree section: required, so the open itself fails with the
+	// same typed error the eager reader returns.
+	fr, err := framing.NewReader(bytes.NewReader(data), int64(len(data)), dbMagicV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treePayload []byte
+	for {
+		id, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == dbSecTree {
+			treePayload = payload
+		}
+	}
+	at := bytes.LastIndex(data, treePayload)
+	if at < 0 {
+		t.Fatal("tree payload not found")
+	}
+	data[at+len(treePayload)/2] ^= 0x01
+	var se *SectionError
+	if _, err := OpenLazy(bytes.NewReader(data)); !errors.As(err, &se) || se.Section != "tree" {
+		t.Fatalf("damaged tree section: %v", err)
+	}
+}

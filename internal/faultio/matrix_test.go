@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/expdb"
@@ -47,6 +48,32 @@ func decodeDB(data []byte) (bool, error) {
 	e, err := expdb.ReadBinary(bytes.NewReader(data))
 	if err != nil {
 		return false, err
+	}
+	return len(e.Notes) > 0, nil
+}
+
+// decodeLazyDB opens the database lazily and then touches every
+// lazily-skipped section the way a viewer session eventually would: fault
+// each metric column in, read the provenance record, and materialize the
+// rest. Damage to a skipped section must surface at these accesses as the
+// same typed errors or degradation notes an eager open reports — never a
+// panic.
+func decodeLazyDB(data []byte) (bool, error) {
+	db, err := expdb.OpenLazy(bytes.NewReader(data))
+	if err != nil {
+		return false, err
+	}
+	e := db.Experiment()
+	for _, d := range e.Tree.Reg.Columns() {
+		if err := db.NeedColumn(d.ID); err != nil {
+			return len(e.Notes) > 0, err
+		}
+	}
+	if _, err := db.Provenance(); err != nil {
+		return len(e.Notes) > 0, err
+	}
+	if err := db.MaterializeAll(); err != nil {
+		return len(e.Notes) > 0, err
 	}
 	return len(e.Notes) > 0, nil
 }
@@ -102,6 +129,7 @@ func buildArtifacts(t *testing.T, name string) []artifact {
 		enc("profile-v2", func(b *bytes.Buffer) error { return p.Write(b) }, decodeProfile, true),
 		enc("profile-v1", func(b *bytes.Buffer) error { return p.WriteV1(b) }, decodeProfile, false),
 		enc("expdb-v2", func(b *bytes.Buffer) error { return exp.WriteBinary(b) }, decodeDB, true),
+		enc("expdb-v2-lazy", func(b *bytes.Buffer) error { return exp.WriteBinary(b) }, decodeLazyDB, true),
 		enc("expdb-v1", func(b *bytes.Buffer) error { return exp.WriteBinaryV1(b) }, decodeDB, false),
 	}
 }
@@ -201,7 +229,7 @@ func TestFaultMatrix(t *testing.T) {
 						// magic ("CPP2" is 4 bytes, "CPDB2" is 5), ids,
 						// lengths, payloads, CRC trailers, end marker.
 						magicLen := 4
-						if a.name == "expdb-v2" {
+						if strings.HasPrefix(a.name, "expdb-v2") {
 							magicLen = 5
 						}
 						offs = append(offs, frameOffsets(a.data, magicLen)...)

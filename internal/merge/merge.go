@@ -29,10 +29,63 @@ type Result struct {
 	// NRanks is the number of profiles merged.
 	NRanks int
 
-	// stats[node][col] accumulates the per-rank inclusive values of raw
-	// column col at node.
-	stats map[*core.Node][]metric.Stats
-	raw   int // number of raw columns covered by stats
+	// stats[col][row] accumulates the per-rank inclusive values of raw
+	// column col at the scope with dense row id row — column-major like the
+	// tree's metric store, so the fold indexes a slab instead of hashing a
+	// per-node map, and summary sweeps run over contiguous memory.
+	stats [][]metric.Stats
+	// seen[row] records that the scope appeared in at least one rank (every
+	// folded scope; distinguishes them from rows that only exist because a
+	// slab grew past them).
+	seen []bool
+	raw  int // number of raw columns covered by stats
+}
+
+// statsAt returns the accumulator cell for (col, row), growing the column
+// slab as needed. The pointer is valid until the slab next grows.
+func (r *Result) statsAt(col int, row int32) *metric.Stats {
+	for col >= len(r.stats) {
+		r.stats = append(r.stats, nil)
+	}
+	s := r.stats[col]
+	if n := int(row) + 1; n > len(s) {
+		if n > cap(s) {
+			c := 2 * cap(s)
+			if c < 64 {
+				c = 64
+			}
+			if c < n {
+				c = n
+			}
+			grown := make([]metric.Stats, n, c)
+			copy(grown, s)
+			s = grown
+		} else {
+			s = s[:n]
+		}
+		r.stats[col] = s
+	}
+	return &s[row]
+}
+
+func (r *Result) markSeen(row int32) {
+	if n := int(row) + 1; n > len(r.seen) {
+		if n > cap(r.seen) {
+			c := 2 * cap(r.seen)
+			if c < 64 {
+				c = 64
+			}
+			if c < n {
+				c = n
+			}
+			grown := make([]bool, n, c)
+			copy(grown, r.seen)
+			r.seen = grown
+		} else {
+			r.seen = r.seen[:n]
+		}
+	}
+	r.seen[row] = true
 }
 
 // Accumulator merges profiles one at a time: feed each rank's profile with
@@ -51,10 +104,7 @@ type Accumulator struct {
 func NewAccumulator(doc *structfile.Doc) *Accumulator {
 	return &Accumulator{
 		doc: doc,
-		res: &Result{
-			Tree:  core.NewTree("", metric.NewRegistry()),
-			stats: map[*core.Node][]metric.Stats{},
-		},
+		res: &Result{Tree: core.NewTree("", metric.NewRegistry())},
 	}
 }
 
@@ -90,11 +140,17 @@ func (a *Accumulator) Finish() (*Result, error) {
 	}
 	res := a.res
 	a.res = nil
-	// Scopes missing from some ranks observed zero there.
-	for _, st := range res.stats {
-		for c := range st {
-			for st[c].N < int64(res.NRanks) {
-				st[c].Observe(0)
+	// Scopes missing from some ranks observed zero there: pad every raw
+	// column of every seen row up to the rank count, one contiguous column
+	// at a time.
+	for c := 0; c < res.raw; c++ {
+		for row := range res.seen {
+			if !res.seen[row] {
+				continue
+			}
+			st := res.statsAt(c, int32(row))
+			for st.N < int64(res.NRanks) {
+				st.Observe(0)
 			}
 		}
 	}
@@ -146,17 +202,12 @@ func (r *Result) fold(rank *core.Tree) error {
 			n.Base.Range(func(id int, v float64) {
 				acc.Base.Add(cols[id], v)
 			})
-			st := r.stats[acc]
-			if len(st) < r.raw {
-				grown := make([]metric.Stats, r.raw)
-				copy(grown, st)
-				st = grown
-				r.stats[acc] = st
-			}
 			// Observe this rank's inclusive values. Ranks where the
 			// scope is absent are padded with zeros afterwards.
+			row := acc.Base.Row()
+			r.markSeen(row)
 			n.Incl.Range(func(id int, v float64) {
-				st[cols[id]].Observe(v)
+				r.statsAt(cols[id], row).Observe(v)
 			})
 		}
 		for _, c := range n.Children {
@@ -168,13 +219,18 @@ func (r *Result) fold(rank *core.Tree) error {
 }
 
 // Stats returns the per-rank statistics of raw column col at node (the
-// zero Stats when the scope never appeared).
+// zero Stats when the scope never appeared, or is not a scope of this
+// result's tree).
 func (r *Result) Stats(n *core.Node, col int) metric.Stats {
-	st := r.stats[n]
-	if col < 0 || col >= len(st) {
+	if col < 0 || col >= len(r.stats) || n.Base.Store() != r.Tree.MetricStore() {
 		return metric.Stats{}
 	}
-	return st[col]
+	s := r.stats[col]
+	row := int(n.Base.Row())
+	if row >= len(s) {
+		return metric.Stats{}
+	}
+	return s[row]
 }
 
 // AddSummaries registers summary columns (e.g. mean/min/max/stddev of
@@ -182,17 +238,33 @@ func (r *Result) Stats(n *core.Node, col int) metric.Stats {
 // vector, where the views and the renderer pick them up like any other
 // column.
 func (r *Result) AddSummaries(src int, ops ...metric.SummaryOp) error {
+	st := r.Tree.MetricStore()
 	for _, op := range ops {
 		d, err := r.Tree.Reg.AddSummary(src, op)
 		if err != nil {
 			return err
 		}
+		if st != nil && src >= 0 && src < len(r.stats) {
+			// Columnar sweep: the source statistics and the destination
+			// inclusive column are both row-indexed slabs. Only seen rows
+			// can hold statistics, and the root row is never seen, matching
+			// the walk below.
+			out := st.Col(metric.PlaneIncl, d.ID)
+			for row, ss := range r.stats[src] {
+				if row < len(r.seen) && r.seen[row] {
+					if v := ss.Value(d.Op); v != 0 {
+						out[row] = v
+					}
+				}
+			}
+			continue
+		}
 		core.Walk(r.Tree.Root, func(n *core.Node) bool {
 			if n.Kind == core.KindRoot {
 				return true
 			}
-			st := r.Stats(n, src)
-			if v := st.Value(d.Op); v != 0 {
+			s := r.Stats(n, src)
+			if v := s.Value(d.Op); v != 0 {
 				n.Incl.Set(d.ID, v)
 			}
 			return true

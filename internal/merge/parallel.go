@@ -81,17 +81,14 @@ func (a *Accumulator) Merge(other *Accumulator) error {
 			n.Base.Range(func(id int, v float64) {
 				acc.Base.Add(cols[id], v)
 			})
-			if ost := o.stats[n]; len(ost) > 0 {
-				st := r.stats[acc]
-				if len(st) < r.raw {
-					grown := make([]metric.Stats, r.raw)
-					copy(grown, st)
-					st = grown
-					r.stats[acc] = st
-				}
-				for c := range ost {
-					if ost[c].N > 0 {
-						st[cols[c]].Merge(ost[c])
+			orow := int(n.Base.Row())
+			if orow < len(o.seen) && o.seen[orow] {
+				row := acc.Base.Row()
+				r.markSeen(row)
+				for c := range o.stats {
+					s := o.stats[c]
+					if orow < len(s) && s[orow].N > 0 {
+						r.statsAt(cols[c], row).Merge(s[orow])
 					}
 				}
 			}

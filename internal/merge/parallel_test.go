@@ -63,8 +63,8 @@ func closeEnough(a, b, tol float64) bool {
 	return math.Abs(a-b) <= tol*scale
 }
 
-// sameVector asserts bit-for-bit equality of two metric vectors.
-func sameVector(t *testing.T, where string, a, b *metric.Vector) {
+// sameVector asserts bit-for-bit equality of two metric views.
+func sameVector(t *testing.T, where string, a, b *metric.View) {
 	t.Helper()
 	if a.Len() != b.Len() {
 		t.Fatalf("%s: vector length %d != %d (%v vs %v)", where, a.Len(), b.Len(), a, b)

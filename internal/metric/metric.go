@@ -97,7 +97,8 @@ type Desc struct {
 	// ShowPercent requests a percent-of-root annotation when rendered.
 	ShowPercent bool
 
-	expr *Expr // compiled formula, for Derived columns
+	expr *Expr    // compiled formula, for Derived columns
+	prog *Program // stack program lowered from expr, compiled on first use
 }
 
 // Registry is an ordered set of metric columns. The zero value is ready to
@@ -208,6 +209,24 @@ func (d *Desc) Expr() (*Expr, error) {
 		d.expr = expr
 	}
 	return d.expr, nil
+}
+
+// Program returns the column's formula lowered to a stack program, compiled
+// once and cached — the kernel the columnar derived-metric sweep executes.
+func (d *Desc) Program() (*Program, error) {
+	if d.prog != nil {
+		return d.prog, nil
+	}
+	e, err := d.Expr()
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.Compile()
+	if err != nil {
+		return nil, err
+	}
+	d.prog = p
+	return d.prog, nil
 }
 
 // Vector is a sparse metric vector mapping column IDs to float64 values.

@@ -1,0 +1,394 @@
+package metric
+
+// Store is a columnar (struct-of-arrays) metric store: one contiguous
+// []float64 slab per metric column per plane, indexed by dense row id. A
+// tree allocates one row per scope, so the query hot paths — Equation 1/2
+// recomputation, column sorts, derived-metric kernels, summary sweeps —
+// become linear passes over contiguous memory instead of per-node sparse
+// vector operations.
+//
+// Sparse-vector semantics are preserved at the API edge (View): zeros are
+// indistinguishable from absent entries, negative zero is never stored, and
+// Range/Len enumerate only non-zero cells in ascending column order, so the
+// serialized form of a store-backed tree is byte-identical to the
+// vector-backed one.
+//
+// Slabs grow lazily: a column's slab may be shorter than the row count
+// (reads past the end are zero) and is only extended — zero-filled, with
+// geometric capacity — when a row actually writes to it. AddRow is
+// therefore allocation-free, which keeps tree construction cheap.
+//
+// Concurrency: a store is single-writer, like the node arena that owns it.
+// Concurrent readers are safe once writes have ceased (the tree compute
+// lock orders recomputation against view builds, exactly as before).
+
+// Plane selects which of a scope's three metric flavors a column belongs
+// to: directly attributed Base values, presented inclusive (Equation 2) or
+// presented exclusive (Equation 1) costs.
+type Plane uint8
+
+const (
+	PlaneBase Plane = iota
+	PlaneIncl
+	PlaneExcl
+	numPlanes
+)
+
+// Store holds the column slabs. The zero value is not ready to use; call
+// NewStore.
+type Store struct {
+	rows   int
+	planes [numPlanes][][]float64
+}
+
+// NewStore returns an empty store with no rows.
+func NewStore() *Store { return &Store{} }
+
+// NumRows reports how many rows have been allocated.
+func (s *Store) NumRows() int { return s.rows }
+
+// NumCols reports how many columns plane p has materialized. Columns appear
+// on first write, in ascending id order (writes to column c materialize
+// slots 0..c).
+func (s *Store) NumCols(p Plane) int { return len(s.planes[p]) }
+
+// AddRow claims the next dense row id without allocating: slabs are
+// extended lazily when the row first writes to a column.
+func (s *Store) AddRow() int32 {
+	r := s.rows
+	s.rows++
+	return int32(r)
+}
+
+// Col returns plane p's slab for column col, materialized to the full
+// current row count — the entry point for whole-column kernel sweeps.
+// The slice is owned by the store: it is valid until the next row is added
+// or the slab is grown by a write to a higher row.
+func (s *Store) Col(p Plane, col int) []float64 {
+	if s.rows == 0 {
+		s.ensureCol(p, col)
+		return nil
+	}
+	return s.slabFor(p, col, int32(s.rows-1))
+}
+
+// ColRead returns column col's slab exactly as currently materialized —
+// possibly shorter than the row count, possibly nil — without growing
+// anything. Unlike Col it never mutates the store, so concurrent readers
+// (parallel view builds, sorts, hot-path queries over a finished tree) may
+// call it freely; rows beyond its length read as zero.
+func (s *Store) ColRead(p Plane, col int) []float64 {
+	cols := s.planes[p]
+	if col < 0 || col >= len(cols) {
+		return nil
+	}
+	return cols[col]
+}
+
+func (s *Store) get(p Plane, col int, row int32) float64 {
+	cols := s.planes[p]
+	if col < 0 || col >= len(cols) {
+		return 0
+	}
+	slab := cols[col]
+	if int(row) >= len(slab) {
+		return 0
+	}
+	return slab[row]
+}
+
+// set stores x, normalizing zero: sparse vectors delete entries that reach
+// zero, so a negative zero (e.g. from `$0 * -1` at a blank cell) was never
+// observable — the slab must not make it so. Writing a zero to a row the
+// slab has not reached stays free.
+func (s *Store) set(p Plane, col int, row int32, x float64) {
+	if x == 0 {
+		cols := s.planes[p]
+		if col >= 0 && col < len(cols) {
+			if slab := cols[col]; int(row) < len(slab) {
+				slab[row] = 0
+			}
+		}
+		return
+	}
+	s.slabFor(p, col, row)[row] = x
+}
+
+func (s *Store) add(p Plane, col int, row int32, x float64) {
+	if x == 0 {
+		return
+	}
+	s.slabFor(p, col, row)[row] += x
+}
+
+func (s *Store) ensureCol(p Plane, col int) {
+	cols := s.planes[p]
+	for col >= len(cols) {
+		cols = append(cols, nil)
+	}
+	s.planes[p] = cols
+}
+
+// slabFor returns column col of plane p with length at least row+1,
+// zero-filling and growing capacity geometrically as needed. Go heap
+// allocations are zeroed through their full capacity and slabs never
+// shrink, so re-slicing within capacity exposes only zeros.
+func (s *Store) slabFor(p Plane, col int, row int32) []float64 {
+	s.ensureCol(p, col)
+	slab := s.planes[p][col]
+	if n := int(row) + 1; n > len(slab) {
+		if n > cap(slab) {
+			c := 2 * cap(slab)
+			if c < 64 {
+				c = 64
+			}
+			if c < n {
+				c = n
+			}
+			grown := make([]float64, n, c)
+			copy(grown, slab)
+			slab = grown
+		} else {
+			slab = slab[:n]
+		}
+		s.planes[p][col] = slab
+	}
+	return slab
+}
+
+// View is a scope's handle on one plane of a store row. It exposes the
+// sparse Vector API — Get/Set/Add/Range/Clone and friends — over the
+// columnar slabs, so node-at-a-time code is unchanged while column sweeps
+// go straight to the slabs.
+//
+// The zero View (no store) backs itself by a lazily allocated private
+// Vector, so hand-built nodes outside any tree keep working. A View must
+// not be moved to a different tree: slab views never alias across trees
+// (each tree, callers-view root and flat view owns a private store).
+type View struct {
+	s    *Store
+	priv *Vector
+	row  int32
+	p    Plane
+}
+
+// NewView binds a view to one plane of a store row.
+func NewView(s *Store, p Plane, row int32) View { return View{s: s, p: p, row: row} }
+
+// Store returns the backing store (nil for a private-vector view).
+func (v *View) Store() *Store { return v.s }
+
+// Row returns the dense row id within the backing store.
+func (v *View) Row() int32 { return v.row }
+
+func (v *View) vec() *Vector {
+	if v.priv == nil {
+		v.priv = &Vector{}
+	}
+	return v.priv
+}
+
+// Get returns the value in column id (zero if absent).
+func (v *View) Get(id int) float64 {
+	if v.s != nil {
+		return v.s.get(v.p, id, v.row)
+	}
+	if v.priv == nil {
+		return 0
+	}
+	return v.priv.Get(id)
+}
+
+// Has reports whether column id holds a non-zero value.
+func (v *View) Has(id int) bool { return v.Get(id) != 0 }
+
+// Set stores x in column id; zero clears the cell.
+func (v *View) Set(id int, x float64) {
+	if v.s != nil {
+		v.s.set(v.p, id, v.row, x)
+		return
+	}
+	v.vec().Set(id, x)
+}
+
+// Add adds x to column id.
+func (v *View) Add(id int, x float64) {
+	if x == 0 {
+		return
+	}
+	if v.s != nil {
+		v.s.add(v.p, id, v.row, x)
+		return
+	}
+	v.vec().Add(id, x)
+}
+
+// AddVector adds every entry of o.
+func (v *View) AddVector(o *Vector) {
+	if o == nil {
+		return
+	}
+	if v.s == nil {
+		v.vec().AddVector(o)
+		return
+	}
+	for i, id := range o.ids {
+		v.s.add(v.p, int(id), v.row, o.vals[i])
+	}
+}
+
+// AddView adds every non-zero entry of o, in ascending column order.
+func (v *View) AddView(o *View) {
+	if o == nil {
+		return
+	}
+	if o.s == nil {
+		if o.priv != nil {
+			v.AddVector(o.priv)
+		}
+		return
+	}
+	row := int(o.row)
+	for id, slab := range o.s.planes[o.p] {
+		if row < len(slab) {
+			if x := slab[row]; x != 0 {
+				v.Add(id, x)
+			}
+		}
+	}
+}
+
+// Range calls f for every non-zero entry in ascending column order.
+func (v *View) Range(f func(id int, x float64)) {
+	if v.s == nil {
+		if v.priv != nil {
+			v.priv.Range(f)
+		}
+		return
+	}
+	row := int(v.row)
+	for id, slab := range v.s.planes[v.p] {
+		if row < len(slab) {
+			if x := slab[row]; x != 0 {
+				f(id, x)
+			}
+		}
+	}
+}
+
+// Len reports the number of non-zero entries.
+func (v *View) Len() int {
+	if v.s == nil {
+		if v.priv == nil {
+			return 0
+		}
+		return v.priv.Len()
+	}
+	n := 0
+	row := int(v.row)
+	for _, slab := range v.s.planes[v.p] {
+		if row < len(slab) && slab[row] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsZero reports whether the view has no non-zero entries.
+func (v *View) IsZero() bool {
+	if v.s == nil {
+		return v.priv == nil || v.priv.IsZero()
+	}
+	row := int(v.row)
+	for _, slab := range v.s.planes[v.p] {
+		if row < len(slab) && slab[row] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears every entry.
+func (v *View) Reset() {
+	if v.s == nil {
+		if v.priv != nil {
+			*v.priv = Vector{}
+		}
+		return
+	}
+	row := int(v.row)
+	for _, slab := range v.s.planes[v.p] {
+		if row < len(slab) {
+			slab[row] = 0
+		}
+	}
+}
+
+// SetVector replaces the view's contents with o's entries.
+func (v *View) SetVector(o *Vector) {
+	v.Reset()
+	if o == nil {
+		return
+	}
+	for i, id := range o.ids {
+		v.Set(int(id), o.vals[i])
+	}
+}
+
+// Clone returns the view's entries as an independent sparse Vector.
+func (v *View) Clone() *Vector {
+	if v.s == nil {
+		if v.priv == nil {
+			return &Vector{}
+		}
+		return v.priv.Clone()
+	}
+	c := &Vector{}
+	n := v.Len()
+	if n > 0 {
+		c.ids = make([]int32, 0, n)
+		c.vals = make([]float64, 0, n)
+		row := int(v.row)
+		for id, slab := range v.s.planes[v.p] {
+			if row < len(slab) {
+				if x := slab[row]; x != 0 {
+					c.ids = append(c.ids, int32(id))
+					c.vals = append(c.vals, x)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// CloneValue returns the view's entries as an independent Vector value.
+func (v *View) CloneValue() Vector {
+	if v.s == nil {
+		if v.priv == nil {
+			return Vector{}
+		}
+		return v.priv.CloneValue()
+	}
+	return *v.Clone()
+}
+
+// Grow pre-sizes a private-vector view for n additional entries; a no-op
+// for store-backed views, whose slabs grow lazily per column.
+func (v *View) Grow(n int) {
+	if v.s != nil {
+		return
+	}
+	v.vec().Grow(n)
+}
+
+// String renders the view for debugging, e.g. "{0:12 2:3.5}".
+func (v *View) String() string {
+	if v.s == nil {
+		if v.priv == nil {
+			return "{}"
+		}
+		return v.priv.String()
+	}
+	c := v.Clone()
+	return c.String()
+}

@@ -1,0 +1,134 @@
+package viewer
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
+
+// queryCache memoizes the expensive per-interaction query results — sorted
+// sibling orders and hot paths — in one bounded LRU shared by a session.
+// Re-rendering after an expand, collapse or selection re-sorts every
+// visible sibling list from scratch without it; with it, only lists never
+// ordered under the current (view, spec) pay the sort.
+//
+// Every key carries a generation stamp. Anything that can change metric
+// values or sibling-list membership (derived-metric registration, lazy
+// caller materialization, view switches, column fault-in) bumps the
+// generation, so stale entries can never be returned; they age out of the
+// LRU instead of being scanned for.
+const cacheCapacity = 256
+
+// siblingsKey identifies one sorted sibling list: the list is owned by a
+// parent scope (nil for a view's top-level forest, which flattening can
+// re-shape — hence the flatten level).
+type siblingsKey struct {
+	view    ViewKind
+	parent  *core.Node
+	flatten int
+	spec    core.SortSpec
+	gen     uint64
+}
+
+// hotKey identifies one hot-path query (Equation 3 is deterministic in its
+// start scope, column and threshold).
+type hotKey struct {
+	start     *core.Node
+	metricID  int
+	threshold float64
+	gen       uint64
+}
+
+type cacheEntry struct {
+	key  any // siblingsKey or hotKey
+	rows []*core.Node
+}
+
+type queryCache struct {
+	gen uint64
+	lru *list.List // *cacheEntry; front = most recently used
+	idx map[any]*list.Element
+}
+
+func newQueryCache() *queryCache {
+	return &queryCache{lru: list.New(), idx: map[any]*list.Element{}}
+}
+
+// bump invalidates every existing entry.
+func (c *queryCache) bump() { c.gen++ }
+
+func (c *queryCache) get(key any) ([]*core.Node, bool) {
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).rows, true
+}
+
+func (c *queryCache) put(key any, rows []*core.Node) {
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*cacheEntry).rows = rows
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, rows: rows})
+	for c.lru.Len() > cacheCapacity {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.idx, el.Value.(*cacheEntry).key)
+	}
+}
+
+// sortedSiblings returns ns ordered by the session sort, memoized per
+// sibling list. The returned slice is owned by the cache: callers may
+// re-slice but must not reorder it.
+func (s *Session) sortedSiblings(parent *core.Node, ns []*core.Node) []*core.Node {
+	key := siblingsKey{view: s.view, parent: parent, flatten: s.flatten, spec: s.sort, gen: s.cache.gen}
+	if rows, ok := s.cache.get(key); ok {
+		return rows
+	}
+	sorted := append([]*core.Node(nil), ns...)
+	core.SortScopes(sorted, s.sort)
+	s.cache.put(key, sorted)
+	return sorted
+}
+
+// hotPathCached returns the memoized Equation 3 result for (start, metric)
+// at the current threshold.
+func (s *Session) hotPathCached(start *core.Node, metricID int) []*core.Node {
+	key := hotKey{start: start, metricID: metricID, threshold: s.threshold, gen: s.cache.gen}
+	if path, ok := s.cache.get(key); ok {
+		return path
+	}
+	path := core.HotPath(start, metricID, s.threshold)
+	s.cache.put(key, path)
+	return path
+}
+
+// SetColumnFaulter registers a hook invoked once per metric column before
+// the session first sorts by, runs hot-path analysis over, or renders it.
+// A lazily opened database (expdb.OpenLazy) plugs its NeedColumn here so
+// override-backed columns are decoded only when the session actually
+// touches them. A fault error is reported by the next Render.
+func (s *Session) SetColumnFaulter(f func(metricID int) error) {
+	s.faulter = f
+	s.faulted = nil
+	s.faultErr = nil
+}
+
+// faultColumn runs the column faulter once for a column. Values may have
+// changed, so a successful first fault invalidates memoized orders.
+func (s *Session) faultColumn(id int) {
+	if s.faulter == nil || s.faulted[id] {
+		return
+	}
+	if s.faulted == nil {
+		s.faulted = map[int]bool{}
+	}
+	s.faulted[id] = true
+	if err := s.faulter(id); err != nil && s.faultErr == nil {
+		s.faultErr = err
+	}
+	s.cache.bump()
+}

@@ -217,10 +217,7 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		if len(kv) != 2 {
 			return false, fmt.Errorf("derived takes NAME=FORMULA")
 		}
-		if _, err := s.Tree().Reg.AddDerived(strings.TrimSpace(kv[0]), kv[1]); err != nil {
-			return false, err
-		}
-		if err := s.Tree().ApplyDerivedTree(); err != nil {
+		if err := s.AddDerivedMetric(strings.TrimSpace(kv[0]), kv[1]); err != nil {
 			return false, err
 		}
 		fmt.Fprintf(out, "added %s\n", strings.TrimSpace(kv[0]))

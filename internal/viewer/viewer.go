@@ -78,6 +78,16 @@ type Session struct {
 	columns []render.Column
 	// rows caches the last computed visible rows (for addressing).
 	rows []render.Row
+
+	// cache memoizes sorted sibling orders and hot paths across renders;
+	// see cache.go for the invalidation discipline.
+	cache *queryCache
+	// faulter, when set, loads a metric column on first use (lazy
+	// databases); faulted tracks which columns were offered, faultErr the
+	// first failure (surfaced by Render).
+	faulter  func(metricID int) error
+	faulted  map[int]bool
+	faultErr error
 }
 
 // New creates a session over a computed tree. source may be nil.
@@ -88,6 +98,7 @@ func New(t *core.Tree, source *prog.Program) *Session {
 		expanded:  map[*core.Node]bool{},
 		highlight: map[*core.Node]bool{},
 		threshold: core.DefaultHotPathThreshold,
+		cache:     newQueryCache(),
 	}
 }
 
@@ -109,6 +120,8 @@ func (s *Session) SwitchView(v ViewKind) {
 	s.zoom = nil
 	s.selected = nil
 	s.rows = nil
+	// Switching may build a view lazily (new scopes, new sibling lists).
+	s.cache.bump()
 }
 
 // SetSort selects the sort column/flavor.
@@ -123,26 +136,29 @@ func (s *Session) SetThreshold(t float64) {
 	s.threshold = t
 }
 
-// roots returns the active view's current top-level scopes.
-func (s *Session) roots() []*core.Node {
+// roots returns the active view's current top-level scopes plus the scope
+// that owns the list (nil for a view's forest) — the identity the query
+// cache keys sibling orders by.
+func (s *Session) roots() (parent *core.Node, ns []*core.Node) {
 	switch s.view {
 	case ViewCC:
 		if len(s.zoom) > 0 {
-			return s.zoom[len(s.zoom)-1].Children
+			z := s.zoom[len(s.zoom)-1]
+			return z, z.Children
 		}
-		return s.tree.Root.Children
+		return s.tree.Root, s.tree.Root.Children
 	case ViewCallers:
 		if s.callers == nil {
 			s.callers = core.BuildCallersView(s.tree)
 		}
-		return s.callers.Roots
+		return nil, s.callers.Roots
 	case ViewFlat:
 		if s.flat == nil {
 			s.flat = core.BuildFlatView(s.tree)
 		}
-		return core.FlattenN(s.flat.Roots, s.flatten)
+		return nil, core.FlattenN(s.flat.Roots, s.flatten)
 	}
-	return nil
+	return nil, nil
 }
 
 // SetLimits bounds the visible rows: at most topN children per scope and
@@ -157,10 +173,12 @@ func (s *Session) SetLimits(topN, maxDepth int) {
 // sibling list ordered by the session sort.
 func (s *Session) VisibleRows() []render.Row {
 	s.rows = s.rows[:0]
-	var add func(ns []*core.Node, depth int)
-	add = func(ns []*core.Node, depth int) {
-		sorted := append([]*core.Node(nil), ns...)
-		core.SortScopes(sorted, s.sort)
+	if !s.sort.ByLabel {
+		s.faultColumn(s.sort.MetricID)
+	}
+	var add func(parent *core.Node, ns []*core.Node, depth int)
+	add = func(parent *core.Node, ns []*core.Node, depth int) {
+		sorted := s.sortedSiblings(parent, ns)
 		truncated := false
 		if s.topN > 0 && len(sorted) > s.topN {
 			sorted = sorted[:s.topN]
@@ -178,11 +196,12 @@ func (s *Session) VisibleRows() []render.Row {
 			}
 			s.rows = append(s.rows, render.Row{Node: n, Depth: depth, HasHidden: hidden})
 			if childrenShown {
-				add(n.Children, depth+1)
+				add(n, n.Children, depth+1)
 			}
 		}
 	}
-	add(s.roots(), 0)
+	parent, ns := s.roots()
+	add(parent, ns, 0)
 	return s.rows
 }
 
@@ -212,6 +231,8 @@ func (s *Session) Expand(n *core.Node) {
 		for _, r := range s.callers.Roots {
 			if r == n {
 				s.callers.Expand(r)
+				// Materialization may have created caller rows.
+				s.cache.bump()
 			}
 		}
 	}
@@ -228,6 +249,7 @@ func (s *Session) ExpandAll(n *core.Node) error {
 	var err error
 	if s.view == ViewCallers && s.callers != nil {
 		err = s.callers.ExpandAll()
+		s.cache.bump()
 	}
 	core.Walk(n, func(x *core.Node) bool {
 		s.expanded[x] = true
@@ -241,6 +263,7 @@ func (s *Session) ExpandAll(n *core.Node) error {
 // every scope along the path so it is visible, highlights it, and selects
 // its endpoint — the paper's one-click drill-down.
 func (s *Session) HotPath(metricID int) []*core.Node {
+	s.faultColumn(metricID)
 	start := s.selected
 	if start == nil {
 		if s.view == ViewCC && len(s.zoom) > 0 {
@@ -249,7 +272,7 @@ func (s *Session) HotPath(metricID int) []*core.Node {
 			start = s.tree.Root
 		} else {
 			// Derived views have a forest; start from the hottest root.
-			roots := s.roots()
+			_, roots := s.roots()
 			if len(roots) == 0 {
 				return nil
 			}
@@ -267,10 +290,11 @@ func (s *Session) HotPath(metricID int) []*core.Node {
 		for _, r := range s.callers.Roots {
 			if r == start {
 				s.callers.Expand(r)
+				s.cache.bump()
 			}
 		}
 	}
-	path := core.HotPath(start, metricID, s.threshold)
+	path := s.hotPathCached(start, metricID)
 	s.highlight = map[*core.Node]bool{}
 	for _, n := range path {
 		s.highlight[n] = true
@@ -322,17 +346,61 @@ func (s *Session) FlattenLevel() int { return s.flatten }
 // allows a user to select which metric to observe" (Section VII).
 func (s *Session) SetColumns(cols []render.Column) { s.columns = cols }
 
-// Render writes the visible rows with row numbers.
+// Render writes the visible rows with row numbers. Columns about to be
+// displayed are faulted in first (lazy databases); a fault failure aborts
+// the render with the section's typed error.
 func (s *Session) Render(w io.Writer, opt render.Options) error {
+	if opt.Columns == nil {
+		opt.Columns = s.columns
+	}
+	if s.faulter != nil {
+		if opt.Columns != nil {
+			for _, c := range opt.Columns {
+				s.faultColumn(c.MetricID)
+			}
+		} else {
+			for _, d := range s.tree.Reg.Columns() {
+				s.faultColumn(d.ID)
+			}
+		}
+	}
 	rows := s.VisibleRows()
+	if err := s.faultErr; err != nil {
+		s.faultErr = nil
+		return err
+	}
 	opt.Highlight = s.highlight
 	if opt.Totals == nil {
 		opt.Totals = s.tree.Total
 	}
-	if opt.Columns == nil {
-		opt.Columns = s.columns
-	}
 	return render.RenderRows(w, rows, s.tree.Reg, opt)
+}
+
+// AddDerivedMetric registers a derived column and evaluates it over the
+// whole tree with the compiled column kernels, invalidating memoized
+// orders and hot paths (metric values changed). Columns the formula reads
+// are faulted in first when the session fronts a lazy database.
+func (s *Session) AddDerivedMetric(name, formula string) error {
+	d, err := s.tree.Reg.AddDerived(name, formula)
+	if err != nil {
+		return err
+	}
+	if s.faulter != nil {
+		if p, perr := d.Program(); perr == nil {
+			for _, rc := range p.ColumnRefs() {
+				s.faultColumn(rc)
+			}
+		}
+	}
+	s.cache.bump()
+	if err := s.tree.ApplyDerivedTree(); err != nil {
+		return err
+	}
+	if err := s.faultErr; err != nil {
+		s.faultErr = nil
+		return err
+	}
+	return nil
 }
 
 // AttachProfiles supplies the raw per-rank profiles and the structure
