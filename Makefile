@@ -8,13 +8,13 @@ GO ?= go
 # ChildLookup is a nanosecond-scale operation and needs a fixed high
 # iteration count — 30 iterations of a ~50ns op is pure timer noise.
 # HotPath is anchored so it does not also select BenchmarkHotPathSize.
-BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen
+BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen|BenchmarkConcurrentSessions
 BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
 	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem .
 
-.PHONY: verify build test race vet bench benchdiff bench-smoke bench-merge faults
+.PHONY: verify build test race vet lint bench benchdiff bench-smoke bench-merge faults
 
-verify: build test race vet bench-smoke faults
+verify: build test race vet lint bench-smoke faults
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Merge + core + query benchmarks with allocation stats — the numbers
-# recorded in BENCH_merge.json, BENCH_core.json and BENCH_query.json.
+# Static analysis beyond vet. Both tools run in CI unconditionally; locally
+# each is skipped (with a note) when not on PATH — the container image does
+# not bake them in and the build must not fetch dependencies.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Merge + core + query + engine benchmarks with allocation stats — the
+# numbers recorded in BENCH_merge.json, BENCH_core.json, BENCH_query.json
+# and BENCH_engine.json.
 bench:
 	@$(BENCH_CMD)
 
@@ -37,7 +53,7 @@ bench:
 # deterministic and fail the diff when they regress; ns/op is reported but
 # only fails beyond 50% (single-CPU container timing is noisy).
 benchdiff:
-	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json
+	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json BENCH_engine.json
 
 # Run every root benchmark body once (N=1) — the rot guard behind verify.
 bench-smoke:

@@ -60,6 +60,7 @@ func TestBenchSmoke(t *testing.T) {
 		{"HotPath", BenchmarkHotPath},
 		{"ComputeMetrics", BenchmarkComputeMetrics},
 		{"LazyOpen", BenchmarkLazyOpen},
+		{"ConcurrentSessions", BenchmarkConcurrentSessions},
 	}
 	for _, bm := range benches {
 		bm := bm

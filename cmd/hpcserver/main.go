@@ -1,0 +1,130 @@
+// Command hpcserver serves an experiment database over HTTP: one lazily
+// opened database, any number of concurrent presentation sessions, each
+// speaking the same command grammar as `hpcviewer -interactive`. It is the
+// second thin frontend over internal/engine — the CLI renders to a
+// terminal, this one to JSON — and exists to demonstrate that the engine's
+// snapshot/session split really does support many users on one open
+// database.
+//
+// Usage:
+//
+//	hpcserver -db s3d.db -addr :7007
+//
+// then:
+//
+//	curl -X POST localhost:7007/v1/sessions            -> {"token":"..."}
+//	curl -X POST localhost:7007/v1/sessions/T/exec \
+//	     -d '{"line":"hot CYCLES"}'                    -> {"output":"..."}
+//	curl -X DELETE localhost:7007/v1/sessions/T
+//
+// SIGINT/SIGTERM drain in-flight requests, then close every session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/engine"
+	"repro/internal/prog"
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("hpcserver", flag.ContinueOnError)
+	dflags := diag.Register(fs)
+	db := fs.String("db", "", "experiment database from hpcprof (required)")
+	addr := fs.String("addr", ":7007", "listen address")
+	workload := fs.String("w", "", "workload name, to attach pseudo-source for the src command")
+	jobs := fs.Int("jobs", 0, "goroutines for callers-view expansion per session (0 = one per CPU)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("missing -db")
+	}
+	stopDiag, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if derr := stopDiag(); derr != nil && err == nil {
+			err = derr
+		}
+	}()
+
+	// One open, shared by every session: the engine seals the database
+	// immutable (lazy column fault-in stays synchronized behind it).
+	snap, err := engine.Open(*db)
+	if err != nil {
+		return err
+	}
+	for _, note := range snap.Notes() {
+		fmt.Fprintf(os.Stderr, "hpcserver: warning: %s\n", note)
+	}
+	var source *prog.Program
+	if *workload != "" {
+		spec, err := workloads.ByName(*workload)
+		if err != nil {
+			return err
+		}
+		source = spec.Program
+	}
+	srv := server.New(snap, source, *jobs)
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           http.TimeoutHandler(srv.Handler(), *reqTimeout, "request timed out\n"),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *reqTimeout,
+		WriteTimeout:      *reqTimeout + 5*time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if lerr := hs.ListenAndServe(); !errors.Is(lerr, http.ErrServerClosed) {
+			errc <- lerr
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "hpcserver: serving %s on %s\n", *db, *addr)
+
+	select {
+	case lerr := <-errc:
+		return lerr
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "hpcserver: shutting down")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if serr := hs.Shutdown(dctx); serr != nil {
+		// Drain window elapsed; cut the stragglers off.
+		hs.Close()
+	}
+	return <-errc
+}

@@ -23,12 +23,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/expdb"
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/render"
 	"repro/internal/structfile"
-	"repro/internal/viewer"
 	"repro/internal/workloads"
 )
 
@@ -84,7 +84,7 @@ func run(args []string) (err error) {
 		// Interactive sessions open the database lazily: the CCT and metric
 		// table decode now; the overrides and provenance sections decode
 		// only if a command touches them.
-		return runInteractive(*db, derived, *workload, *structPath, *measDir)
+		return runInteractive(*db, derived, *workload, *structPath, *measDir, *jobs)
 	}
 
 	exp, err := readDB(*db)
@@ -201,30 +201,25 @@ func run(args []string) (err error) {
 	}
 }
 
-// runInteractive opens the database lazily and drives the REPL over it.
-// For a v2 database only the string table, header, metric table and CCT
-// are decoded up front; override-backed metric columns (summaries,
-// computed values) fault in through the session's column faulter the first
-// time a command sorts by, renders or hot-paths them, and degradation
-// notes appear on stderr the moment a damaged section is first touched —
-// exactly the notes an eager open would have printed at startup.
-func runInteractive(dbPath string, derived derivedFlags, workload, structPath, measDir string) error {
-	f, err := os.Open(dbPath)
+// runInteractive opens the database lazily as an engine snapshot and
+// drives the REPL over one session of it. For a v2 database only the
+// string table, header, metric table and CCT are decoded up front;
+// override-backed metric columns (summaries, computed values) fault in
+// through the snapshot the first time a command sorts by, renders or
+// hot-paths them, and degradation notes appear on stderr the moment a
+// damaged section is first touched — exactly the notes an eager open
+// would have printed at startup. The CLI is a thin frontend: every
+// capability here (and in hpcserver) lives in internal/engine.
+func runInteractive(dbPath string, derived derivedFlags, workload, structPath, measDir string, jobs int) error {
+	snap, err := engine.Open(dbPath)
 	if err != nil {
 		return err
 	}
-	// OpenLazy consumes the whole stream (the CRC scan), retaining section
-	// payloads in memory, so the file handle can close now.
-	ldb, err := expdb.OpenLazy(f)
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("reading %s: %w", dbPath, err)
-	}
-	exp := ldb.Experiment()
 	printed := 0
 	flushNotes := func() {
-		for ; printed < len(exp.Notes); printed++ {
-			fmt.Fprintf(os.Stderr, "hpcviewer: warning: %s\n", exp.Notes[printed])
+		notes := snap.Notes()
+		for ; printed < len(notes); printed++ {
+			fmt.Fprintf(os.Stderr, "hpcviewer: warning: %s\n", notes[printed])
 		}
 	}
 	flushNotes()
@@ -237,12 +232,10 @@ func runInteractive(dbPath string, derived derivedFlags, workload, structPath, m
 		}
 		source = spec.Program
 	}
-	s := viewer.New(exp.Tree, source)
-	s.SetColumnFaulter(func(id int) error {
-		err := ldb.NeedColumn(id)
-		flushNotes()
-		return err
-	})
+	s := engine.NewSession(snap)
+	defer s.Close()
+	s.SetSource(source)
+	s.SetJobs(jobs)
 	for _, d := range derived {
 		kv := strings.SplitN(d, "=", 2)
 		if len(kv) != 2 {
@@ -259,7 +252,7 @@ func runInteractive(dbPath string, derived derivedFlags, workload, structPath, m
 		}
 		s.AttachProfiles(doc, profs)
 	}
-	return repl(s)
+	return repl(s, flushNotes)
 }
 
 // loadMeasurements reads a structure file plus every .cpprof profile in a
@@ -299,13 +292,16 @@ func loadMeasurements(structPath, dir string) (*structfile.Doc, []*profile.Profi
 
 // repl drives an interactive session over stdin, emulating hpcviewer's
 // GUI interactions (expand/collapse, hot-path drill-down, zoom, flatten,
-// the source pane and per-rank plots).
-func repl(s *viewer.Session) error {
+// the source pane and per-rank plots). flushNotes runs after every
+// command so degradation notes surface as soon as a lazy section decodes.
+func repl(s *engine.Session, flushNotes func()) error {
 	out := bufio.NewWriter(os.Stdout)
-	if err := s.Render(out, render.Options{}); err != nil {
+	err := s.Render(out, render.Options{})
+	out.Flush()
+	flushNotes()
+	if err != nil {
 		return err
 	}
-	out.Flush()
 	fmt.Println("\ntype 'help' for commands, 'quit' to leave")
 	in := bufio.NewScanner(os.Stdin)
 	for {
@@ -313,8 +309,9 @@ func repl(s *viewer.Session) error {
 		if !in.Scan() {
 			break
 		}
-		quit, err := viewer.Exec(s, in.Text(), out)
+		quit, err := engine.Exec(s, in.Text(), out)
 		out.Flush()
+		flushNotes()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}

@@ -63,8 +63,8 @@ type CallersView struct {
 	Reg   *metric.Registry
 	Roots []*Node
 
-	instances map[*Node][]*Node       // root row -> frame instances of that proc
-	expand    map[*Node]*expandState  // root row -> memoized expansion; read-only after Build
+	instances map[*Node][]*Node      // root row -> frame instances of that proc
+	expand    map[*Node]*expandState // root row -> memoized expansion; read-only after Build
 }
 
 // BuildCallersView scans the CCT once, creating one root row per procedure

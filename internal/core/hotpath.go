@@ -26,9 +26,6 @@ func HotPath(start *Node, metricID int, t float64) []*Node {
 	if start == nil {
 		return nil
 	}
-	if t <= 0 {
-		t = DefaultHotPathThreshold
-	}
 	// Hoist the inclusive column slab out of the descent: per-child reads
 	// become direct row loads instead of store lookups. ColRead never
 	// materializes anything, so concurrent queries over a shared tree stay
@@ -46,6 +43,22 @@ func HotPath(start *Node, metricID int, t float64) []*Node {
 			return 0
 		}
 		return n.Incl.Get(metricID)
+	}
+	return HotPathFunc(start, incl, t)
+}
+
+// HotPathFunc is HotPath with the inclusive metric read supplied by the
+// caller: incl must return the scope's inclusive value of the selected
+// column. Sessions use it to run Equation 3 over overlay (session-private)
+// derived columns that are not resident in the tree's shared store; with a
+// reader equivalent to the store lookup it returns exactly what HotPath
+// returns.
+func HotPathFunc(start *Node, incl func(*Node) float64, t float64) []*Node {
+	if start == nil {
+		return nil
+	}
+	if t <= 0 {
+		t = DefaultHotPathThreshold
 	}
 	path := []*Node{start}
 	cur := start
@@ -129,9 +142,7 @@ func (s SortSpec) value(n *Node) float64 {
 // cache, so steady-state sorting does not allocate.
 func SortScopes(scopes []*Node, spec SortSpec) {
 	if spec.ByLabel {
-		slices.SortStableFunc(scopes, func(a, b *Node) int {
-			return strings.Compare(a.labelString(), b.labelString())
-		})
+		SortScopesFunc(scopes, spec, nil)
 		return
 	}
 	// Hoist the metric column slab out of the O(n log n) comparisons: on
@@ -160,6 +171,22 @@ func SortScopes(scopes []*Node, spec SortSpec) {
 			return 0
 		}
 		return v.Get(spec.MetricID)
+	}
+	SortScopesFunc(scopes, spec, value)
+}
+
+// SortScopesFunc is SortScopes with the sort key supplied by the caller:
+// value must return the scope's value in the selected column and flavor.
+// Sessions use it to order sibling lists by overlay (session-private)
+// derived columns; with a reader equivalent to the store lookup it orders
+// exactly as SortScopes does — same direction handling, same NaN ties, same
+// label tie-break. A ByLabel spec ignores value.
+func SortScopesFunc(scopes []*Node, spec SortSpec, value func(*Node) float64) {
+	if spec.ByLabel {
+		slices.SortStableFunc(scopes, func(a, b *Node) int {
+			return strings.Compare(a.labelString(), b.labelString())
+		})
+		return
 	}
 	slices.SortStableFunc(scopes, func(x, y *Node) int {
 		a, b := value(x), value(y)

@@ -1,4 +1,4 @@
-package viewer
+package engine
 
 import (
 	"container/list"
@@ -7,16 +7,17 @@ import (
 )
 
 // queryCache memoizes the expensive per-interaction query results — sorted
-// sibling orders and hot paths — in one bounded LRU shared by a session.
+// sibling orders and hot paths — in one bounded LRU owned by a session.
 // Re-rendering after an expand, collapse or selection re-sorts every
 // visible sibling list from scratch without it; with it, only lists never
 // ordered under the current (view, spec) pay the sort.
 //
 // Every key carries a generation stamp. Anything that can change metric
-// values or sibling-list membership (derived-metric registration, lazy
-// caller materialization, view switches, column fault-in) bumps the
-// generation, so stale entries can never be returned; they age out of the
-// LRU instead of being scanned for.
+// values or sibling-list membership — derived-metric registration, lazy
+// caller materialization, view switches, column fault-in (the session's
+// own, or another session's observed through the snapshot generation) —
+// bumps the generation, so stale entries can never be returned; they age
+// out of the LRU instead of being scanned for.
 const cacheCapacity = 256
 
 // siblingsKey identifies one sorted sibling list: the list is owned by a
@@ -82,53 +83,43 @@ func (c *queryCache) put(key any, rows []*core.Node) {
 
 // sortedSiblings returns ns ordered by the session sort, memoized per
 // sibling list. The returned slice is owned by the cache: callers may
-// re-slice but must not reorder it.
+// re-slice but must not reorder it. Runs under the snapshot read lock.
 func (s *Session) sortedSiblings(parent *core.Node, ns []*core.Node) []*core.Node {
 	key := siblingsKey{view: s.view, parent: parent, flatten: s.flatten, spec: s.sort, gen: s.cache.gen}
 	if rows, ok := s.cache.get(key); ok {
 		return rows
 	}
 	sorted := append([]*core.Node(nil), ns...)
-	core.SortScopes(sorted, s.sort)
+	if s.sort.ByLabel || s.sort.MetricID < s.snap.baseCols {
+		core.SortScopes(sorted, s.sort)
+	} else {
+		// Overlay (session-private) sort column: same comparator, with the
+		// key read routed through the overlay.
+		inclusive := !s.sort.Exclusive
+		id := s.sort.MetricID
+		core.SortScopesFunc(sorted, s.sort, func(n *core.Node) float64 {
+			return s.cellValue(n, id, inclusive)
+		})
+	}
 	s.cache.put(key, sorted)
 	return sorted
 }
 
 // hotPathCached returns the memoized Equation 3 result for (start, metric)
-// at the current threshold.
+// at the current threshold. Runs under the snapshot read lock.
 func (s *Session) hotPathCached(start *core.Node, metricID int) []*core.Node {
 	key := hotKey{start: start, metricID: metricID, threshold: s.threshold, gen: s.cache.gen}
 	if path, ok := s.cache.get(key); ok {
 		return path
 	}
-	path := core.HotPath(start, metricID, s.threshold)
+	var path []*core.Node
+	if metricID < s.snap.baseCols {
+		path = core.HotPath(start, metricID, s.threshold)
+	} else {
+		path = core.HotPathFunc(start, func(n *core.Node) float64 {
+			return s.cellValue(n, metricID, true)
+		}, s.threshold)
+	}
 	s.cache.put(key, path)
 	return path
-}
-
-// SetColumnFaulter registers a hook invoked once per metric column before
-// the session first sorts by, runs hot-path analysis over, or renders it.
-// A lazily opened database (expdb.OpenLazy) plugs its NeedColumn here so
-// override-backed columns are decoded only when the session actually
-// touches them. A fault error is reported by the next Render.
-func (s *Session) SetColumnFaulter(f func(metricID int) error) {
-	s.faulter = f
-	s.faulted = nil
-	s.faultErr = nil
-}
-
-// faultColumn runs the column faulter once for a column. Values may have
-// changed, so a successful first fault invalidates memoized orders.
-func (s *Session) faultColumn(id int) {
-	if s.faulter == nil || s.faulted[id] {
-		return
-	}
-	if s.faulted == nil {
-		s.faulted = map[int]bool{}
-	}
-	s.faulted[id] = true
-	if err := s.faulter(id); err != nil && s.faultErr == nil {
-		s.faultErr = err
-	}
-	s.cache.bump()
 }

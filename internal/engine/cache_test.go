@@ -1,4 +1,4 @@
-package viewer
+package engine
 
 import (
 	"bytes"
@@ -57,7 +57,7 @@ func mergedFixture(t *testing.T) *expdb.Experiment {
 // that can change metric values invalidates it.
 func TestSortOrdersMemoized(t *testing.T) {
 	s := session(t)
-	s.Expand(s.tree.Root.Children[0])
+	s.Expand(s.Tree().Root.Children[0])
 
 	a := s.VisibleRows()
 	first := make([]*core.Node, len(a))
@@ -79,11 +79,16 @@ func TestSortOrdersMemoized(t *testing.T) {
 	if err := s.AddDerivedMetric("neg", "0 - $0"); err != nil {
 		t.Fatal(err)
 	}
-	d := s.tree.Reg.ByName("neg")
+	d := s.Registry().ByName("neg")
 	s.SetSort(core.SortSpec{MetricID: d.ID})
 	got := rowLabels(s.VisibleRows())
-	s2 := New(s.tree, nil)
-	s2.Expand(s.tree.Root.Children[0])
+	// Derived columns are session-private now: the fresh session registers
+	// the same formula and gets the same column ID (same base boundary).
+	s2 := newTestSession(s.Tree(), nil)
+	if err := s2.AddDerivedMetric("neg", "0 - $0"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Expand(s.Tree().Root.Children[0])
 	s2.SetSort(core.SortSpec{MetricID: d.ID})
 	want := rowLabels(s2.VisibleRows())
 	if !reflect.DeepEqual(got, want) {
@@ -96,10 +101,10 @@ func TestSortOrdersMemoized(t *testing.T) {
 // configured identically — the cache must be invisible.
 func TestCachedSessionMatchesFresh(t *testing.T) {
 	tr := core.Fig1Tree()
-	s := New(tr, nil)
+	s := newTestSession(tr, nil)
 	check := func(step string) {
 		t.Helper()
-		fresh := New(tr, nil)
+		fresh := newTestSession(tr, nil)
 		fresh.SwitchView(s.view)
 		for n := range s.expanded {
 			fresh.expanded[n] = true
@@ -152,7 +157,7 @@ func TestHotPathMemoized(t *testing.T) {
 	s.Select(nil)
 	s.SetThreshold(0.99)
 	p3 := s.HotPath(0)
-	fresh := New(s.tree, nil)
+	fresh := newTestSession(s.Tree(), nil)
 	fresh.SetThreshold(0.99)
 	want := fresh.HotPath(0)
 	if len(p3) != len(want) {
@@ -180,7 +185,7 @@ func TestColumnFaulterLazySession(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(db.Experiment().Tree, nil)
+	s := newTestSession(db.Experiment().Tree, nil)
 	var faults []int
 	s.SetColumnFaulter(func(id int) error {
 		faults = append(faults, id)
@@ -221,7 +226,7 @@ func TestColumnFaulterLazySession(t *testing.T) {
 		t.Fatalf("summary render decoded overrides %d times, want 1", n)
 	}
 
-	se := New(eager.Tree, nil)
+	se := newTestSession(eager.Tree, nil)
 	se.SetSort(core.SortSpec{MetricID: raw.ID})
 	se.SetColumns(cols)
 	if err := se.ExpandAll(se.Tree().Root); err != nil {
@@ -249,7 +254,7 @@ func TestReplLazyDrivesFaulting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(db.Experiment().Tree, nil)
+	s := newTestSession(db.Experiment().Tree, nil)
 	s.SetColumnFaulter(db.NeedColumn)
 	for _, line := range []string{"cols CYCLES", "ls", "expandall", "sort CYCLES", "hot CYCLES"} {
 		if _, err := Exec(s, line, io.Discard); err != nil {

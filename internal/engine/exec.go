@@ -1,4 +1,4 @@
-package viewer
+package engine
 
 import (
 	"fmt"
@@ -10,9 +10,10 @@ import (
 	"repro/internal/render"
 )
 
-// The REPL maps hpcviewer's toolbar onto line commands; Exec interprets
-// one command against a session. It is the engine behind
-// `hpcviewer -interactive`.
+// The command surface maps hpcviewer's toolbar onto line commands; Exec
+// interprets one command against a session. It is the shared grammar of
+// every frontend: `hpcviewer -interactive` feeds it stdin lines, hpcserver
+// feeds it HTTP request bodies — the engine responds identically.
 
 // Help describes the commands.
 const Help = `commands:
@@ -28,6 +29,7 @@ const Help = `commands:
   zoom N / out            restrict the CC view to row N / undo
   flatten / unflatten     elide or restore the flat view's top level
   derived NAME=FORMULA    add a derived metric ($n column references)
+  stats METRIC[:excl]     summary statistics over the visible rows
   src [N]                 show source around row N (or the selection)
   plot METRIC [bins]      per-rank scatter/sorted/histogram at the selection
   metrics                 list metric columns
@@ -37,7 +39,7 @@ const Help = `commands:
 
 // Exec runs one command line. It returns true when the session should
 // end. Errors are user errors (bad command, bad row) and do not terminate
-// the REPL.
+// the session.
 func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -55,9 +57,11 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		}
 		return s.RowNode(idx)
 	}
+	// Metric names resolve against the session registry, so commands can
+	// address this session's derived columns too.
 	metricArg := func(spec string) (*core.SortSpec, error) {
 		name, excl := strings.CutSuffix(spec, ":excl")
-		d := s.Tree().Reg.ByName(name)
+		d := s.Registry().ByName(name)
 		if d == nil {
 			return nil, fmt.Errorf("unknown metric %q", name)
 		}
@@ -169,7 +173,7 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		var cols []render.Column
 		for _, part := range strings.Split(args[0], ",") {
 			name, excl := strings.CutSuffix(part, ":excl")
-			d := s.Tree().Reg.ByName(name)
+			d := s.Registry().ByName(name)
 			if d == nil {
 				return false, fmt.Errorf("unknown metric %q", name)
 			}
@@ -222,6 +226,19 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		}
 		fmt.Fprintf(out, "added %s\n", strings.TrimSpace(kv[0]))
 		return false, nil
+	case "stats":
+		if len(args) != 1 {
+			return false, fmt.Errorf("stats takes METRIC[:excl]")
+		}
+		spec, err := metricArg(args[0])
+		if err != nil {
+			return false, err
+		}
+		st := s.SummaryStats(spec.MetricID, !spec.Exclusive)
+		fmt.Fprintf(out, "n=%d sum=%s mean=%s min=%s max=%s stddev=%s imbalance=%.3f\n",
+			st.N, statCell(st.Sum), statCell(st.Mean()), statCell(st.Min),
+			statCell(st.Max), statCell(st.StdDev()), st.ImbalanceFactor())
+		return false, nil
 	case "plot":
 		if len(args) < 1 || len(args) > 2 {
 			return false, fmt.Errorf("plot takes METRIC [bins]")
@@ -245,7 +262,7 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		}
 		return false, s.ShowSource(out, 4)
 	case "metrics":
-		for _, d := range s.Tree().Reg.Columns() {
+		for _, d := range s.Registry().Columns() {
 			fmt.Fprintf(out, "%3d  %-26s %-8s %s\n", d.ID, d.Name, d.Kind, d.Formula)
 		}
 		return false, nil
@@ -271,4 +288,43 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 		return false, renderNow()
 	}
 	return false, fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+// statCell formats a statistic like a metric cell, with "0" instead of the
+// table renderer's blank (a stats line has no column alignment to keep).
+func statCell(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return render.FormatValue(v)
+}
+
+// Request is one command submitted to a session through the
+// request/response surface.
+type Request struct {
+	// Line is a command in the Exec grammar (see Help).
+	Line string
+}
+
+// Response is the engine's answer to one Request.
+type Response struct {
+	// Output is the rendered text (tables, messages).
+	Output string
+	// Err is the user-level error text ("" if none).
+	Err string
+	// Quit reports that the command ended the session.
+	Quit bool
+}
+
+// Do executes one request against the session and captures the response —
+// the transport-independent form of Exec that hpcserver exposes over
+// HTTP/JSON.
+func (s *Session) Do(req Request) Response {
+	var out strings.Builder
+	quit, err := Exec(s, req.Line, &out)
+	resp := Response{Output: out.String(), Quit: quit}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
 }

@@ -1,4 +1,4 @@
-package viewer
+package engine
 
 import (
 	"strings"
@@ -25,7 +25,7 @@ func execOK(t *testing.T, s *Session, lines ...string) string {
 }
 
 func TestReplBasicScript(t *testing.T) {
-	s := New(core.Fig1Tree(), workloads.Toy().Program)
+	s := newTestSession(core.Fig1Tree(), workloads.Toy().Program)
 	out := execOK(t, s,
 		"ls",
 		"expand 0",
@@ -41,7 +41,7 @@ func TestReplBasicScript(t *testing.T) {
 }
 
 func TestReplQuitAndHelp(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	var out strings.Builder
 	quit, err := Exec(s, "help", &out)
 	if err != nil || quit {
@@ -61,7 +61,7 @@ func TestReplQuitAndHelp(t *testing.T) {
 }
 
 func TestReplViewSwitchAndFlatten(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	out := execOK(t, s,
 		"view flat",
 		"flatten",
@@ -78,7 +78,7 @@ func TestReplViewSwitchAndFlatten(t *testing.T) {
 }
 
 func TestReplCallersExpand(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	execOK(t, s, "view callers", "ls")
 	// Row order: sorted by inclusive cost: m (10), g (9), f (7), h (4).
 	out := execOK(t, s, "expand 1")
@@ -88,7 +88,7 @@ func TestReplCallersExpand(t *testing.T) {
 }
 
 func TestReplSortZoomSelectSrc(t *testing.T) {
-	s := New(core.Fig1Tree(), workloads.Toy().Program)
+	s := newTestSession(core.Fig1Tree(), workloads.Toy().Program)
 	execOK(t, s, "expand 0", "sort cost:excl")
 	out := execOK(t, s, "select 1")
 	if !strings.Contains(out, "selected") {
@@ -119,22 +119,26 @@ func itoa(n int) string {
 }
 
 func TestReplDerived(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	out := execOK(t, s, "derived double = $0 * 2", "metrics")
 	if !strings.Contains(out, "double") {
 		t.Fatalf("derived column missing:\n%s", out)
 	}
-	d := s.Tree().Reg.ByName("double")
+	d := s.Registry().ByName("double")
 	if d == nil {
 		t.Fatal("derived not registered")
 	}
-	if got := s.Tree().Root.Incl.Get(d.ID); got != 20 {
+	// The column lives in the session overlay, never in the shared store.
+	if got := s.cellValue(s.Tree().Root, d.ID, true); got != 20 {
 		t.Fatalf("derived value = %g, want 20", got)
+	}
+	if got := s.Tree().Root.Incl.Get(d.ID); got != 0 {
+		t.Fatalf("derived column leaked into the shared store: %g", got)
 	}
 }
 
 func TestReplTopDepthLimits(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	execOK(t, s, "expandall", "depth 2")
 	rows := s.VisibleRows()
 	for _, r := range rows {
@@ -151,7 +155,7 @@ func TestReplTopDepthLimits(t *testing.T) {
 }
 
 func TestReplSortByName(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	execOK(t, s, "expand 0", "sort name")
 	got := rowLabels(s.VisibleRows())
 	// A->Z at each level: f before g under m.
@@ -161,7 +165,7 @@ func TestReplSortByName(t *testing.T) {
 }
 
 func TestReplCols(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	out := execOK(t, s, "cols cost")
 	if strings.Contains(out, "cost (E)") {
 		t.Fatalf("exclusive column still shown:\n%s", out)
@@ -184,7 +188,7 @@ func TestReplCols(t *testing.T) {
 }
 
 func TestReplErrors(t *testing.T) {
-	s := New(core.Fig1Tree(), nil)
+	s := newTestSession(core.Fig1Tree(), nil)
 	s.VisibleRows()
 	bad := []string{
 		"bogus",

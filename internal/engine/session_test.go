@@ -1,4 +1,4 @@
-package viewer
+package engine
 
 import (
 	"strings"
@@ -8,15 +8,24 @@ import (
 	"repro/internal/lower"
 	"repro/internal/merge"
 	"repro/internal/mpi"
+	"repro/internal/prog"
 	"repro/internal/render"
 	"repro/internal/sampler"
 	"repro/internal/structfile"
 	"repro/internal/workloads"
 )
 
+// newTestSession seals a tree as a snapshot and opens one session over it
+// — the single-user shape the viewer package used to construct directly.
+func newTestSession(tr *core.Tree, src *prog.Program) *Session {
+	s := NewSession(NewTreeSnapshot(tr))
+	s.SetSource(src)
+	return s
+}
+
 func session(t *testing.T) *Session {
 	t.Helper()
-	return New(core.Fig1Tree(), nil)
+	return newTestSession(core.Fig1Tree(), nil)
 }
 
 func rowLabels(rows []render.Row) []string {
@@ -209,7 +218,7 @@ func TestSwitchViewResetsState(t *testing.T) {
 
 func TestRowAddressing(t *testing.T) {
 	s := session(t)
-	s.ExpandAll(s.tree.Root)
+	s.ExpandAll(s.Tree().Root)
 	rows := s.VisibleRows()
 	for i := range rows {
 		n, err := s.RowNode(i)
@@ -244,7 +253,7 @@ func TestSessionRenderNumbersAndHighlight(t *testing.T) {
 func TestSourcePane(t *testing.T) {
 	spec := workloads.Toy()
 	tree := core.Fig1Tree()
-	s := New(tree, spec.Program)
+	s := newTestSession(tree, spec.Program)
 
 	// Select h (a frame): the source pane shows its call site.
 	h := tree.FindPath("m", "f", "g", "g", "h")
@@ -262,11 +271,11 @@ func TestSourcePane(t *testing.T) {
 	}
 
 	// Errors: nothing selected / no source program.
-	s2 := New(tree, spec.Program)
+	s2 := newTestSession(tree, spec.Program)
 	if err := s2.ShowSource(&b, 2); err == nil {
 		t.Fatal("no selection accepted")
 	}
-	s3 := New(tree, nil)
+	s3 := newTestSession(tree, nil)
 	s3.Select(h)
 	if err := s3.ShowSource(&b, 2); err == nil {
 		t.Fatal("missing source program accepted")
@@ -313,7 +322,7 @@ func TestPlotPerRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(res.Tree, spec.Program)
+	s := newTestSession(res.Tree, spec.Program)
 	s.AttachProfiles(doc, profs)
 
 	// Plot requires a selection in the CC view.
@@ -347,7 +356,7 @@ func TestPlotPerRank(t *testing.T) {
 		t.Fatal("bad bins accepted")
 	}
 	// No profiles attached.
-	s2 := New(res.Tree, nil)
+	s2 := newTestSession(res.Tree, nil)
 	s2.Select(fs)
 	if err := s2.Plot(&b, "CYCLES", 5); err == nil {
 		t.Fatal("plot without profiles accepted")

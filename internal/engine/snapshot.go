@@ -1,0 +1,239 @@
+// Package engine is the concurrency-safe presentation engine behind the
+// paper's interactive analyses. It separates what the process-local viewer
+// entangled:
+//
+//   - Snapshot: an opened experiment database — CCT, metric store, registry
+//     — sealed immutable after load. The only post-seal mutation, lazy
+//     fault-in of override-backed metric sections, runs behind the
+//     snapshot's write lock while every query holds the read lock, and each
+//     fault bumps a generation counter so session caches can never serve
+//     stale orders.
+//
+//   - Session: one user's presentation state over a shared snapshot — view
+//     selection, expansion, zoom, flattening, sort, selection, highlights,
+//     memoized query results, and an overlay registry for session-private
+//     derived metrics. Any number of sessions may run over one snapshot
+//     concurrently; each renders byte-identically to a session that had the
+//     database to itself.
+//
+//   - Exec: the request/response command surface (the REPL grammar) thin
+//     frontends speak — the interactive CLI and the HTTP server are both
+//     line-in, text-out clients of the same engine.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/expdb"
+	"repro/internal/ingest"
+)
+
+// Snapshot is an immutable view of a loaded experiment database, shared by
+// any number of concurrent sessions.
+//
+// Immutability discipline: the tree's structure, its metric store and its
+// registry are sealed at construction (presented metrics are computed and
+// derived kernels applied before the snapshot is handed out). The one
+// exception is lazy fault-in of override-backed columns from a lazily
+// opened database, which rewrites shared metric slabs; it runs under mu's
+// write lock, while every session query runs under the read lock, and each
+// first-time fault advances gen so sessions invalidate their memoized
+// orders, hot paths and overlay columns.
+type Snapshot struct {
+	tree *core.Tree
+	exp  *expdb.Experiment // nil for bare-tree snapshots
+	ldb  *expdb.LazyDB     // nil unless lazily opened
+
+	// baseCols is the registry length at seal time: the boundary between
+	// shared database columns (below) and session-overlay derived columns
+	// (at or above).
+	baseCols int
+
+	// mu orders queries (read lock) against fault-in (write lock).
+	mu sync.RWMutex
+	// gen counts fault-in events; sessions compare it to their last
+	// observed value and drop caches on change. Written under mu; read
+	// atomically so sessions can check it cheaply under the read lock.
+	gen atomic.Uint64
+
+	// faulter loads one metric column on first use; faulted memoizes the
+	// per-column outcome so each column faults exactly once per snapshot.
+	// Guarded by mu.
+	faulter func(metricID int) error
+	faulted map[int]error
+	// allFaulted short-circuits FaultAll once every column has been
+	// offered. Guarded by mu.
+	allFaulted bool
+	// lazyFlag mirrors faulter != nil so sessions can test for lazy
+	// columns without taking the lock.
+	lazyFlag atomic.Bool
+}
+
+// NewSnapshot seals an in-memory experiment. The experiment must be fully
+// materialized (expdb.Read and expdb.FromMerge results are).
+func NewSnapshot(exp *expdb.Experiment) *Snapshot {
+	sn := &Snapshot{tree: exp.Tree, exp: exp}
+	sn.seal()
+	return sn
+}
+
+// NewLazySnapshot seals a lazily opened database: required sections are
+// resident, override-backed columns fault in through the database's
+// NeedColumn on first use — synchronized and generation-stamped by the
+// snapshot, so concurrent sessions may trigger the fault safely.
+func NewLazySnapshot(ldb *expdb.LazyDB) *Snapshot {
+	sn := &Snapshot{tree: ldb.Experiment().Tree, exp: ldb.Experiment(), ldb: ldb}
+	sn.faulter = ldb.NeedColumn
+	sn.seal()
+	return sn
+}
+
+// NewTreeSnapshot seals a bare computed tree (no database around it) — the
+// entry point for hand-built trees and tests.
+func NewTreeSnapshot(t *core.Tree) *Snapshot {
+	sn := &Snapshot{tree: t}
+	sn.seal()
+	return sn
+}
+
+// Open opens an experiment database file lazily and seals it as a
+// snapshot.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// OpenLazy consumes the whole stream (the CRC scan), retaining section
+	// payloads in memory, so the file handle can close immediately.
+	ldb, err := expdb.OpenLazy(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return NewLazySnapshot(ldb), nil
+}
+
+// OpenReader opens a database from a stream (sniffing XML/v1/v2 like
+// expdb.OpenLazy) and seals it.
+func OpenReader(r io.Reader) (*Snapshot, error) {
+	ldb, err := expdb.OpenLazy(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewLazySnapshot(ldb), nil
+}
+
+// seal freezes the snapshot: presented metrics are computed (a no-op for
+// database-loaded trees, whose finalize already ran) and the base column
+// boundary recorded.
+func (sn *Snapshot) seal() {
+	sn.tree.EnsureComputed()
+	sn.baseCols = sn.tree.Reg.Len()
+	sn.faulted = map[int]error{}
+	sn.lazyFlag.Store(sn.faulter != nil)
+}
+
+// lazy reports whether the snapshot has lazily faulted columns.
+func (sn *Snapshot) lazy() bool { return sn.lazyFlag.Load() }
+
+// Tree returns the shared tree. Callers must treat it as read-only.
+func (sn *Snapshot) Tree() *core.Tree { return sn.tree }
+
+// Experiment returns the database wrapper (nil for bare-tree snapshots).
+func (sn *Snapshot) Experiment() *expdb.Experiment { return sn.exp }
+
+// BaseColumns reports the number of sealed registry columns; session
+// overlay columns are assigned IDs from this boundary up.
+func (sn *Snapshot) BaseColumns() int { return sn.baseCols }
+
+// Generation returns the fault-in generation counter.
+func (sn *Snapshot) Generation() uint64 { return sn.gen.Load() }
+
+// Notes returns a copy of the database's degradation notes (fault-in may
+// append to them; the copy is taken under the read lock).
+func (sn *Snapshot) Notes() []string {
+	if sn.exp == nil {
+		return nil
+	}
+	sn.mu.RLock()
+	defer sn.mu.RUnlock()
+	return append([]string(nil), sn.exp.Notes...)
+}
+
+// Provenance faults in and returns the database's quarantine report (nil
+// when absent).
+func (sn *Snapshot) Provenance() (*ingest.Report, error) {
+	if sn.ldb == nil {
+		if sn.exp == nil {
+			return nil, nil
+		}
+		return sn.exp.Provenance, nil
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.ldb.Provenance()
+}
+
+// SetColumnFaulter replaces the snapshot's column faulter and forgets which
+// columns have faulted. Sessions created before the call keep their own
+// fault bookkeeping; this is intended for wiring a custom loader (or a
+// note-flushing wrapper) right after construction, before sessions exist.
+func (sn *Snapshot) SetColumnFaulter(f func(metricID int) error) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.faulter = f
+	sn.faulted = map[int]error{}
+	sn.allFaulted = false
+	sn.lazyFlag.Store(f != nil)
+}
+
+// needColumn runs the column faulter exactly once per column across every
+// session of the snapshot, under the write lock (queries are excluded while
+// shared slabs may be rewritten). The recorded outcome is returned to every
+// later requester. Each first-time fault advances the generation.
+func (sn *Snapshot) needColumn(id int) error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.needColumnLocked(id)
+}
+
+func (sn *Snapshot) needColumnLocked(id int) error {
+	if sn.faulter == nil {
+		return nil
+	}
+	if err, ok := sn.faulted[id]; ok {
+		return err
+	}
+	sn.gen.Add(1)
+	err := sn.faulter(id)
+	sn.faulted[id] = err
+	return err
+}
+
+// FaultAll offers every sealed column to the faulter. Sessions call it
+// before building or expanding an aggregating view (Callers, Flat): those
+// views copy every resident column of the scopes they aggregate, so their
+// contents must not depend on which columns other sessions happened to
+// fault first — materializing everything makes the aggregate a pure
+// function of the database. The first error is returned, but every column
+// is still offered.
+func (sn *Snapshot) FaultAll() error {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	if sn.faulter == nil || sn.allFaulted {
+		return nil
+	}
+	var first error
+	for id := 0; id < sn.baseCols; id++ {
+		if err := sn.needColumnLocked(id); err != nil && first == nil {
+			first = err
+		}
+	}
+	sn.allFaulted = true
+	return first
+}

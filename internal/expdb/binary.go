@@ -343,8 +343,8 @@ func encodeProvenance(rep *ingest.Report) []byte {
 	bufU(&b, uint64(len(rep.Bad)))
 	for _, bad := range rep.Bad {
 		bufS(&b, bad.Path)
-		bufU(&b, uint64(bad.Rank+1))     // 0 encodes "unknown" (-1)
-		bufU(&b, uint64(bad.Offset+1))   // likewise
+		bufU(&b, uint64(bad.Rank+1))   // 0 encodes "unknown" (-1)
+		bufU(&b, uint64(bad.Offset+1)) // likewise
 		bufU(&b, uint64(bad.Class))
 		bufS(&b, bad.Message)
 	}

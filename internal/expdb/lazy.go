@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/framing"
@@ -32,9 +33,18 @@ import (
 // v1 and XML databases have no section framing to exploit; OpenLazy falls
 // back to an eager decode and every accessor is already satisfied.
 //
-// A LazyDB is not safe for concurrent use until MaterializeAll (or the
-// relevant NeedColumn calls) have completed: faulting mutates the tree.
+// The fault-in entry points (NeedColumn, MaterializeAll, Provenance) are
+// serialized by an internal mutex, so concurrent sessions sharing one
+// database cannot double-decode a section or race its bookkeeping. Faulting
+// still mutates the tree, however: callers running queries concurrently
+// with a possible fault-in must order readers against it themselves (the
+// engine's snapshot does, with a read-write lock around fault-in versus
+// queries).
 type LazyDB struct {
+	// mu serializes fault-in: section decode, tree override application and
+	// the loaded/damage bookkeeping below.
+	mu sync.Mutex
+
 	exp   *Experiment
 	nodes []*core.Node // preorder nodes of the tree section (v2 only)
 
@@ -101,6 +111,8 @@ func (db *LazyDB) Lazy() bool { return db.lazy }
 // keyed by section name — the observable that lazy opens skip untouched
 // sections. The map is a copy.
 func (db *LazyDB) SectionReads() map[string]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	out := make(map[string]int, len(db.reads))
 	for k, v := range db.reads {
 		out[k] = v
@@ -114,6 +126,8 @@ func (db *LazyDB) SectionReads() map[string]int {
 // error is the same typed *SectionError an eager open would have reported
 // for a malformed section; checksum damage degrades with a note instead.
 func (db *LazyDB) NeedColumn(id int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.ovLoaded {
 		return db.ovErr
 	}
@@ -154,6 +168,8 @@ func columnNeedsOverrides(reg *metric.Registry, id int) bool {
 // eager-open state. Use before handing the experiment to concurrent
 // readers or non-interactive processing.
 func (db *LazyDB) MaterializeAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.loadOverrides(); err != nil {
 		return err
 	}
@@ -164,12 +180,15 @@ func (db *LazyDB) MaterializeAll() error {
 // report (nil when the database has none or the damaged section was
 // dropped).
 func (db *LazyDB) Provenance() (*ingest.Report, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.loadProvenance(); err != nil {
 		return nil, err
 	}
 	return db.exp.Provenance, nil
 }
 
+// loadOverrides and loadProvenance run with db.mu held.
 func (db *LazyDB) loadOverrides() error {
 	if db.ovLoaded {
 		return db.ovErr

@@ -11,6 +11,7 @@ package metric
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Kind classifies how a metric column obtains its values.
@@ -97,8 +98,12 @@ type Desc struct {
 	// ShowPercent requests a percent-of-root annotation when rendered.
 	ShowPercent bool
 
-	expr *Expr    // compiled formula, for Derived columns
-	prog *Program // stack program lowered from expr, compiled on first use
+	// compileMu guards the lazy expr/prog compilation below: descriptors of
+	// a loaded database are shared read-only by every session over it, and
+	// two sessions may demand the compiled form of the same formula at once.
+	compileMu sync.Mutex
+	expr      *Expr    // compiled formula, for Derived columns
+	prog      *Program // stack program lowered from expr, compiled on first use
 }
 
 // Registry is an ordered set of metric columns. The zero value is ready to
@@ -183,6 +188,23 @@ func (r *Registry) AddComputed(name, unit string) (*Desc, error) {
 	return r.add(&Desc{Name: name, Unit: unit, Kind: Computed})
 }
 
+// Clone returns a registry sharing the receiver's column descriptors but
+// owning its own column list and name index: columns added to the clone are
+// invisible to the original (and vice versa — but the original must not gain
+// columns after cloning, or IDs would collide). This is how a presentation
+// session overlays private derived columns on a shared, sealed database
+// registry without mutating it.
+func (r *Registry) Clone() *Registry {
+	c := &Registry{
+		cols:   append([]*Desc(nil), r.cols...),
+		byName: make(map[string]*Desc, len(r.cols)),
+	}
+	for _, d := range r.cols {
+		c.byName[d.Name] = d
+	}
+	return c
+}
+
 // AddSummary registers a summary statistic over the raw column src.
 func (r *Registry) AddSummary(src int, op SummaryOp) (*Desc, error) {
 	sd := r.ByID(src)
@@ -196,11 +218,18 @@ func (r *Registry) AddSummary(src int, op SummaryOp) (*Desc, error) {
 }
 
 // Expr returns the compiled formula of a Derived column (compiling it on
-// first use if the descriptor was built by hand).
+// first use if the descriptor was built by hand). Safe for concurrent use:
+// several sessions over one shared registry may demand it at once.
 func (d *Desc) Expr() (*Expr, error) {
 	if d.Kind != Derived {
 		return nil, fmt.Errorf("metric: %q is not a derived metric", d.Name)
 	}
+	d.compileMu.Lock()
+	defer d.compileMu.Unlock()
+	return d.exprLocked()
+}
+
+func (d *Desc) exprLocked() (*Expr, error) {
 	if d.expr == nil {
 		expr, err := Parse(d.Formula)
 		if err != nil {
@@ -213,11 +242,17 @@ func (d *Desc) Expr() (*Expr, error) {
 
 // Program returns the column's formula lowered to a stack program, compiled
 // once and cached — the kernel the columnar derived-metric sweep executes.
+// Safe for concurrent use, like Expr.
 func (d *Desc) Program() (*Program, error) {
+	if d.Kind != Derived {
+		return nil, fmt.Errorf("metric: %q is not a derived metric", d.Name)
+	}
+	d.compileMu.Lock()
+	defer d.compileMu.Unlock()
 	if d.prog != nil {
 		return d.prog, nil
 	}
-	e, err := d.Expr()
+	e, err := d.exprLocked()
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,23 @@ type Options struct {
 	Totals func(metricID int) float64
 	// Highlight marks scopes (e.g. a hot path) with a leading marker.
 	Highlight map[*core.Node]bool
+	// Value, when non-nil, supplies every metric cell instead of the
+	// node's own Incl/Excl views. Sessions overlaying private derived
+	// columns on a shared database route cell reads through it; for
+	// columns resident in the node's store it must return exactly
+	// n.Incl.Get / n.Excl.Get, keeping output byte-identical.
+	Value func(n *core.Node, metricID int, inclusive bool) float64
+}
+
+// value reads one metric cell, via the Value override when set.
+func (o *Options) value(n *core.Node, metricID int, inclusive bool) float64 {
+	if o.Value != nil {
+		return o.Value(n, metricID, inclusive)
+	}
+	if inclusive {
+		return n.Incl.Get(metricID)
+	}
+	return n.Excl.Get(metricID)
 }
 
 // Render writes the forest as a tree table.
@@ -165,12 +182,7 @@ func (r *renderer) row(idx int, row Row) error {
 	}
 	fmt.Fprintf(&b, "%-*s", labelWidth, trunc(label, labelWidth))
 	for _, c := range r.cols {
-		var v float64
-		if c.Inclusive {
-			v = row.Node.Incl.Get(c.MetricID)
-		} else {
-			v = row.Node.Excl.Get(c.MetricID)
-		}
+		v := r.opt.value(row.Node, c.MetricID, c.Inclusive)
 		fmt.Fprintf(&b, " %*s", cellWidth, r.cell(c.MetricID, v))
 	}
 	_, err := io.WriteString(r.w, strings.TrimRight(b.String(), " ")+"\n")
@@ -222,12 +234,7 @@ func (r *renderer) node(n *core.Node, depth int) error {
 	fmt.Fprintf(&b, "%-*s", labelWidth, trunc(label, labelWidth))
 
 	for _, c := range r.cols {
-		var v float64
-		if c.Inclusive {
-			v = n.Incl.Get(c.MetricID)
-		} else {
-			v = n.Excl.Get(c.MetricID)
-		}
+		v := r.opt.value(n, c.MetricID, c.Inclusive)
 		fmt.Fprintf(&b, " %*s", cellWidth, r.cell(c.MetricID, v))
 	}
 	line := strings.TrimRight(b.String(), " ") + "\n"

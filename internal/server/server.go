@@ -1,0 +1,204 @@
+// Package server is the HTTP/JSON frontend over internal/engine: one
+// opened experiment database (an engine.Snapshot) serving any number of
+// concurrent presentation sessions, each keyed by an unguessable token.
+//
+// The server is deliberately thin — it owns transport concerns only
+// (tokens, per-session serialization, JSON framing, shutdown); every
+// presentation capability is the engine's. A session speaks the same
+// command grammar as `hpcviewer -interactive` (see engine.Help), so a
+// command stream sent over HTTP renders byte-identically to the same
+// stream typed into the CLI.
+//
+// API:
+//
+//	GET    /healthz                    liveness probe ("ok")
+//	GET    /v1/info                    database shape: node/metric counts, notes
+//	POST   /v1/sessions                create a session -> {"token": "..."}
+//	POST   /v1/sessions/{token}/exec   {"line": "..."} -> {"output", "error", "quit"}
+//	DELETE /v1/sessions/{token}        close and forget the session
+//
+// A command that quits (the REPL's "quit") closes the session server-side;
+// further requests with its token return 404.
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/prog"
+)
+
+// Server shares one snapshot across HTTP sessions.
+type Server struct {
+	snap   *engine.Snapshot
+	source *prog.Program
+	jobs   int
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+}
+
+// session pairs an engine session with the mutex that serializes its
+// requests: engine.Session is single-user by contract, and concurrent
+// requests for one token must not interleave inside it. Distinct sessions
+// never share this lock — their concurrency is the engine's business.
+type session struct {
+	mu sync.Mutex
+	s  *engine.Session
+}
+
+// New creates a server over a sealed snapshot. source may be nil (the src
+// command then reports that no source is attached). jobs bounds each
+// session's bulk callers-view expansion (<=1 serial).
+func New(snap *engine.Snapshot, source *prog.Program, jobs int) *Server {
+	return &Server{snap: snap, source: source, jobs: jobs, sessions: map[string]*session{}}
+}
+
+// Handler returns the HTTP handler for the API above.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/info", srv.handleInfo)
+	mux.HandleFunc("POST /v1/sessions", srv.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{token}/exec", srv.handleExec)
+	mux.HandleFunc("DELETE /v1/sessions/{token}", srv.handleDelete)
+	return mux
+}
+
+// Close shuts every session down (cancelling their in-flight work) and
+// refuses new ones. Graceful shutdown calls it after the HTTP server
+// drains.
+func (srv *Server) Close() {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	srv.closed = true
+	for token, se := range srv.sessions {
+		se.s.Close()
+		delete(srv.sessions, token)
+	}
+}
+
+// SessionCount reports the number of live sessions.
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+type infoResponse struct {
+	Nodes   int      `json:"nodes"`
+	Metrics []string `json:"metrics"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+func (srv *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := infoResponse{Nodes: srv.snap.Tree().NumNodes(), Notes: srv.snap.Notes()}
+	for _, d := range srv.snap.Tree().Reg.Columns() {
+		info.Metrics = append(info.Metrics, d.Name)
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+type createResponse struct {
+	Token string `json:"token"`
+}
+
+func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	token, err := newToken()
+	if err != nil {
+		http.Error(w, "token generation failed", http.StatusInternalServerError)
+		return
+	}
+	s := engine.NewSession(srv.snap)
+	s.SetSource(srv.source)
+	s.SetJobs(srv.jobs)
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		s.Close()
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	srv.sessions[token] = &session{s: s}
+	srv.mu.Unlock()
+	writeJSON(w, http.StatusCreated, createResponse{Token: token})
+}
+
+type execRequest struct {
+	Line string `json:"line"`
+}
+
+type execResponse struct {
+	Output string `json:"output"`
+	Err    string `json:"error,omitempty"`
+	Quit   bool   `json:"quit,omitempty"`
+}
+
+func (srv *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	token := r.PathValue("token")
+	srv.mu.Lock()
+	se := srv.sessions[token]
+	srv.mu.Unlock()
+	if se == nil {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	var req execRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	se.mu.Lock()
+	resp := se.s.Do(engine.Request{Line: req.Line})
+	se.mu.Unlock()
+	if resp.Quit {
+		srv.remove(token)
+	}
+	writeJSON(w, http.StatusOK, execResponse{Output: resp.Output, Err: resp.Err, Quit: resp.Quit})
+}
+
+func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !srv.remove(r.PathValue("token")) {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// remove closes and forgets one session; reports whether it existed.
+func (srv *Server) remove(token string) bool {
+	srv.mu.Lock()
+	se := srv.sessions[token]
+	delete(srv.sessions, token)
+	srv.mu.Unlock()
+	if se == nil {
+		return false
+	}
+	se.s.Close()
+	return true
+}
+
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,463 +1,49 @@
-// Package viewer is the interactive presentation session: the stateful
-// equivalent of hpcviewer's GUI, driven programmatically or from the
-// hpcviewer command's REPL. It models the interactions the paper's Section
-// V designs for:
-//
-//   - top-down access: only the roots are visible until scopes are
-//     expanded one link at a time — or en masse by hot-path analysis,
-//     which "enables the user to instantaneously drill down into a nested
-//     context" (Section V-C);
-//   - three switchable views sharing one selection/sort state;
-//   - sorting by any (possibly derived) metric column;
-//   - zoom into a subtree and back out;
-//   - flattening in the Flat View (Section III-C);
-//   - a source pane that follows the selection (Section III-D.1).
+// Package viewer is the interactive presentation session API, kept as a
+// thin compatibility shim over internal/engine. The session logic —
+// views, expansion, zoom, flattening, sorting, derived metrics, hot
+// paths, the query cache and the REPL grammar — moved into the engine so
+// that one opened database (an engine.Snapshot) can serve many concurrent
+// sessions; this package preserves the single-session construction shape
+// (New over a bare tree) that programmatic callers and tests use.
 package viewer
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/imbalance"
-	"repro/internal/profile"
+	"repro/internal/engine"
 	"repro/internal/prog"
-	"repro/internal/render"
-	"repro/internal/structfile"
 )
 
 // ViewKind selects the active view.
-type ViewKind uint8
+type ViewKind = engine.ViewKind
 
 const (
 	// ViewCC is the Calling Context View.
-	ViewCC ViewKind = iota
+	ViewCC = engine.ViewCC
 	// ViewCallers is the bottom-up Callers View.
-	ViewCallers
+	ViewCallers = engine.ViewCallers
 	// ViewFlat is the static Flat View.
-	ViewFlat
+	ViewFlat = engine.ViewFlat
 )
 
-func (v ViewKind) String() string {
-	switch v {
-	case ViewCC:
-		return "calling-context"
-	case ViewCallers:
-		return "callers"
-	case ViewFlat:
-		return "flat"
-	}
-	return fmt.Sprintf("ViewKind(%d)", uint8(v))
-}
-
 // Session is one interactive presentation of a tree.
-type Session struct {
-	tree *core.Tree
-	// source, when non-nil, backs the source pane.
-	source *prog.Program
-	// doc and profiles, when attached, back the per-rank plot graphs.
-	doc      *structfile.Doc
-	profiles []*profile.Profile
+type Session = engine.Session
 
-	view     ViewKind
-	callers  *core.CallersView
-	flat     *core.FlatView
-	expanded map[*core.Node]bool
-	sort     core.SortSpec
-	// zoom restricts the Calling Context View to one subtree.
-	zoom []*core.Node
-	// flatten is the Flat View's current flattening level.
-	flatten   int
-	selected  *core.Node
-	highlight map[*core.Node]bool
-	threshold float64
-	// topN and maxDepth bound the visible rows (0 = unlimited).
-	topN     int
-	maxDepth int
-	// columns selects the metric pane's columns (nil = all).
-	columns []render.Column
-	// rows caches the last computed visible rows (for addressing).
-	rows []render.Row
-
-	// cache memoizes sorted sibling orders and hot paths across renders;
-	// see cache.go for the invalidation discipline.
-	cache *queryCache
-	// faulter, when set, loads a metric column on first use (lazy
-	// databases); faulted tracks which columns were offered, faultErr the
-	// first failure (surfaced by Render).
-	faulter  func(metricID int) error
-	faulted  map[int]bool
-	faultErr error
-}
-
-// New creates a session over a computed tree. source may be nil.
+// New creates a session over a computed tree, sealing the tree as a
+// private snapshot. source may be nil. Sessions that should share one
+// snapshot are created with engine.NewSession instead.
 func New(t *core.Tree, source *prog.Program) *Session {
-	return &Session{
-		tree:      t,
-		source:    source,
-		expanded:  map[*core.Node]bool{},
-		highlight: map[*core.Node]bool{},
-		threshold: core.DefaultHotPathThreshold,
-		cache:     newQueryCache(),
-	}
+	s := engine.NewSession(engine.NewTreeSnapshot(t))
+	s.SetSource(source)
+	return s
 }
 
-// Tree returns the underlying tree.
-func (s *Session) Tree() *core.Tree { return s.tree }
+// Help describes the REPL commands.
+const Help = engine.Help
 
-// View returns the active view kind.
-func (s *Session) View() ViewKind { return s.view }
-
-// SwitchView changes the active view, preserving sort and threshold but
-// clearing expansion, zoom and highlights (each view has its own scopes).
-func (s *Session) SwitchView(v ViewKind) {
-	if v == s.view {
-		return
-	}
-	s.view = v
-	s.expanded = map[*core.Node]bool{}
-	s.highlight = map[*core.Node]bool{}
-	s.zoom = nil
-	s.selected = nil
-	s.rows = nil
-	// Switching may build a view lazily (new scopes, new sibling lists).
-	s.cache.bump()
-}
-
-// SetSort selects the sort column/flavor.
-func (s *Session) SetSort(spec core.SortSpec) { s.sort = spec }
-
-// SetThreshold adjusts the hot-path threshold (the paper exposes it as a
-// preference; values outside (0,1] restore the default).
-func (s *Session) SetThreshold(t float64) {
-	if t <= 0 || t > 1 {
-		t = core.DefaultHotPathThreshold
-	}
-	s.threshold = t
-}
-
-// roots returns the active view's current top-level scopes plus the scope
-// that owns the list (nil for a view's forest) — the identity the query
-// cache keys sibling orders by.
-func (s *Session) roots() (parent *core.Node, ns []*core.Node) {
-	switch s.view {
-	case ViewCC:
-		if len(s.zoom) > 0 {
-			z := s.zoom[len(s.zoom)-1]
-			return z, z.Children
-		}
-		return s.tree.Root, s.tree.Root.Children
-	case ViewCallers:
-		if s.callers == nil {
-			s.callers = core.BuildCallersView(s.tree)
-		}
-		return nil, s.callers.Roots
-	case ViewFlat:
-		if s.flat == nil {
-			s.flat = core.BuildFlatView(s.tree)
-		}
-		return nil, core.FlattenN(s.flat.Roots, s.flatten)
-	}
-	return nil, nil
-}
-
-// SetLimits bounds the visible rows: at most topN children per scope and
-// maxDepth levels (0 = unlimited). Truncated scopes keep their expander
-// mark, matching the renderer's focus discipline (Section V-A).
-func (s *Session) SetLimits(topN, maxDepth int) {
-	s.topN, s.maxDepth = topN, maxDepth
-}
-
-// VisibleRows recomputes and returns the rows currently on screen:
-// top-level scopes always, descendants only along expanded chains, every
-// sibling list ordered by the session sort.
-func (s *Session) VisibleRows() []render.Row {
-	s.rows = s.rows[:0]
-	if !s.sort.ByLabel {
-		s.faultColumn(s.sort.MetricID)
-	}
-	var add func(parent *core.Node, ns []*core.Node, depth int)
-	add = func(parent *core.Node, ns []*core.Node, depth int) {
-		sorted := s.sortedSiblings(parent, ns)
-		truncated := false
-		if s.topN > 0 && len(sorted) > s.topN {
-			sorted = sorted[:s.topN]
-			truncated = true
-		}
-		_ = truncated
-		for _, n := range sorted {
-			childrenShown := s.expanded[n] && (s.maxDepth == 0 || depth+1 < s.maxDepth)
-			hidden := len(n.Children) > 0 && !childrenShown
-			// The Callers View materializes children lazily: an
-			// unexpanded root row may not know its callers yet, so it
-			// is presented as expandable regardless.
-			if s.view == ViewCallers && s.callers != nil && n.Parent == nil && !s.callers.Expanded(n) {
-				hidden = true
-			}
-			s.rows = append(s.rows, render.Row{Node: n, Depth: depth, HasHidden: hidden})
-			if childrenShown {
-				add(n, n.Children, depth+1)
-			}
-		}
-	}
-	parent, ns := s.roots()
-	add(parent, ns, 0)
-	return s.rows
-}
-
-// RowNode resolves a row number from the last VisibleRows/Render call
-// (computing the rows first if none have been rendered yet).
-func (s *Session) RowNode(idx int) (*core.Node, error) {
-	if len(s.rows) == 0 {
-		s.VisibleRows()
-	}
-	if idx < 0 || idx >= len(s.rows) {
-		return nil, fmt.Errorf("viewer: row %d out of range (0..%d)", idx, len(s.rows)-1)
-	}
-	return s.rows[idx].Node, nil
-}
-
-// Select makes the node the current selection (for source pane and
-// hot-path starting point).
-func (s *Session) Select(n *core.Node) { s.selected = n }
-
-// Selected returns the current selection (nil if none).
-func (s *Session) Selected() *core.Node { return s.selected }
-
-// Expand opens one scope (for the Callers View this materializes the
-// caller chain on demand — Section VII's lazy construction).
-func (s *Session) Expand(n *core.Node) {
-	if s.view == ViewCallers && s.callers != nil {
-		for _, r := range s.callers.Roots {
-			if r == n {
-				s.callers.Expand(r)
-				// Materialization may have created caller rows.
-				s.cache.bump()
-			}
-		}
-	}
-	s.expanded[n] = true
-}
-
-// Collapse closes one scope.
-func (s *Session) Collapse(n *core.Node) { delete(s.expanded, n) }
-
-// ExpandAll opens every scope under n (and n itself). In the Callers View
-// this materializes every caller subtrie, which can fail on a damaged
-// view; the scopes opened so far stay open.
-func (s *Session) ExpandAll(n *core.Node) error {
-	var err error
-	if s.view == ViewCallers && s.callers != nil {
-		err = s.callers.ExpandAll()
-		s.cache.bump()
-	}
-	core.Walk(n, func(x *core.Node) bool {
-		s.expanded[x] = true
-		return true
-	})
-	return err
-}
-
-// HotPath runs hot-path analysis (Equation 3) over the given metric from
-// the selection (or the whole view when nothing is selected), expands
-// every scope along the path so it is visible, highlights it, and selects
-// its endpoint — the paper's one-click drill-down.
-func (s *Session) HotPath(metricID int) []*core.Node {
-	s.faultColumn(metricID)
-	start := s.selected
-	if start == nil {
-		if s.view == ViewCC && len(s.zoom) > 0 {
-			start = s.zoom[len(s.zoom)-1]
-		} else if s.view == ViewCC {
-			start = s.tree.Root
-		} else {
-			// Derived views have a forest; start from the hottest root.
-			_, roots := s.roots()
-			if len(roots) == 0 {
-				return nil
-			}
-			best := roots[0]
-			for _, r := range roots[1:] {
-				if r.Incl.Get(metricID) > best.Incl.Get(metricID) {
-					best = r
-				}
-			}
-			start = best
-		}
-	}
-	if s.view == ViewCallers && s.callers != nil {
-		// The path may need lazily built caller chains.
-		for _, r := range s.callers.Roots {
-			if r == start {
-				s.callers.Expand(r)
-				s.cache.bump()
-			}
-		}
-	}
-	path := s.hotPathCached(start, metricID)
-	s.highlight = map[*core.Node]bool{}
-	for _, n := range path {
-		s.highlight[n] = true
-		s.expanded[n] = true
-	}
-	if len(path) > 0 {
-		s.selected = path[len(path)-1]
-	}
-	return path
-}
-
-// ZoomIn restricts the Calling Context View to the subtree at n.
-func (s *Session) ZoomIn(n *core.Node) error {
-	if s.view != ViewCC {
-		return fmt.Errorf("viewer: zoom applies to the calling context view")
-	}
-	s.zoom = append(s.zoom, n)
-	return nil
-}
-
-// ZoomOut undoes one ZoomIn.
-func (s *Session) ZoomOut() {
-	if len(s.zoom) > 0 {
-		s.zoom = s.zoom[:len(s.zoom)-1]
-	}
-}
-
-// FlattenOnce elides the Flat View's current top level (Section III-C).
-func (s *Session) FlattenOnce() error {
-	if s.view != ViewFlat {
-		return fmt.Errorf("viewer: flattening applies to the flat view")
-	}
-	s.flatten++
-	return nil
-}
-
-// Unflatten undoes one FlattenOnce.
-func (s *Session) Unflatten() {
-	if s.flatten > 0 {
-		s.flatten--
-	}
-}
-
-// FlattenLevel reports the current flattening depth.
-func (s *Session) FlattenLevel() int { return s.flatten }
-
-// SetColumns selects which metric columns the metric pane shows (nil
-// restores all columns) — the paper's "using table to represent metrics
-// allows a user to select which metric to observe" (Section VII).
-func (s *Session) SetColumns(cols []render.Column) { s.columns = cols }
-
-// Render writes the visible rows with row numbers. Columns about to be
-// displayed are faulted in first (lazy databases); a fault failure aborts
-// the render with the section's typed error.
-func (s *Session) Render(w io.Writer, opt render.Options) error {
-	if opt.Columns == nil {
-		opt.Columns = s.columns
-	}
-	if s.faulter != nil {
-		if opt.Columns != nil {
-			for _, c := range opt.Columns {
-				s.faultColumn(c.MetricID)
-			}
-		} else {
-			for _, d := range s.tree.Reg.Columns() {
-				s.faultColumn(d.ID)
-			}
-		}
-	}
-	rows := s.VisibleRows()
-	if err := s.faultErr; err != nil {
-		s.faultErr = nil
-		return err
-	}
-	opt.Highlight = s.highlight
-	if opt.Totals == nil {
-		opt.Totals = s.tree.Total
-	}
-	return render.RenderRows(w, rows, s.tree.Reg, opt)
-}
-
-// AddDerivedMetric registers a derived column and evaluates it over the
-// whole tree with the compiled column kernels, invalidating memoized
-// orders and hot paths (metric values changed). Columns the formula reads
-// are faulted in first when the session fronts a lazy database.
-func (s *Session) AddDerivedMetric(name, formula string) error {
-	d, err := s.tree.Reg.AddDerived(name, formula)
-	if err != nil {
-		return err
-	}
-	if s.faulter != nil {
-		if p, perr := d.Program(); perr == nil {
-			for _, rc := range p.ColumnRefs() {
-				s.faultColumn(rc)
-			}
-		}
-	}
-	s.cache.bump()
-	if err := s.tree.ApplyDerivedTree(); err != nil {
-		return err
-	}
-	if err := s.faultErr; err != nil {
-		s.faultErr = nil
-		return err
-	}
-	return nil
-}
-
-// AttachProfiles supplies the raw per-rank profiles and the structure
-// document, enabling per-rank plot graphs (the three graphs of Figure 7).
-func (s *Session) AttachProfiles(doc *structfile.Doc, profs []*profile.Profile) {
-	s.doc = doc
-	s.profiles = profs
-}
-
-// Plot renders the per-rank distribution of the named metric at the
-// selected Calling Context View scope: scatter, sorted series and
-// histogram (Section VI-C). Requires AttachProfiles and a selection in the
-// CC view (the per-rank series is defined by a calling context).
-func (s *Session) Plot(w io.Writer, metricName string, bins int) error {
-	if s.doc == nil || len(s.profiles) == 0 {
-		return fmt.Errorf("viewer: no profiles attached (plot needs the raw measurements)")
-	}
-	n := s.selected
-	if n == nil {
-		return fmt.Errorf("viewer: nothing selected")
-	}
-	if s.view != ViewCC {
-		return fmt.Errorf("viewer: plots are defined over calling contexts (switch to the cc view)")
-	}
-	var path []string
-	for _, a := range n.Path() {
-		path = append(path, a.Label())
-	}
-	rep, err := imbalance.Analyze(s.doc, s.profiles, path, metricName, bins)
-	if err != nil {
-		return err
-	}
-	return rep.Render(w)
-}
-
-// ShowSource writes the source pane for the selection: the pseudo-source
-// window around the scope's line. Call sites show the caller-side line
-// (clicking the call-site icon in hpcviewer), everything else its own
-// line.
-func (s *Session) ShowSource(w io.Writer, context int) error {
-	if s.source == nil {
-		return fmt.Errorf("viewer: no program source attached")
-	}
-	n := s.selected
-	if n == nil {
-		return fmt.Errorf("viewer: nothing selected")
-	}
-	if n.NoSource {
-		return fmt.Errorf("viewer: %s is binary-only (no source)", n.Label())
-	}
-	file, line := n.File, n.Line
-	if n.Kind == core.KindFrame && n.CallLine > 0 {
-		file, line = n.CallFile, n.CallLine
-	}
-	if file == 0 || line <= 0 {
-		return fmt.Errorf("viewer: %s has no source location", n.Label())
-	}
-	fmt.Fprintf(w, "%s:%d (%s)\n", file, line, n.Label())
-	return s.source.WriteSource(w, file.String(), line, context)
+// Exec runs one command line against a session. It returns true when the
+// session should end.
+func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
+	return engine.Exec(s, line, out)
 }
