@@ -10,9 +10,10 @@ GO ?= go
 # HotPath is anchored so it does not also select BenchmarkHotPathSize.
 BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen|BenchmarkConcurrentSessions
 BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
-	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem .
+	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem . \
+	&& $(GO) test -run XXX -bench 'BenchmarkDiffUnion|BenchmarkDiffKernels' -benchtime 5x -benchmem .
 
-.PHONY: verify build test race vet lint bench benchdiff bench-smoke bench-merge faults
+.PHONY: verify build test race vet lint bench benchdiff bench-smoke bench-merge bench-diff faults
 
 verify: build test race vet lint bench-smoke faults
 
@@ -43,9 +44,10 @@ lint:
 		echo "lint: govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
-# Merge + core + query + engine benchmarks with allocation stats — the
-# numbers recorded in BENCH_merge.json, BENCH_core.json, BENCH_query.json
-# and BENCH_engine.json.
+# Merge + core + query + engine + diff benchmarks with allocation stats —
+# the numbers recorded in BENCH_merge.json, BENCH_core.json,
+# BENCH_query.json, BENCH_engine.json and BENCH_diff.json. The
+# million-scope diff benches run at 5x: one union iteration is ~3s.
 bench:
 	@$(BENCH_CMD)
 
@@ -53,7 +55,7 @@ bench:
 # deterministic and fail the diff when they regress; ns/op is reported but
 # only fails beyond 50% (single-CPU container timing is noisy).
 benchdiff:
-	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json BENCH_engine.json
+	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json BENCH_engine.json BENCH_diff.json
 
 # Run every root benchmark body once (N=1) — the rot guard behind verify.
 bench-smoke:
@@ -63,6 +65,10 @@ bench-smoke:
 bench-merge:
 	$(GO) test -run XXX -bench 'BenchmarkMergeRanks|BenchmarkParallelMerge' -benchtime 30x .
 
+# Regenerate the numbers recorded in BENCH_diff.json.
+bench-diff:
+	$(GO) test -run XXX -bench 'BenchmarkDiffUnion|BenchmarkDiffKernels' -benchtime 5x -benchmem .
+
 # Robustness gate: the fault-injection matrix (every workload's files, both
 # format versions, truncation + corruption sweeps) plus a short coverage-
 # guided fuzz of both binary readers.
@@ -70,3 +76,4 @@ faults:
 	$(GO) test -run 'TestFaultMatrix|TestReaderFaults' ./internal/faultio
 	$(GO) test -run XXX -fuzz 'FuzzRead$$' -fuzztime 10s ./internal/profile
 	$(GO) test -run XXX -fuzz FuzzReadBinary -fuzztime 10s ./internal/expdb
+	$(GO) test -run XXX -fuzz FuzzDiff -fuzztime 10s ./internal/diff

@@ -10,7 +10,8 @@ import (
 // changed API, a b.Fatal path — fails ordinary `go test` instead of lying
 // dormant until someone runs -bench. Baseline numbers for the merge benches
 // live in BENCH_merge.json; for the core-representation benches, in
-// BENCH_core.json.
+// BENCH_core.json; for the differential-profiling benches, in
+// BENCH_diff.json.
 func TestBenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke is not short")
@@ -61,6 +62,8 @@ func TestBenchSmoke(t *testing.T) {
 		{"ComputeMetrics", BenchmarkComputeMetrics},
 		{"LazyOpen", BenchmarkLazyOpen},
 		{"ConcurrentSessions", BenchmarkConcurrentSessions},
+		{"DiffUnion", BenchmarkDiffUnion},
+		{"DiffKernels", BenchmarkDiffKernels},
 	}
 	for _, bm := range benches {
 		bm := bm

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,11 +47,19 @@ func main() {
 	}
 }
 
+// compareFlags collects repeatable -compare name=path entries.
+type compareFlags []string
+
+func (c *compareFlags) String() string     { return strings.Join(*c, ";") }
+func (c *compareFlags) Set(s string) error { *c = append(*c, s); return nil }
+
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("hpcserver", flag.ContinueOnError)
 	dflags := diag.Register(fs)
 	db := fs.String("db", "", "experiment database from hpcprof (required)")
 	addr := fs.String("addr", ":7007", "listen address")
+	var compares compareFlags
+	fs.Var(&compares, "compare", "extra database name=path for the diff catalog (repeatable)")
 	workload := fs.String("w", "", "workload name, to attach pseudo-source for the src command")
 	jobs := fs.Int("jobs", 0, "goroutines for callers-view expansion per session (0 = one per CPU)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
@@ -90,6 +99,19 @@ func run(args []string) (err error) {
 	}
 	srv := server.New(snap, source, *jobs)
 	defer srv.Close()
+	for _, c := range compares {
+		name, path, ok := strings.Cut(c, "=")
+		if !ok {
+			return fmt.Errorf("bad -compare %q (want name=path)", c)
+		}
+		other, err := engine.Open(path)
+		if err != nil {
+			return err
+		}
+		if err := srv.AddSnapshot(name, other); err != nil {
+			return err
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,713 @@
+// Package diff implements differential profiling: the structural union of
+// two or more experiment databases into one calling context tree whose
+// metric store carries, for every compared cost metric, per-input columns
+// plus computed delta, ratio and scaling-loss columns — ordinary metric
+// columns, so every existing view (top-down, callers, flat), sort, hot
+// path and threshold renders a diff with zero view-layer changes.
+//
+// Scopes are matched structurally by their full core.Key at every level
+// (frame symbol + structure scope + disambiguating ID), the same identity
+// the canonical CCT fuses samples by. A scope present in only some inputs
+// keeps its rows: absence is recorded in explicit per-input presence
+// columns ("in[A]" is 1 where input A has the scope), never conflated
+// with a zero cost.
+//
+// The scaling-loss column generalizes Section VI-A's scaled differencing
+// (after Coarfa et al.): with expected cost e(s) = a(s)·f — the baseline
+// cost scaled by the ideal weak- or strong-scaling factor f — the loss at
+// scope s is
+//
+//	loss(s) = 1 − e(s)/b(s)
+//
+// the complement of parallel efficiency: for a weak-scaling pair at N and
+// N/k ranks (total costs), 1 − k·T_{N/k}/T_N. It is positive where the
+// run at scale spends more than ideal scaling predicts, negative where it
+// beats the prediction, and 0 where the compared run has no cost.
+//
+// Determinism: the union is built single-threaded in first-appearance
+// order and the column kernels write disjoint slabs, so a diff result —
+// including its serialized form — is byte-identical regardless of the
+// Jobs setting.
+package diff
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/expdb"
+	"repro/internal/metric"
+)
+
+// MaxInputs bounds how many experiments one diff can union (presence is a
+// per-row bitmask).
+const MaxInputs = 8
+
+// Mode selects the scaling expectation applied to the baseline.
+type Mode uint8
+
+const (
+	// ModeAuto picks ModeNone when every input has the same rank count
+	// and ModeWeak otherwise.
+	ModeAuto Mode = iota
+	// ModeNone compares costs directly (no loss columns).
+	ModeNone
+	// ModeWeak expects per-rank cost to stay constant as ranks grow.
+	ModeWeak
+	// ModeStrong expects total cost to stay constant as ranks grow.
+	ModeStrong
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeNone:
+		return "none"
+	case ModeWeak:
+		return "weak"
+	case ModeStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "auto":
+		return ModeAuto, nil
+	case "none":
+		return ModeNone, nil
+	case "weak":
+		return ModeWeak, nil
+	case "strong":
+		return ModeStrong, nil
+	}
+	return ModeAuto, fmt.Errorf("diff: unknown mode %q (want auto, none, weak or strong)", s)
+}
+
+// Norm selects how input costs are normalized before comparison.
+type Norm uint8
+
+const (
+	// NormAuto normalizes to per-rank averages exactly when the inputs
+	// have different rank counts.
+	NormAuto Norm = iota
+	// NormPerRank divides each input's costs by its rank count.
+	NormPerRank
+	// NormTotal compares rank-summed totals as stored.
+	NormTotal
+)
+
+// Input is one experiment to diff. The label names the input's columns
+// ("CYCLES[base]" for label "base"); it must be addressable by the engine
+// command grammar, so it may not contain spaces or commas.
+type Input struct {
+	Label string
+	Exp   *expdb.Experiment
+}
+
+// Config controls a diff.
+type Config struct {
+	// Metrics are the cost columns to compare. Empty means every raw
+	// metric of the baseline that every input shares (by name); metrics
+	// named explicitly must be raw columns of every input.
+	Metrics []string
+	// Mode selects the scaling expectation (default ModeAuto).
+	Mode Mode
+	// Norm selects the cost normalization (default NormAuto).
+	Norm Norm
+	// Jobs bounds kernel parallelism when (re)computing the derived
+	// columns (<=1 serial). The result does not depend on it.
+	Jobs int
+}
+
+// InputInfo describes one input's place in the union.
+type InputInfo struct {
+	// Label is the input's column label.
+	Label string
+	// Ranks is the input's merged rank count (at least 1).
+	Ranks int
+	// Norm is the factor applied to the input's stored costs (1, or
+	// 1/Ranks under per-rank normalization).
+	Norm float64
+	// Factor is the ideal-scaling multiplier applied to the baseline's
+	// normalized cost to predict this input's (1 for the baseline).
+	Factor float64
+	// PresenceCol is the column holding 1 at scopes this input has.
+	PresenceCol int
+}
+
+// MetricCols maps one compared metric to its columns in the union
+// registry. Delta/Ratio/Loss are indexed by input minus one (entry 0
+// compares input 1 against the baseline input 0); Loss is nil under
+// ModeNone.
+type MetricCols struct {
+	// Name is the source metric name, e.g. "CYCLES".
+	Name string
+	// Unit is the source metric unit.
+	Unit string
+	// In holds the per-input cost columns, e.g. CYCLES[A], CYCLES[B].
+	In []int
+	// Delta holds b−a difference columns, e.g. CYCLES[B-A].
+	Delta []int
+	// Ratio holds b/a ratio columns, e.g. CYCLES[B/A].
+	Ratio []int
+	// Loss holds scaling-loss columns 1 − a·f/b, e.g. CYCLES[loss(B)].
+	Loss []int
+}
+
+// kernelTask recomputes one comparison column set (delta, ratio, loss of
+// one metric against one input) on one plane. Tasks touch disjoint output
+// slabs, so any subset may run concurrently.
+type kernelTask struct {
+	plane metric.Plane
+	mi    int // index into Result.Metrics
+	ii    int // compared input (>= 1)
+}
+
+// Result is a completed diff: a fresh experiment whose tree is the
+// structural union of the inputs, plus the column map.
+type Result struct {
+	// Exp wraps the union tree as an experiment (serializable with
+	// WriteBinary/WriteXML like any other database).
+	Exp *expdb.Experiment
+	// Tree is the union calling context tree.
+	Tree *core.Tree
+	// Inputs describes the inputs in argument order.
+	Inputs []InputInfo
+	// Metrics maps each compared metric to its columns.
+	Metrics []MetricCols
+	// Mode is the resolved scaling expectation (never ModeAuto).
+	Mode Mode
+	// PerRank reports whether costs were normalized to per-rank averages.
+	PerRank bool
+
+	// present is the per-row input bitmask backing the presence columns.
+	present []uint8
+	tasks   []kernelTask
+	jobs    int
+}
+
+// labelOK reports whether a label survives the engine command grammar:
+// command lines split on whitespace and column lists split on commas.
+func labelOK(l string) bool {
+	return l != "" && !strings.ContainsAny(l, " \t,")
+}
+
+// defaultLabels are the labels used when an input does not name itself.
+var defaultLabels = [MaxInputs]string{"A", "B", "C", "D", "E", "F", "G", "H"}
+
+// Diff unions the inputs into a fresh experiment. The first input is the
+// baseline every other input is compared against. Input trees are only
+// read; they may be shared with live sessions provided all their lazy
+// columns have been faulted in (engine.Snapshot.FaultAll).
+func Diff(cfg Config, inputs ...Input) (*Result, error) {
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("diff: need at least 2 inputs, got %d", len(inputs))
+	}
+	if len(inputs) > MaxInputs {
+		return nil, fmt.Errorf("diff: at most %d inputs, got %d", MaxInputs, len(inputs))
+	}
+	labels := make([]string, len(inputs))
+	seen := map[string]bool{}
+	for i, in := range inputs {
+		if in.Exp == nil || in.Exp.Tree == nil {
+			return nil, fmt.Errorf("diff: input %d has no tree", i)
+		}
+		l := in.Label
+		if l == "" {
+			l = defaultLabels[i]
+		}
+		if !labelOK(l) {
+			return nil, fmt.Errorf("diff: label %q contains a space or comma", l)
+		}
+		if seen[l] {
+			return nil, fmt.Errorf("diff: duplicate label %q", l)
+		}
+		seen[l] = true
+		labels[i] = l
+	}
+
+	ranks := make([]int, len(inputs))
+	sameRanks := true
+	for i, in := range inputs {
+		ranks[i] = in.Exp.NRanks
+		if ranks[i] < 1 {
+			ranks[i] = 1
+		}
+		if ranks[i] != ranks[0] {
+			sameRanks = false
+		}
+	}
+	mode := cfg.Mode
+	if mode == ModeAuto {
+		if sameRanks {
+			mode = ModeNone
+		} else {
+			mode = ModeWeak
+		}
+	}
+	perRank := false
+	switch cfg.Norm {
+	case NormAuto:
+		perRank = !sameRanks
+	case NormPerRank:
+		perRank = true
+	}
+
+	var notes []string
+	metrics, mnotes, err := resolveMetrics(cfg.Metrics, inputs, labels)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, mnotes...)
+
+	// Build the union registry: for each metric, the per-input cost
+	// columns first (they carry base values, so they stay below the
+	// recomputation boundary), then the computed comparison columns;
+	// the presence columns last.
+	reg := metric.NewRegistry()
+	r := &Result{Mode: mode, PerRank: perRank, jobs: cfg.Jobs}
+	for i := range inputs {
+		info := InputInfo{Label: labels[i], Ranks: ranks[i], Norm: 1, Factor: 1}
+		if perRank {
+			info.Norm = 1 / float64(ranks[i])
+		}
+		switch mode {
+		case ModeWeak:
+			if !perRank {
+				info.Factor = float64(ranks[i]) / float64(ranks[0])
+			}
+		case ModeStrong:
+			if perRank {
+				info.Factor = float64(ranks[0]) / float64(ranks[i])
+			}
+		}
+		r.Inputs = append(r.Inputs, info)
+	}
+	for _, rm := range metrics {
+		mc := MetricCols{Name: rm.name, Unit: rm.unit}
+		for i := range inputs {
+			d, err := reg.AddRaw(fmt.Sprintf("%s[%s]", rm.name, labels[i]), rm.unit, rm.period)
+			if err != nil {
+				return nil, err
+			}
+			mc.In = append(mc.In, d.ID)
+		}
+		for i := 1; i < len(inputs); i++ {
+			d, err := reg.AddComputed(fmt.Sprintf("%s[%s-%s]", rm.name, labels[i], labels[0]), rm.unit)
+			if err != nil {
+				return nil, err
+			}
+			mc.Delta = append(mc.Delta, d.ID)
+			q, err := reg.AddComputed(fmt.Sprintf("%s[%s/%s]", rm.name, labels[i], labels[0]), "x")
+			if err != nil {
+				return nil, err
+			}
+			mc.Ratio = append(mc.Ratio, q.ID)
+			if mode != ModeNone {
+				ls, err := reg.AddComputed(fmt.Sprintf("%s[loss(%s)]", rm.name, labels[i]), "frac")
+				if err != nil {
+					return nil, err
+				}
+				mc.Loss = append(mc.Loss, ls.ID)
+			}
+		}
+		r.Metrics = append(r.Metrics, mc)
+	}
+	for i := range r.Inputs {
+		d, err := reg.AddComputed(fmt.Sprintf("in[%s]", labels[i]), "")
+		if err != nil {
+			return nil, err
+		}
+		r.Inputs[i].PresenceCol = d.ID
+	}
+
+	// Union the trees. Scopes match on the full key; children keep
+	// first-appearance order across the inputs, so the union of
+	// identically shaped trees has the inputs' own child order.
+	out := core.NewTree(diffProgram(inputs), reg)
+	srcCols := make([][]int, len(inputs)) // per input, source column per metric
+	for i, in := range inputs {
+		srcCols[i] = make([]int, len(metrics))
+		for mi, rm := range metrics {
+			srcCols[i][mi] = in.Exp.Tree.Reg.ByName(rm.name).ID
+		}
+	}
+	roots := make([]*core.Node, len(inputs))
+	for i, in := range inputs {
+		roots[i] = in.Exp.Tree.Root
+	}
+	b := unionBuilder{r: r, metrics: r.Metrics, srcCols: srcCols}
+	b.setPresent(out.Root, allBits(len(inputs)))
+	b.union(out.Root, roots)
+
+	out.ComputeMetrics()
+	r.Tree = out
+	r.buildTasks()
+	r.Recompute()
+
+	// Provenance: a diff of a quarantined (-keep-going) database must say
+	// so — the comparison silently covers only the merged ranks otherwise.
+	for i, in := range inputs {
+		if rep := in.Exp.Provenance; rep != nil && !rep.Clean() {
+			notes = append(notes, fmt.Sprintf(
+				"diff: input %s is quarantined (%s); its costs cover the %d merged ranks only",
+				labels[i], rep.Summary(), r.Inputs[i].Ranks))
+		}
+		for _, n := range in.Exp.Notes {
+			notes = append(notes, fmt.Sprintf("diff: input %s: %s", labels[i], n))
+		}
+	}
+
+	nranks := 1
+	if !perRank && sameRanks {
+		nranks = ranks[0]
+	}
+	r.Exp = &expdb.Experiment{Program: out.Program, NRanks: nranks, Tree: out, Notes: notes}
+	return r, nil
+}
+
+// resolvedMetric is one metric chosen for comparison.
+type resolvedMetric struct {
+	name   string
+	unit   string
+	period uint64
+}
+
+// resolveMetrics picks the compared metrics: the explicit list (each must
+// be a raw column of every input) or the baseline's raw columns that every
+// input shares, skipped ones noted.
+func resolveMetrics(want []string, inputs []Input, labels []string) ([]resolvedMetric, []string, error) {
+	var notes []string
+	check := func(name string) (missing string, notRaw string) {
+		for i, in := range inputs {
+			d := in.Exp.Tree.Reg.ByName(name)
+			if d == nil {
+				return labels[i], ""
+			}
+			if d.Kind != metric.Raw {
+				return "", fmt.Sprintf("%s in input %s", d.Kind, labels[i])
+			}
+		}
+		return "", ""
+	}
+	var out []resolvedMetric
+	add := func(name string) {
+		d := inputs[0].Exp.Tree.Reg.ByName(name)
+		out = append(out, resolvedMetric{name: name, unit: d.Unit, period: d.Period})
+	}
+	if len(want) > 0 {
+		for _, name := range want {
+			missing, notRaw := check(name)
+			if missing != "" {
+				return nil, nil, fmt.Errorf("diff: metric %q missing from input %s", name, missing)
+			}
+			if notRaw != "" {
+				return nil, nil, fmt.Errorf("diff: metric %q is %s, not raw (only sampled cost columns diff)", name, notRaw)
+			}
+			add(name)
+		}
+		return out, notes, nil
+	}
+	for _, d := range inputs[0].Exp.Tree.Reg.Columns() {
+		if d.Kind != metric.Raw {
+			continue
+		}
+		missing, notRaw := check(d.Name)
+		if missing != "" {
+			notes = append(notes, fmt.Sprintf("diff: metric %q missing from input %s; skipped", d.Name, missing))
+			continue
+		}
+		if notRaw != "" {
+			notes = append(notes, fmt.Sprintf("diff: metric %q is %s; skipped", d.Name, notRaw))
+			continue
+		}
+		add(d.Name)
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("diff: no raw metric common to all inputs")
+	}
+	return out, notes, nil
+}
+
+// diffProgram names the union: the shared program name, or the names
+// joined when the inputs measured different programs.
+func diffProgram(inputs []Input) string {
+	name := inputs[0].Exp.Program
+	for _, in := range inputs[1:] {
+		if in.Exp.Program != name {
+			parts := make([]string, len(inputs))
+			for i := range inputs {
+				parts[i] = inputs[i].Exp.Program
+			}
+			return strings.Join(parts, " vs ")
+		}
+	}
+	return name
+}
+
+func allBits(n int) uint8 { return uint8(1<<uint(n)) - 1 }
+
+// unionBuilder carries the state of the recursive simultaneous walk.
+type unionBuilder struct {
+	r       *Result
+	metrics []MetricCols
+	srcCols [][]int
+}
+
+func (b *unionBuilder) setPresent(n *core.Node, bits uint8) {
+	row := int(n.Base.Row())
+	for row >= len(b.r.present) {
+		b.r.present = append(b.r.present, 0)
+	}
+	b.r.present[row] |= bits
+}
+
+// union merges the children of ins (the per-input instances of the scope
+// out represents; nil where an input lacks it) under out. Child order is
+// first appearance scanning the inputs in argument order — for inputs of
+// identical shape, their own order.
+func (b *unionBuilder) union(out *core.Node, ins []*core.Node) {
+	type slot struct {
+		key core.Key
+		ins []*core.Node
+	}
+	var order []slot
+	var idx map[core.Key]int
+	for i, in := range ins {
+		if in == nil {
+			continue
+		}
+		if idx == nil && len(order) == 0 && i == firstPresent(ins) && sameShape(ins, in) {
+			// Fast path: every present input has an identical child key
+			// sequence (self-diffs, runs of one binary), so the slots are
+			// exactly in's children with no map.
+			for _, c := range in.Children {
+				s := slot{key: c.Key, ins: make([]*core.Node, len(ins))}
+				for j, other := range ins {
+					if other != nil {
+						s.ins[j] = other.Children[len(order)]
+					}
+				}
+				order = append(order, s)
+			}
+			break
+		}
+		if idx == nil {
+			idx = make(map[core.Key]int, len(order)+len(in.Children))
+			for j := range order {
+				idx[order[j].key] = j
+			}
+		}
+		for _, c := range in.Children {
+			j, ok := idx[c.Key]
+			if !ok {
+				j = len(order)
+				idx[c.Key] = j
+				order = append(order, slot{key: c.Key, ins: make([]*core.Node, len(ins))})
+			}
+			order[j].ins[i] = c
+		}
+	}
+	for _, s := range order {
+		c := out.Child(s.key, true)
+		var bits uint8
+		var first *core.Node
+		for i, in := range s.ins {
+			if in == nil {
+				continue
+			}
+			bits |= 1 << uint(i)
+			if first == nil {
+				first = in
+			}
+		}
+		c.NoSource = first.NoSource
+		c.Mod = first.Mod
+		c.CallLine = first.CallLine
+		c.CallFile = first.CallFile
+		b.setPresent(c, bits)
+		for i, in := range s.ins {
+			if in == nil {
+				continue
+			}
+			norm := b.r.Inputs[i].Norm
+			for mi := range b.metrics {
+				if v := in.Base.Get(b.srcCols[i][mi]); v != 0 {
+					c.Base.Add(b.metrics[mi].In[i], v*norm)
+				}
+			}
+		}
+		b.union(c, s.ins)
+	}
+}
+
+// firstPresent returns the index of the first non-nil input instance.
+func firstPresent(ins []*core.Node) int {
+	for i, in := range ins {
+		if in != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// sameShape reports whether every present input instance has exactly
+// ref's child key sequence.
+func sameShape(ins []*core.Node, ref *core.Node) bool {
+	for _, in := range ins {
+		if in == nil || in == ref {
+			continue
+		}
+		if len(in.Children) != len(ref.Children) {
+			return false
+		}
+		for k, c := range ref.Children {
+			if in.Children[k].Key != c.Key {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildTasks enumerates the kernel work items once, so steady-state
+// Recompute calls allocate nothing.
+func (r *Result) buildTasks() {
+	for mi := range r.Metrics {
+		for ii := 1; ii < len(r.Inputs); ii++ {
+			r.tasks = append(r.tasks,
+				kernelTask{plane: metric.PlaneIncl, mi: mi, ii: ii},
+				kernelTask{plane: metric.PlaneExcl, mi: mi, ii: ii})
+		}
+	}
+}
+
+// Recompute refills every computed column (deltas, ratios, losses,
+// presence) from the per-input columns with whole-column kernels. Diff
+// calls it once; callers that recompute the union's presented metrics
+// (core.Tree.ComputeMetrics wipes computed columns) call it again. The
+// steady state allocates nothing and, with Jobs > 1, runs the kernels
+// concurrently — the result is identical either way, since every task
+// writes its own columns.
+func (r *Result) Recompute() {
+	st := r.Tree.MetricStore()
+	rows := st.NumRows()
+	// Materialize every slab the kernels touch single-threaded: Col may
+	// grow store bookkeeping, which must not race.
+	for _, mc := range r.Metrics {
+		for _, p := range []metric.Plane{metric.PlaneIncl, metric.PlaneExcl} {
+			for _, c := range mc.In {
+				st.Col(p, c)
+			}
+			for i := range mc.Delta {
+				st.Col(p, mc.Delta[i])
+				st.Col(p, mc.Ratio[i])
+				if mc.Loss != nil {
+					st.Col(p, mc.Loss[i])
+				}
+			}
+		}
+	}
+	if r.jobs <= 1 || len(r.tasks) <= 1 {
+		for _, tk := range r.tasks {
+			r.runKernel(st, rows, tk)
+		}
+	} else {
+		workers := r.jobs
+		if workers > len(r.tasks) {
+			workers = len(r.tasks)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(r.tasks) / workers
+			hi := (w + 1) * len(r.tasks) / workers
+			wg.Add(1)
+			go func(tasks []kernelTask) {
+				defer wg.Done()
+				for _, tk := range tasks {
+					r.runKernel(st, rows, tk)
+				}
+			}(r.tasks[lo:hi])
+		}
+		wg.Wait()
+	}
+	r.fillPresence(st)
+}
+
+// runKernel computes one metric's comparison columns against one input on
+// one plane: linear sweeps over contiguous slabs. Zero results are
+// normalized (+0): slabs never hold negative zero, and the per-node
+// reference path cannot produce one either.
+func (r *Result) runKernel(st *metric.Store, rows int, tk kernelTask) {
+	mc := &r.Metrics[tk.mi]
+	a := st.ColRead(tk.plane, mc.In[0])
+	bcol := st.ColRead(tk.plane, mc.In[tk.ii])
+	d := st.ColRead(tk.plane, mc.Delta[tk.ii-1])
+	q := st.ColRead(tk.plane, mc.Ratio[tk.ii-1])
+	var ls []float64
+	if mc.Loss != nil {
+		ls = st.ColRead(tk.plane, mc.Loss[tk.ii-1])
+	}
+	f := r.Inputs[tk.ii].Factor
+	for row := 0; row < rows; row++ {
+		var av, bv float64
+		if row < len(a) {
+			av = a[row]
+		}
+		if row < len(bcol) {
+			bv = bcol[row]
+		}
+		dv := bv - av
+		if dv == 0 {
+			dv = 0
+		}
+		d[row] = dv
+		var qv float64
+		if av != 0 {
+			qv = bv / av
+			if qv == 0 {
+				qv = 0
+			}
+		}
+		q[row] = qv
+		if ls != nil {
+			var lv float64
+			if bv != 0 {
+				lv = 1 - av*f/bv
+				if lv == 0 {
+					lv = 0
+				}
+			}
+			ls[row] = lv
+		}
+	}
+}
+
+// fillPresence writes the presence columns from the per-row bitmask: 1 in
+// both presented planes wherever the input has the scope.
+func (r *Result) fillPresence(st *metric.Store) {
+	for i := range r.Inputs {
+		col := r.Inputs[i].PresenceCol
+		incl := st.Col(metric.PlaneIncl, col)
+		excl := st.Col(metric.PlaneExcl, col)
+		bit := uint8(1) << uint(i)
+		for row, bits := range r.present {
+			if bits&bit != 0 {
+				incl[row], excl[row] = 1, 1
+			} else {
+				incl[row], excl[row] = 0, 0
+			}
+		}
+	}
+}
+
+// PresentIn reports whether union scope n exists in input i.
+func (r *Result) PresentIn(n *core.Node, i int) bool {
+	row := int(n.Base.Row())
+	return row < len(r.present) && r.present[row]&(1<<uint(i)) != 0
+}

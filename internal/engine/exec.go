@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/diff"
 	"repro/internal/render"
 )
 
@@ -33,6 +34,10 @@ const Help = `commands:
   src [N]                 show source around row N (or the selection)
   plot METRIC [bins]      per-rank scatter/sorted/histogram at the selection
   metrics                 list metric columns
+  catalog                 list databases available to diff against
+  diff NAME [METRIC] [MODE]  diff against catalog entry NAME (mode:
+                          auto|none|weak|strong); rebases onto the union
+  back                    leave the diff, restore the original database
   top N / depth N         limit children per scope / tree depth
   help                    this text
   quit                    leave`
@@ -266,6 +271,51 @@ func Exec(s *Session, line string, out io.Writer) (quit bool, err error) {
 			fmt.Fprintf(out, "%3d  %-26s %-8s %s\n", d.ID, d.Name, d.Kind, d.Formula)
 		}
 		return false, nil
+	case "catalog":
+		c := s.Catalog()
+		if c == nil {
+			return false, fmt.Errorf("no catalog attached")
+		}
+		names := c.SnapshotNames()
+		if len(names) == 0 {
+			fmt.Fprintln(out, "(catalog is empty)")
+			return false, nil
+		}
+		for _, name := range names {
+			fmt.Fprintln(out, name)
+		}
+		return false, nil
+	case "diff", "compare":
+		if len(args) < 1 || len(args) > 3 {
+			return false, fmt.Errorf("diff takes NAME [METRIC] [MODE]")
+		}
+		cfg := diff.Config{Jobs: s.jobs}
+		if len(args) >= 2 {
+			cfg.Metrics = []string{args[1]}
+		}
+		if len(args) == 3 {
+			mode, err := diff.ParseMode(args[2])
+			if err != nil {
+				return false, err
+			}
+			cfg.Mode = mode
+		}
+		res, err := s.Compare(args[0], cfg)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(out, "diff: %s (%d ranks) vs %s %q (%d ranks), mode %s\n",
+			res.Inputs[0].Label, res.Inputs[0].Ranks,
+			res.Inputs[1].Label, args[0], res.Inputs[1].Ranks, res.Mode)
+		for _, note := range res.Exp.Notes {
+			fmt.Fprintf(out, "note: %s\n", note)
+		}
+		return false, renderNow()
+	case "back":
+		if err := s.Back(); err != nil {
+			return false, err
+		}
+		return false, renderNow()
 	case "top":
 		if len(args) != 1 {
 			return false, fmt.Errorf("top takes a number")

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expdb"
+	"repro/internal/render"
+)
+
+// diffPair builds the before/after experiments the diff goldens present:
+// the paper's worked example, and a perturbed run where the hot loop
+// statement got slower, f's local work grew, one call path disappeared and
+// a new one showed up.
+func diffPair(t testing.TB) (before, after *expdb.Experiment) {
+	t.Helper()
+	a := core.Fig1Tree()
+	m := a.FindPath("m")
+	if m == nil {
+		t.Fatal("Fig1 tree has no m")
+	}
+	stale := m.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("stale"), File: core.Sym("file3.c"), Line: 1}, true)
+	stale.CallFile, stale.CallLine = core.Sym("file1.c"), 9
+	stale.Child(core.Key{Kind: core.KindStmt, File: core.Sym("file3.c"), Line: 2}, true).Base.Add(0, 2)
+	a.ComputeMetrics()
+
+	b := core.Fig1Tree()
+	core.Walk(b.Root, func(n *core.Node) bool {
+		if n.Kind == core.KindStmt && n.File == core.Sym("file2.c") && n.Line == 9 {
+			n.Base.Add(0, 6) // the loop nest regressed
+		}
+		if n.Kind == core.KindStmt && n.File == core.Sym("file1.c") && n.Line == 2 {
+			n.Base.Add(0, 2) // f's own statement too
+		}
+		return true
+	})
+	mb := b.FindPath("m")
+	fresh := mb.Child(core.Key{Kind: core.KindFrame, Name: core.Sym("fresh"), File: core.Sym("file3.c"), Line: 5}, true)
+	fresh.CallFile, fresh.CallLine = core.Sym("file1.c"), 10
+	fresh.Child(core.Key{Kind: core.KindStmt, File: core.Sym("file3.c"), Line: 6}, true).Base.Add(0, 5)
+	b.ComputeMetrics()
+
+	return expdb.New(a), expdb.New(b)
+}
+
+// diffSession opens a session on the before-run with the after-run in its
+// catalog under "after".
+func diffSession(t testing.TB, before, after *expdb.Experiment) *Session {
+	t.Helper()
+	s := NewSession(NewSnapshot(before))
+	s.SetCatalog(SnapshotCatalog{"after": NewSnapshot(after)})
+	return s
+}
+
+// runScript drives a session through Exec lines, failing on user errors,
+// and returns the concatenated output.
+func runScript(t testing.TB, s *Session, script []string) string {
+	t.Helper()
+	var out strings.Builder
+	for _, line := range script {
+		resp := s.Do(Request{Line: line})
+		if resp.Err != "" {
+			t.Fatalf("%q: %s", line, resp.Err)
+		}
+		out.WriteString(resp.Output)
+	}
+	return out.String()
+}
+
+// TestGoldenDiffViews locks what a diff session renders in all three views:
+// the union scopes with per-input, delta, ratio and presence columns are
+// ordinary metrics, so cc, callers and flat need no diff-specific code.
+// Regenerate with `go test ./internal/engine -run TestGoldenDiffViews -update`.
+func TestGoldenDiffViews(t *testing.T) {
+	cases := []struct {
+		name   string
+		script []string
+	}{
+		{"diff_cc", []string{"diff after", "sort cost[B-A]", "expandall"}},
+		{"diff_callers", []string{"diff after", "view callers", "expandall", "sort cost[B-A]"}},
+		{"diff_flat", []string{"diff after", "view flat", "sort cost[B-A]:excl"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before, after := diffPair(t)
+			s := diffSession(t, before, after)
+			defer s.Close()
+			runScript(t, s, tc.script)
+			var b strings.Builder
+			if err := s.Render(&b, render.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			got := b.String()
+
+			path := filepath.Join("testdata", "golden_"+tc.name+".txt")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestDiffCommandLifecycle exercises the command surface around a diff:
+// catalog listing, the diff banner, and back restoring the original
+// database and registry.
+func TestDiffCommandLifecycle(t *testing.T) {
+	before, after := diffPair(t)
+	s := diffSession(t, before, after)
+	defer s.Close()
+
+	out := runScript(t, s, []string{"catalog"})
+	if !strings.Contains(out, "after") {
+		t.Fatalf("catalog output %q does not list 'after'", out)
+	}
+	if resp := s.Do(Request{Line: "diff missing"}); resp.Err == "" {
+		t.Fatal("diff against an unknown name did not error")
+	}
+	baseCols := s.Registry().Len()
+	out = runScript(t, s, []string{"diff after"})
+	if !strings.Contains(out, `vs B "after"`) || !strings.Contains(out, "mode none") {
+		t.Fatalf("diff banner missing: %q", out)
+	}
+	if !s.InDiff() {
+		t.Fatal("session does not report being in a diff")
+	}
+	if s.Registry().ByName("cost[B-A]") == nil || s.Registry().ByName("in[A]") == nil {
+		t.Fatal("diff columns not in the session registry")
+	}
+	// The diff is an ordinary database: hot paths over the delta column.
+	out = runScript(t, s, []string{"hot cost[B-A]"})
+	if !strings.Contains(out, "hot path ends at") {
+		t.Fatalf("hot path over delta column failed: %q", out)
+	}
+	runScript(t, s, []string{"back"})
+	if s.InDiff() {
+		t.Fatal("back did not leave the diff")
+	}
+	if s.Registry().Len() != baseCols || s.Registry().ByName("cost[B-A]") != nil {
+		t.Fatal("back did not restore the original registry")
+	}
+	if resp := s.Do(Request{Line: "back"}); resp.Err == "" {
+		t.Fatal("back outside a diff did not error")
+	}
+}
+
+// TestConcurrentDiffSessions runs 8 sessions over the same snapshot pair,
+// each diffing and rendering concurrently (exercised under -race in CI).
+// Every session must render byte-identical output: the inputs are only
+// read, and each union is private to its session.
+func TestConcurrentDiffSessions(t *testing.T) {
+	before, after := diffPair(t)
+	bsnap, asnap := NewSnapshot(before), NewSnapshot(after)
+	cat := SnapshotCatalog{"after": asnap}
+	script := []string{"diff after", "sort cost[B-A]", "expandall", "view callers", "expandall", "view flat", "view cc"}
+
+	const sessions = 8
+	outs := make([]string, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewSession(bsnap)
+			defer s.Close()
+			s.SetCatalog(cat)
+			var out strings.Builder
+			for _, line := range script {
+				resp := s.Do(Request{Line: line})
+				if resp.Err != "" {
+					t.Errorf("session %d %q: %s", i, line, resp.Err)
+					return
+				}
+			}
+			if err := s.Render(&out, render.Options{}); err != nil {
+				t.Errorf("session %d render: %v", i, err)
+				return
+			}
+			outs[i] = out.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < sessions; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("session %d rendered differently:\n--- session 0 ---\n%s\n--- session %d ---\n%s",
+				i, outs[0], i, outs[i])
+		}
+	}
+}

@@ -101,6 +101,12 @@ type Session struct {
 	// caches against.
 	snapGen uint64
 
+	// catalog resolves database names for the diff command (nil = none).
+	catalog Catalog
+	// home is the snapshot the session presented before Compare rebased it
+	// onto a diff (nil when not in a diff).
+	home *Snapshot
+
 	// jobs bounds ExpandAll's parallelism (<=1 serial).
 	jobs int
 	// ctx is cancelled by Close; in-flight callers-view expansion observes

@@ -317,6 +317,13 @@ func (e *Experiment) encodeTree(tab *strTable) ([]byte, []ovEntry) {
 	for _, c := range e.Tree.Root.Children {
 		walk(c)
 	}
+	// The root never appears in the node stream, so its overrides ride in
+	// section 5 under the sentinel index one past the last preorder node.
+	incl := overrideValues(&e.Tree.Root.Incl, inclCols)
+	excl := overrideValues(&e.Tree.Root.Excl, exclCols)
+	if len(incl)+len(excl) > 0 {
+		ovs = append(ovs, ovEntry{idx: idx, incl: incl, excl: excl})
+	}
 	return b.Bytes(), ovs
 }
 
@@ -473,6 +480,27 @@ func (e *Experiment) WriteBinaryV1(w io.Writer) error {
 	for _, c := range e.Tree.Root.Children {
 		if err := writeNode(c); err != nil {
 			return err
+		}
+	}
+	// Optional trailer: the root's own overrides, which the per-node
+	// stream above cannot carry. Omitted when empty so files from trees
+	// without root overrides stay byte-identical to the original format;
+	// the reader treats EOF here as "no trailer".
+	rootIncl := overrideValues(&e.Tree.Root.Incl, inclOv)
+	rootExcl := overrideValues(&e.Tree.Root.Excl, exclOv)
+	if len(rootIncl)+len(rootExcl) > 0 {
+		for _, ov := range [][]colVal{rootIncl, rootExcl} {
+			if err := putU(uint64(len(ov))); err != nil {
+				return err
+			}
+			for _, cv := range ov {
+				if err := putU(uint64(cv.col)); err != nil {
+					return err
+				}
+				if err := putF(cv.val); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return bw.Flush()
@@ -675,6 +703,31 @@ func readBinaryV1(br *bufio.Reader, size int64) (*Experiment, error) {
 	for i := uint64(0); i < nRoots; i++ {
 		if err := readNode(e.Tree.Root, 0); err != nil {
 			return nil, err
+		}
+	}
+	// Optional root-override trailer; absent in files written before it
+	// existed, so EOF on its first varint means "no trailer".
+	for di, dest := range []map[*core.Node][]colVal{inclOv, exclOv} {
+		ns, err := getU(cbr)
+		if err != nil {
+			if di == 0 && err == io.EOF {
+				break
+			}
+			return nil, noEOF(err)
+		}
+		if int64(ns) > remaining()/9+1 {
+			return nil, fmt.Errorf("expdb: implausible override count %d", ns)
+		}
+		for i := uint64(0); i < ns; i++ {
+			col, err := getU(cbr)
+			if err != nil {
+				return nil, noEOF(err)
+			}
+			v, err := getF(cbr)
+			if err != nil {
+				return nil, noEOF(err)
+			}
+			dest[e.Tree.Root] = append(dest[e.Tree.Root], colVal{col: int(col), val: v})
 		}
 	}
 	if err := e.finalize(inclOv, exclOv); err != nil {
@@ -919,7 +972,7 @@ func readTreeSection(br *bufio.Reader, e *Experiment, syms []intern.Sym, remaini
 	return nodes, nil
 }
 
-func readOverridesSection(br *bufio.Reader, nodes []*core.Node, inclOv, exclOv map[*core.Node][]colVal, remaining func() int64) error {
+func readOverridesSection(br *bufio.Reader, root *core.Node, nodes []*core.Node, inclOv, exclOv map[*core.Node][]colVal, remaining func() int64) error {
 	nEntries, err := getU(br)
 	if err != nil {
 		return noEOF(err)
@@ -932,10 +985,15 @@ func readOverridesSection(br *bufio.Reader, nodes []*core.Node, inclOv, exclOv m
 		if err != nil {
 			return noEOF(err)
 		}
-		if idx >= uint64(len(nodes)) {
+		if idx > uint64(len(nodes)) {
 			return fmt.Errorf("expdb: override node index %d out of range", idx)
 		}
-		n := nodes[idx]
+		// The index one past the last preorder node addresses the root,
+		// which has no entry of its own in the tree section.
+		n := root
+		if idx < uint64(len(nodes)) {
+			n = nodes[idx]
+		}
 		for _, dest := range []map[*core.Node][]colVal{inclOv, exclOv} {
 			ns, err := getU(br)
 			if err != nil {

@@ -206,7 +206,7 @@ func (db *LazyDB) loadOverrides() error {
 	for _, payload := range db.ovPayloads {
 		bound := int64(len(payload))
 		pr := bufio.NewReader(bytes.NewReader(payload))
-		if err := readOverridesSection(pr, db.nodes, inclOv, exclOv, func() int64 { return bound }); err != nil {
+		if err := readOverridesSection(pr, db.exp.Tree.Root, db.nodes, inclOv, exclOv, func() int64 { return bound }); err != nil {
 			db.ovErr = &SectionError{Section: "overrides", Err: err}
 			return db.ovErr
 		}

@@ -96,6 +96,17 @@ func (e *Experiment) WriteXML(w io.Writer) error {
 		return err
 	}
 	inclOv, exclOv := overrideCols(e.Tree.Reg)
+	// Root overrides live directly under CCT: the root has no N element.
+	for _, cv := range overrideValues(&e.Tree.Root.Incl, inclOv) {
+		if err := encodeValue(enc, "SV", cv.col, cv.val); err != nil {
+			return err
+		}
+	}
+	for _, cv := range overrideValues(&e.Tree.Root.Excl, exclOv) {
+		if err := encodeValue(enc, "EV", cv.col, cv.val); err != nil {
+			return err
+		}
+	}
 	for _, c := range e.Tree.Root.Children {
 		if err := encodeNode(enc, c, inclOv, exclOv); err != nil {
 			return err
@@ -273,7 +284,7 @@ func ReadXML(r io.Reader) (*Experiment, error) {
 				}
 				stack = append(stack, n)
 			case "V", "SV", "EV":
-				if !inCCT || len(stack) < 2 {
+				if !inCCT || len(stack) == 0 {
 					return nil, fmt.Errorf("expdb: value outside node")
 				}
 				n := stack[len(stack)-1]

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/diff"
 	"repro/internal/expdb"
 	"repro/internal/faultio"
 	"repro/internal/ingest"
@@ -203,7 +204,8 @@ func decodeSafely(t *testing.T, a artifact, data []byte, what string) (degraded 
 func TestFaultMatrix(t *testing.T) {
 	for _, workload := range workloads.Names() {
 		t.Run(workload, func(t *testing.T) {
-			for _, a := range buildArtifacts(t, workload) {
+			arts := buildArtifacts(t, workload)
+			for _, a := range arts {
 				a := a
 				t.Run(a.name+"/baseline", func(t *testing.T) {
 					degraded, err := decodeSafely(t, a, a.data, "baseline")
@@ -246,6 +248,69 @@ func TestFaultMatrix(t *testing.T) {
 					}
 				})
 			}
+			// A quarantined (-keep-going) database must not diff silently:
+			// the comparison covers only its merged ranks, and the diff has
+			// to carry that caveat as a provenance note. The round trip
+			// through v2 bytes also proves the quarantine record survives
+			// serialization into the diff path.
+			t.Run("diff-provenance", func(t *testing.T) {
+				var raw []byte
+				for _, a := range arts {
+					if a.name == "expdb-v2" {
+						raw = a.data
+					}
+				}
+				readExp := func() *expdb.Experiment {
+					e, err := expdb.ReadBinary(bytes.NewReader(raw))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return e
+				}
+				clean := readExp()
+				clean.Provenance = nil
+				dirty := readExp()
+				if dirty.Provenance == nil || dirty.Provenance.Clean() {
+					t.Fatal("round-tripped database lost its quarantine record")
+				}
+				res, err := diff.Diff(diff.Config{},
+					diff.Input{Label: "clean", Exp: clean},
+					diff.Input{Label: "dirty", Exp: dirty})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var found bool
+				for _, n := range res.Exp.Notes {
+					if strings.Contains(n, "input clean") {
+						t.Errorf("clean input blamed: %q", n)
+					}
+					if strings.Contains(n, "input dirty is quarantined") &&
+						strings.Contains(n, "merged ranks only") {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("quarantined-vs-clean diff lacks a provenance note: %v", res.Exp.Notes)
+				}
+				// The note must ride the report too, whichever side is dirty.
+				rev, err := diff.Diff(diff.Config{},
+					diff.Input{Label: "dirty", Exp: readExp()},
+					diff.Input{Label: "clean", Exp: clean})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := rev.Report(diff.ReportOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				found = false
+				for _, n := range rep.Notes {
+					found = found || strings.Contains(n, "input dirty is quarantined")
+				}
+				if !found {
+					t.Fatalf("report dropped the provenance note: %v", rep.Notes)
+				}
+			})
 		})
 	}
 }

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/diff"
+	"repro/internal/engine"
+)
+
+// catalog state: extra opened databases sessions can diff against, plus a
+// cache of computed unions (a diff over a large database is expensive and
+// read-only once built, so concurrent compare requests share it).
+type catalogState struct {
+	mu    sync.Mutex
+	snaps map[string]*engine.Snapshot
+	diffs map[string]*diff.Result
+}
+
+// AddSnapshot registers another opened database under name, making it
+// visible to GET /v1/catalog, POST /v1/compare and every session's diff
+// command. Safe to call while serving.
+func (srv *Server) AddSnapshot(name string, snap *engine.Snapshot) error {
+	if name == "" || strings.ContainsAny(name, " \t,") {
+		return fmt.Errorf("server: catalog name %q must be non-empty without spaces or commas", name)
+	}
+	srv.catalog.mu.Lock()
+	defer srv.catalog.mu.Unlock()
+	if srv.catalog.snaps == nil {
+		srv.catalog.snaps = map[string]*engine.Snapshot{}
+	}
+	if _, ok := srv.catalog.snaps[name]; ok {
+		return fmt.Errorf("server: catalog already has %q", name)
+	}
+	srv.catalog.snaps[name] = snap
+	return nil
+}
+
+// LookupSnapshot implements engine.Catalog over the registered databases.
+func (srv *Server) LookupSnapshot(name string) (*engine.Snapshot, error) {
+	srv.catalog.mu.Lock()
+	defer srv.catalog.mu.Unlock()
+	sn, ok := srv.catalog.snaps[name]
+	if !ok {
+		return nil, fmt.Errorf("server: no database %q in the catalog", name)
+	}
+	return sn, nil
+}
+
+// SnapshotNames implements engine.Catalog.
+func (srv *Server) SnapshotNames() []string {
+	srv.catalog.mu.Lock()
+	defer srv.catalog.mu.Unlock()
+	names := make([]string, 0, len(srv.catalog.snaps))
+	for name := range srv.catalog.snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type catalogResponse struct {
+	Databases []string `json:"databases"`
+}
+
+func (srv *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, catalogResponse{Databases: srv.SnapshotNames()})
+}
+
+// compareRequest asks for a diff between two catalog entries. An empty
+// base means the database the server was started on.
+type compareRequest struct {
+	Base  string `json:"base,omitempty"`
+	Other string `json:"other"`
+	// Metric picks one compared metric for the report (default: first).
+	Metric string `json:"metric,omitempty"`
+	// Mode is the scaling expectation: auto, none, weak, strong.
+	Mode string `json:"mode,omitempty"`
+	// Threshold and Top shape the report (see diff.ReportOptions).
+	Threshold float64 `json:"threshold,omitempty"`
+	Top       int     `json:"top,omitempty"`
+}
+
+func (srv *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Other == "" {
+		http.Error(w, `missing "other" database name`, http.StatusBadRequest)
+		return
+	}
+	mode := diff.ModeAuto
+	if req.Mode != "" {
+		m, err := diff.ParseMode(req.Mode)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mode = m
+	}
+	base := srv.snap
+	if req.Base != "" {
+		sn, err := srv.LookupSnapshot(req.Base)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		base = sn
+	}
+	other, err := srv.LookupSnapshot(req.Other)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+
+	res, err := srv.cachedDiff(req, mode, base, other)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	rep, err := res.Report(diff.ReportOptions{Metric: req.Metric, Threshold: req.Threshold, Top: req.Top})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// cachedDiff returns the union for one (base, other, metric, mode) tuple,
+// computing it at most once — the result is immutable, so later requests
+// (and different report thresholds) reuse it.
+func (srv *Server) cachedDiff(req compareRequest, mode diff.Mode, base, other *engine.Snapshot) (*diff.Result, error) {
+	var metrics []string
+	if req.Metric != "" {
+		metrics = []string{req.Metric}
+	}
+	key := fmt.Sprintf("%s\x00%s\x00%s\x00%s", req.Base, req.Other, req.Metric, mode)
+	srv.catalog.mu.Lock()
+	if res, ok := srv.catalog.diffs[key]; ok {
+		srv.catalog.mu.Unlock()
+		return res, nil
+	}
+	srv.catalog.mu.Unlock()
+
+	// Diff outside the lock: inputs are read-only after FaultAll, and two
+	// racing requests computing the same key just do redundant work once.
+	_, res, err := engine.DiffSnapshots(diff.Config{Metrics: metrics, Mode: mode, Jobs: srv.jobs},
+		engine.DiffInput{Label: "A", Snap: base},
+		engine.DiffInput{Label: "B", Snap: other})
+	if err != nil {
+		return nil, err
+	}
+	srv.catalog.mu.Lock()
+	if srv.catalog.diffs == nil {
+		srv.catalog.diffs = map[string]*diff.Result{}
+	}
+	if prev, ok := srv.catalog.diffs[key]; ok {
+		res = prev // keep the first; results are interchangeable
+	} else {
+		srv.catalog.diffs[key] = res
+	}
+	srv.catalog.mu.Unlock()
+	return res, nil
+}

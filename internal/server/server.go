@@ -13,6 +13,8 @@
 //
 //	GET    /healthz                    liveness probe ("ok")
 //	GET    /v1/info                    database shape: node/metric counts, notes
+//	GET    /v1/catalog                 extra databases available for diffing
+//	POST   /v1/compare                 {"other": NAME, ...} -> diff report (see compare.go)
 //	POST   /v1/sessions                create a session -> {"token": "..."}
 //	POST   /v1/sessions/{token}/exec   {"line": "..."} -> {"output", "error", "quit"}
 //	DELETE /v1/sessions/{token}        close and forget the session
@@ -42,6 +44,9 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	closed   bool
+
+	// catalog holds extra databases for diffing (see compare.go).
+	catalog catalogState
 }
 
 // session pairs an engine session with the mutex that serializes its
@@ -68,6 +73,8 @@ func (srv *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/info", srv.handleInfo)
+	mux.HandleFunc("GET /v1/catalog", srv.handleCatalog)
+	mux.HandleFunc("POST /v1/compare", srv.handleCompare)
 	mux.HandleFunc("POST /v1/sessions", srv.handleCreate)
 	mux.HandleFunc("POST /v1/sessions/{token}/exec", srv.handleExec)
 	mux.HandleFunc("DELETE /v1/sessions/{token}", srv.handleDelete)
@@ -121,6 +128,7 @@ func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s := engine.NewSession(srv.snap)
 	s.SetSource(srv.source)
 	s.SetJobs(srv.jobs)
+	s.SetCatalog(srv)
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
