@@ -61,6 +61,10 @@ func TestBenchSmoke(t *testing.T) {
 		{"HotPath", BenchmarkHotPath},
 		{"ComputeMetrics", BenchmarkComputeMetrics},
 		{"LazyOpen", BenchmarkLazyOpen},
+		{"MappedOpen", BenchmarkMappedOpen},
+		{"LazyOpenSynthetic", BenchmarkLazyOpenSynthetic},
+		{"ColdFirstQueryMapped", BenchmarkColdFirstQueryMapped},
+		{"ColdFirstQueryLazy", BenchmarkColdFirstQueryLazy},
 		{"ConcurrentSessions", BenchmarkConcurrentSessions},
 		{"DiffUnion", BenchmarkDiffUnion},
 		{"DiffKernels", BenchmarkDiffKernels},

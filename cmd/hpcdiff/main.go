@@ -46,7 +46,8 @@ func run(args []string, stdout io.Writer) error {
 	threshold := fs.Float64("threshold", 0.01, "report only scopes with |excess| above this fraction of the total (0 = all)")
 	top := fs.Int("top", 10, "bound each report list (0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
-	outDB := fs.String("o", "", "write the union database (v2) to this path")
+	outDB := fs.String("o", "", "write the union database to this path")
+	outFormat := fs.String("format", "binary", "union database format for -o: binary (v2) or v3 (mappable zero-copy)")
 	jobs := fs.Int("jobs", 1, "goroutines for the diff kernels (result is identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,12 +107,19 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *outFormat != "binary" && *outFormat != "v3" {
+		return fmt.Errorf("unknown -format %q (want binary or v3)", *outFormat)
+	}
 	if *outDB != "" {
 		f, err := os.Create(*outDB)
 		if err != nil {
 			return err
 		}
-		if err := res.Exp.WriteBinary(f); err != nil {
+		write := res.Exp.WriteBinary
+		if *outFormat == "v3" {
+			write = res.Exp.WriteBinaryV3
+		}
+		if err := write(f); err != nil {
 			f.Close()
 			return fmt.Errorf("writing %s: %w", *outDB, err)
 		}

@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	hpcprof -S s3d.hpcstruct [-format binary|xml] [-summaries] \
+//	hpcprof -S s3d.hpcstruct [-format binary|v3|xml] [-summaries] \
 //	        [-keep-going] [-max-bad-ranks N] \
 //	        -o s3d.db measurements/s3d-*.cpprof
 package main
@@ -49,7 +49,7 @@ func run(args []string) (err error) {
 	dflags := diag.Register(fs)
 	structPath := fs.String("S", "", "structure file from hpcstruct (required)")
 	out := fs.String("o", "experiment.db", "output database path")
-	format := fs.String("format", "binary", "database format: binary or xml")
+	format := fs.String("format", "binary", "database format: binary (v2), v3 (mappable zero-copy) or xml")
 	summaries := fs.Bool("summaries", false, "add mean/min/max/stddev summary columns across ranks")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "parallel merge workers (1 = sequential)")
 	keepGoing := fs.Bool("keep-going", false, "quarantine corrupt/truncated/unreadable measurement files instead of aborting")
@@ -63,7 +63,7 @@ func run(args []string) (err error) {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no profile files given")
 	}
-	if *format != "binary" && *format != "xml" {
+	if *format != "binary" && *format != "v3" && *format != "xml" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 	if *maxBad >= 0 {
@@ -115,9 +115,12 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	if *format == "xml" {
+	switch *format {
+	case "xml":
 		err = exp.WriteXML(f)
-	} else {
+	case "v3":
+		err = exp.WriteBinaryV3(f)
+	default:
 		err = exp.WriteBinary(f)
 	}
 	if err != nil {

@@ -62,6 +62,7 @@ func run(args []string) (err error) {
 	fs.Var(&compares, "compare", "extra database name=path for the diff catalog (repeatable)")
 	workload := fs.String("w", "", "workload name, to attach pseudo-source for the src command")
 	jobs := fs.Int("jobs", 0, "goroutines for callers-view expansion per session (0 = one per CPU)")
+	residency := fs.Bool("residency", false, "debug: report mapped-vs-resident bytes per mapped (v3) snapshot at startup")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain window")
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +90,18 @@ func run(args []string) (err error) {
 	for _, note := range snap.Notes() {
 		fmt.Fprintf(os.Stderr, "hpcserver: warning: %s\n", note)
 	}
+	reportResidency := func(name string, sn *engine.Snapshot) {
+		if !*residency {
+			return
+		}
+		data := sn.MappedBytes()
+		if data == nil {
+			fmt.Fprintf(os.Stderr, "hpcserver: residency %s: database is not mapped\n", name)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hpcserver: residency %s: %s\n", name, diag.ResidencyString(data))
+	}
+	reportResidency(*db, snap)
 	var source *prog.Program
 	if *workload != "" {
 		spec, err := workloads.ByName(*workload)
@@ -111,6 +124,7 @@ func run(args []string) (err error) {
 		if err := srv.AddSnapshot(name, other); err != nil {
 			return err
 		}
+		reportResidency(name, other)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

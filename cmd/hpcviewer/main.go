@@ -60,6 +60,7 @@ func run(args []string) (err error) {
 	fs.Var(&derived, "derived", "derived metric name=formula (repeatable), e.g. 'fpwaste=$0*4-$1'")
 	metrics := fs.Bool("metrics", false, "list metric columns and exit")
 	interactive := fs.Bool("interactive", false, "start an interactive session (expand/collapse/zoom/hot/src; type help)")
+	residency := fs.Bool("residency", false, "debug: report mapped-vs-resident bytes of a mapped (v3) database at open and exit")
 	workload := fs.String("w", "", "workload name, to attach pseudo-source for the interactive source pane")
 	structPath := fs.String("S", "", "structure file, enabling interactive per-rank plots (with -m)")
 	measDir := fs.String("m", "", "measurements directory of .cpprof files, enabling interactive per-rank plots (with -S)")
@@ -84,7 +85,7 @@ func run(args []string) (err error) {
 		// Interactive sessions open the database lazily: the CCT and metric
 		// table decode now; the overrides and provenance sections decode
 		// only if a command touches them.
-		return runInteractive(*db, derived, *workload, *structPath, *measDir, *jobs)
+		return runInteractive(*db, derived, *workload, *structPath, *measDir, *jobs, *residency)
 	}
 
 	exp, err := readDB(*db)
@@ -210,11 +211,24 @@ func run(args []string) (err error) {
 // damaged section is first touched — exactly the notes an eager open
 // would have printed at startup. The CLI is a thin frontend: every
 // capability here (and in hpcserver) lives in internal/engine.
-func runInteractive(dbPath string, derived derivedFlags, workload, structPath, measDir string, jobs int) error {
+func runInteractive(dbPath string, derived derivedFlags, workload, structPath, measDir string, jobs int, residency bool) error {
 	snap, err := engine.Open(dbPath)
 	if err != nil {
 		return err
 	}
+	reportResidency := func(when string) {
+		if !residency {
+			return
+		}
+		data := snap.MappedBytes()
+		if data == nil {
+			fmt.Fprintf(os.Stderr, "hpcviewer: residency at %s: database is not mapped\n", when)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hpcviewer: residency at %s: %s\n", when, diag.ResidencyString(data))
+	}
+	reportResidency("open")
+	defer reportResidency("exit")
 	printed := 0
 	flushNotes := func() {
 		notes := snap.Notes()

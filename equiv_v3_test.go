@@ -1,0 +1,120 @@
+// Equivalence tests for the v3 zero-copy storage layout (DESIGN.md §13).
+// Mapping column slabs straight out of the file is performance work only:
+// every view a session renders must be byte-identical no matter which open
+// path produced the snapshot — the eager v2 decode, the lazy v2 open with
+// on-demand fault-in, or the mapped v3 open reading float64 slabs in
+// place.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/expdb"
+	"repro/internal/render"
+	"repro/internal/workloads"
+)
+
+// renderViews drives one fresh session per view over the snapshot and
+// returns the concatenated renders: fully expanded Calling Context,
+// fully expanded Callers, once-flattened Flat, plus a hot path and an
+// exclusive sort for coverage of the order-sensitive paths.
+func renderViews(t *testing.T, snap *engine.Snapshot) string {
+	t.Helper()
+	scripts := [][]string{
+		{"expandall", "hot CYCLES"},
+		{"view callers", "expandall", "sort CYCLES"},
+		{"view flat", "flatten", "sort CYCLES:excl"},
+	}
+	var out strings.Builder
+	for _, script := range scripts {
+		s := engine.NewSession(snap)
+		for _, line := range script {
+			if resp := s.Do(engine.Request{Line: line}); resp.Err != "" {
+				s.Close()
+				t.Fatalf("%q: %s", line, resp.Err)
+			}
+		}
+		fmt.Fprintf(&out, "=== %s ===\n", script[0])
+		if err := s.Render(&out, render.Options{}); err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+	return out.String()
+}
+
+// TestV3OpenPathEquivalence runs every workload × {1, 7, 64} ranks through
+// the three open paths and demands byte-identical renders of all three
+// views. This is the contract that lets hpcviewer/hpcserver switch to
+// mapped v3 databases without a visible change.
+func TestV3OpenPathEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range workloads.Names() {
+		for _, ranks := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(t *testing.T) {
+				exp := equivExperiment(t, name, ranks)
+
+				var v2buf, v3buf bytes.Buffer
+				if err := exp.WriteBinary(&v2buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := exp.WriteBinaryV3(&v3buf); err != nil {
+					t.Fatal(err)
+				}
+				v3path := filepath.Join(dir, fmt.Sprintf("%s-%d.db", name, ranks))
+				if err := os.WriteFile(v3path, v3buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+
+				eagerExp, err := expdb.Read(bytes.NewReader(v2buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				eager := renderViews(t, engine.NewSnapshot(eagerExp))
+
+				ldb, err := expdb.OpenLazy(bytes.NewReader(v2buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lazy := renderViews(t, engine.NewLazySnapshot(ldb))
+
+				mdb, err := expdb.OpenMapped(v3path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				msnap, err := engine.NewMappedSnapshot(mdb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mapped := renderViews(t, msnap)
+				if err := msnap.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				if eager != lazy {
+					t.Errorf("lazy v2 render differs from eager v2:\n%s", firstDiff(eager, lazy))
+				}
+				if eager != mapped {
+					t.Errorf("mapped v3 render differs from eager v2:\n%s", firstDiff(eager, mapped))
+				}
+			})
+		}
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -47,6 +47,17 @@ func (t *Tree) EnsureComputed() {
 	}
 }
 
+// MarkComputed records that presented metrics are already final without
+// running the Equation 1/2 sweeps. Loaders whose on-disk form stores the
+// presented planes directly (the v3 mapped database bakes Base, inclusive
+// and exclusive column slabs) call this so EnsureComputed does not
+// overwrite — and copy-on-write — the loaded columns.
+func (t *Tree) MarkComputed() {
+	t.computeMu.Lock()
+	t.computed = true
+	t.computeMu.Unlock()
+}
+
 // Exclusive-rule classes, precomputed per postorder entry so the finalize
 // sweep is a flat switch over dense arrays.
 const (

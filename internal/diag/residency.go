@@ -1,0 +1,28 @@
+package diag
+
+import "fmt"
+
+// ResidencyString formats a Residency probe of data for debug output:
+// "resident 128 KiB of 24.0 MiB (0.5%)", or "resident n/a of ..." when the
+// probe is unavailable on this platform.
+func ResidencyString(data []byte) string {
+	resident, total, ok := Residency(data)
+	if !ok {
+		return fmt.Sprintf("resident n/a of %s", byteSize(total))
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(resident) / float64(total)
+	}
+	return fmt.Sprintf("resident %s of %s (%.1f%%)", byteSize(resident), byteSize(total), pct)
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -1,0 +1,38 @@
+//go:build linux
+
+package diag
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Residency reports how many bytes of data are resident in physical memory
+// via mincore(2), making the mapped-open claim observable: an open-but-idle
+// v3 database should show resident ≈ index size, not the file size. data
+// should start page-aligned (mmapio regions do). ok is false when the probe
+// is unavailable or fails; resident is then 0.
+func Residency(data []byte) (resident, total int64, ok bool) {
+	total = int64(len(data))
+	if len(data) == 0 {
+		return 0, 0, true
+	}
+	page := os.Getpagesize()
+	npages := (len(data) + page - 1) / page
+	vec := make([]byte, npages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, total, false
+	}
+	for _, b := range vec {
+		if b&1 != 0 {
+			resident += int64(page)
+		}
+	}
+	if resident > total {
+		resident = total
+	}
+	return resident, total, true
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package diag
+
+// Residency is unavailable off linux (no portable mincore); it reports
+// ok=false so callers print "n/a" instead of a wrong number.
+func Residency(data []byte) (resident, total int64, ok bool) {
+	return 0, int64(len(data)), false
+}

@@ -107,7 +107,10 @@ func (s *Session) Compare(name string, cfg diff.Config) (*diff.Result, error) {
 		return nil, err
 	}
 	if s.home == nil {
+		// The home pointer is its own reference: the pre-diff snapshot must
+		// survive (stay mapped) while the session presents the diff.
 		s.home = s.snap
+		s.home.Retain()
 	}
 	s.rebase(snap)
 	return res, nil
@@ -122,6 +125,9 @@ func (s *Session) Back() error {
 	home := s.home
 	s.home = nil
 	s.rebase(home)
+	// rebase retained home as the new current snapshot; drop the home
+	// pointer's reference now that the field is cleared.
+	home.Release()
 	return nil
 }
 
@@ -133,7 +139,10 @@ func (s *Session) InDiff() bool { return s.home != nil }
 // widened to the whole session because the scopes, the registry and the
 // shared slabs all changed identity.
 func (s *Session) rebase(snap *Snapshot) {
+	snap.Retain()
+	old := s.snap
 	s.snap = snap
+	old.Release()
 	s.reg = snap.tree.Reg.Clone()
 	s.view = ViewCC
 	s.callers = nil

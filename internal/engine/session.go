@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/imbalance"
@@ -109,6 +110,9 @@ type Session struct {
 
 	// jobs bounds ExpandAll's parallelism (<=1 serial).
 	jobs int
+	// released guards the one-shot reference release in Close (Close may
+	// be called more than once, e.g. abort then defer).
+	released atomic.Bool
 	// ctx is cancelled by Close; in-flight callers-view expansion observes
 	// it between roots.
 	ctx    context.Context
@@ -118,6 +122,7 @@ type Session struct {
 // NewSession opens a session over a snapshot.
 func NewSession(snap *Snapshot) *Session {
 	ctx, cancel := context.WithCancel(context.Background())
+	snap.Retain()
 	return &Session{
 		snap:      snap,
 		reg:       snap.tree.Reg.Clone(),
@@ -136,8 +141,18 @@ func NewSession(snap *Snapshot) *Session {
 // Close cancels the session: in-flight bulk expansion stops at the next
 // root, and the shared snapshot is untouched (everything the session built
 // is private to it). Close is safe to call from another goroutine — it is
-// how a frontend aborts a stuck query.
-func (s *Session) Close() { s.cancel() }
+// how a frontend aborts a stuck query — and releases the session's
+// snapshot references exactly once, so a mapped database is unmapped only
+// after its last session is gone.
+func (s *Session) Close() {
+	s.cancel()
+	if s.released.CompareAndSwap(false, true) {
+		s.snap.Release()
+		if s.home != nil {
+			s.home.Release()
+		}
+	}
+}
 
 // Context returns the session's lifetime context (done after Close).
 func (s *Session) Context() context.Context { return s.ctx }

@@ -48,6 +48,14 @@ type Snapshot struct {
 	tree *core.Tree
 	exp  *expdb.Experiment // nil for bare-tree snapshots
 	ldb  *expdb.LazyDB     // nil unless lazily opened
+	mdb  *expdb.MappedDB   // nil unless mapped (v3 zero-copy)
+
+	// refs counts owners: the creator (released by Close) plus one per
+	// live Session. closer runs when the count hits zero — for mapped
+	// snapshots it unmaps the file, so it must not run while any session
+	// could still dereference a borrowed slab.
+	refs   atomic.Int64
+	closer func() error
 
 	// baseCols is the registry length at seal time: the boundary between
 	// shared database columns (below) and session-overlay derived columns
@@ -101,11 +109,49 @@ func NewTreeSnapshot(t *core.Tree) *Snapshot {
 	return sn
 }
 
-// Open opens an experiment database file lazily and seals it as a
-// snapshot.
+// NewMappedSnapshot seals a zero-copy mapped (v3) database. Metadata is
+// decoded here (a snapshot cannot present without the tree); column slabs
+// stay untouched in the mapping until sessions fault them, when the
+// database verifies each section's checksum exactly once. The snapshot
+// owns the mapping: it is unmapped when the last owner (creator + live
+// sessions) releases the snapshot.
+func NewMappedSnapshot(mdb *expdb.MappedDB) (*Snapshot, error) {
+	exp, err := mdb.Experiment()
+	if err != nil {
+		return nil, err
+	}
+	sn := &Snapshot{tree: exp.Tree, exp: exp, mdb: mdb}
+	sn.faulter = mdb.NeedColumn
+	sn.closer = mdb.Close
+	sn.seal()
+	return sn, nil
+}
+
+// Open opens an experiment database file and seals it as a snapshot. v3
+// databases are mapped zero-copy (O(index) at the storage layer, metadata
+// decoded here); other formats open lazily.
 func Open(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		return nil, err
+	}
+	var head [len(expdb.MagicV3)]byte
+	n, _ := io.ReadFull(f, head[:])
+	if string(head[:n]) == expdb.MagicV3 {
+		f.Close()
+		mdb, err := expdb.OpenMapped(path)
+		if err != nil {
+			return nil, err
+		}
+		sn, err := NewMappedSnapshot(mdb)
+		if err != nil {
+			mdb.Close()
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return sn, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
 		return nil, err
 	}
 	// OpenLazy consumes the whole stream (the CRC scan), retaining section
@@ -136,7 +182,27 @@ func (sn *Snapshot) seal() {
 	sn.baseCols = sn.tree.Reg.Len()
 	sn.faulted = map[int]error{}
 	sn.lazyFlag.Store(sn.faulter != nil)
+	sn.refs.Store(1)
 }
+
+// Retain adds an owner. Sessions retain their snapshot at construction and
+// release it on Close, so a mapped file is never unmapped under a live
+// session.
+func (sn *Snapshot) Retain() { sn.refs.Add(1) }
+
+// Release drops one owner; the last release runs the snapshot's closer
+// (unmapping the file for mapped databases).
+func (sn *Snapshot) Release() error {
+	if sn.refs.Add(-1) == 0 && sn.closer != nil {
+		return sn.closer()
+	}
+	return nil
+}
+
+// Close releases the creator's reference. Call it once, when the frontend
+// is done handing the snapshot to new sessions; live sessions keep the
+// snapshot (and its mapping) alive until they close.
+func (sn *Snapshot) Close() error { return sn.Release() }
 
 // lazy reports whether the snapshot has lazily faulted columns.
 func (sn *Snapshot) lazy() bool { return sn.lazyFlag.Load() }
@@ -165,9 +231,26 @@ func (sn *Snapshot) Notes() []string {
 	return append([]string(nil), sn.exp.Notes...)
 }
 
+// MappedBytes returns the raw bytes of a mapped (v3) database for
+// residency probing, nil for any other snapshot. Read-only.
+func (sn *Snapshot) MappedBytes() []byte {
+	if sn.mdb == nil {
+		return nil
+	}
+	return sn.mdb.MappedBytes()
+}
+
+// Mapped reports whether the snapshot is backed by a true memory mapping.
+func (sn *Snapshot) Mapped() bool { return sn.mdb != nil && sn.mdb.Mapped() }
+
 // Provenance faults in and returns the database's quarantine report (nil
 // when absent).
 func (sn *Snapshot) Provenance() (*ingest.Report, error) {
+	if sn.mdb != nil {
+		sn.mu.Lock()
+		defer sn.mu.Unlock()
+		return sn.mdb.Provenance()
+	}
 	if sn.ldb == nil {
 		if sn.exp == nil {
 			return nil, nil

@@ -520,6 +520,8 @@ func Read(r io.Reader) (*Experiment, error) {
 		return readBinaryV1(br, size)
 	case dbMagicV2:
 		return readBinaryV2(br, size)
+	case dbMagicV3:
+		return readBinaryV3(br)
 	default:
 		return ReadXML(br)
 	}
@@ -539,6 +541,8 @@ func ReadBinary(r io.Reader) (*Experiment, error) {
 		return readBinaryV1(br, size)
 	case dbMagicV2:
 		return readBinaryV2(br, size)
+	case dbMagicV3:
+		return readBinaryV3(br)
 	default:
 		return nil, fmt.Errorf("expdb: bad magic %q", head)
 	}

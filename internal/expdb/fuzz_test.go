@@ -146,3 +146,59 @@ func FuzzReadXML(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadV3 guards the mappable v3 reader: the index parser must bound-
+// check every offset before the slab views are built (a mapped reader that
+// trusts a bad index faults the process, not just the test), and anything
+// accepted must re-encode cleanly in both v3 and v2.
+func FuzzReadV3(f *testing.F) {
+	e := New(core.Fig1Tree())
+	var buf bytes.Buffer
+	if err := e.WriteBinaryV3(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte("CPDB3"))
+	f.Add([]byte("CPDB3\x00\x00\x00"))
+	f.Add([]byte{})
+	if len(good) > 40 {
+		f.Add(good[:len(good)*2/3]) // truncated mid-section
+		f.Add(good[:len(good)-32])  // trailer sheared off
+		idxFlip := append([]byte(nil), good...)
+		idxFlip[len(idxFlip)-40] ^= 0x7f // inside the index
+		f.Add(idxFlip)
+		trFlip := append([]byte(nil), good...)
+		trFlip[len(trFlip)-28] ^= 0x01 // count field of the trailer
+		f.Add(trFlip)
+	}
+	ms := mergedSeed(f)
+	ms.Provenance = &ingest.Report{Attempted: 4, Merged: 3, Bad: []ingest.BadRank{
+		{Path: "r3.cpprof", Rank: 3, Offset: 17, Class: ingest.ClassTruncated, Message: "unexpected EOF"},
+	}}
+	var mbuf bytes.Buffer
+	if err := ms.WriteBinaryV3(&mbuf); err != nil {
+		f.Fatal(err)
+	}
+	merged := mbuf.Bytes()
+	f.Add(merged)
+	if len(merged) > 64 {
+		f.Add(merged[:len(merged)/2])
+		colFlip := append([]byte(nil), merged...)
+		colFlip[len(colFlip)/2] ^= 0x55 // likely inside a column slab
+		f.Add(colFlip)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteBinaryV3(&out); err != nil {
+			t.Fatalf("v3 re-encode failed: %v", err)
+		}
+		if err := got.WriteBinary(&out); err != nil {
+			t.Fatalf("v2 re-encode failed: %v", err)
+		}
+	})
+}

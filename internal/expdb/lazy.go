@@ -78,6 +78,15 @@ func OpenLazy(r io.Reader) (*LazyDB, error) {
 	switch string(head) {
 	case dbMagicV2:
 		return openLazyV2(br, size)
+	case dbMagicV3:
+		// A lazy stream open cannot skip within an unseekable reader, and
+		// the mappable layout already pays nothing at open when mapped
+		// (OpenMapped); here decode eagerly, fully verified.
+		e, err := readBinaryV3(br)
+		if err != nil {
+			return nil, err
+		}
+		return eagerDB(e), nil
 	case dbMagic:
 		e, err := readBinaryV1(br, size)
 		if err != nil {

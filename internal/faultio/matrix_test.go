@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -79,6 +81,45 @@ func decodeLazyDB(data []byte) (bool, error) {
 	return len(e.Notes) > 0, nil
 }
 
+// decodeMappedDB stages the bytes as a file and opens them through the
+// zero-copy mapped path, then touches everything a viewer eventually
+// would: metadata, every column's checksum pass, provenance. The v3
+// contract matches v2-lazy: metadata damage is a typed error, column and
+// provenance damage degrade with notes, and nothing ever faults the
+// process (all index ranges are validated before the mapping is trusted).
+func decodeMappedDB(data []byte) (bool, error) {
+	dir, err := os.MkdirTemp("", "faultv3")
+	if err != nil {
+		return false, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "experiment.db")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return false, err
+	}
+	db, err := expdb.OpenMapped(path)
+	if err != nil {
+		return false, err
+	}
+	defer db.Close()
+	e, err := db.Experiment()
+	if err != nil {
+		return false, err
+	}
+	for _, d := range e.Tree.Reg.Columns() {
+		if err := db.NeedColumn(d.ID); err != nil {
+			return len(e.Notes) > 0, err
+		}
+	}
+	if _, err := db.Provenance(); err != nil {
+		return len(e.Notes) > 0, err
+	}
+	if err := db.VerifyAll(); err != nil {
+		return len(e.Notes) > 0, err
+	}
+	return len(e.Notes) > 0, nil
+}
+
 // buildArtifacts simulates one workload at a small rank count and encodes
 // its first rank profile and merged database in every format version.
 func buildArtifacts(t *testing.T, name string) []artifact {
@@ -132,6 +173,8 @@ func buildArtifacts(t *testing.T, name string) []artifact {
 		enc("expdb-v2", func(b *bytes.Buffer) error { return exp.WriteBinary(b) }, decodeDB, true),
 		enc("expdb-v2-lazy", func(b *bytes.Buffer) error { return exp.WriteBinary(b) }, decodeLazyDB, true),
 		enc("expdb-v1", func(b *bytes.Buffer) error { return exp.WriteBinaryV1(b) }, decodeDB, false),
+		enc("expdb-v3", func(b *bytes.Buffer) error { return exp.WriteBinaryV3(b) }, decodeDB, true),
+		enc("expdb-v3-mapped", func(b *bytes.Buffer) error { return exp.WriteBinaryV3(b) }, decodeMappedDB, true),
 	}
 }
 
@@ -188,6 +231,37 @@ func frameOffsets(data []byte, magicLen int) []int {
 	return offs
 }
 
+// v3Offsets parses the v3 trailer and index (both fixed-width) and returns
+// one offset inside every structural element: the magic, each section's
+// first, middle and last byte, every index entry, and every trailer byte —
+// the aligned-layout analogue of frameOffsets.
+func v3Offsets(data []byte) []int {
+	n := len(data)
+	if n < 40 {
+		return nil
+	}
+	offs := []int{0, 7} // magic
+	tr := data[n-32:]
+	indexOff := int(binary.LittleEndian.Uint64(tr[0:8]))
+	count := int(binary.LittleEndian.Uint64(tr[8:16]))
+	if indexOff < 8 || indexOff > n-32 || count < 0 || count > (n-32-indexOff)/32 {
+		return offs
+	}
+	for i := 0; i < count; i++ {
+		en := indexOff + i*32
+		off := int(binary.LittleEndian.Uint64(data[en+8 : en+16]))
+		length := int(binary.LittleEndian.Uint64(data[en+16 : en+24]))
+		if off >= 8 && length > 0 && off+length <= indexOff {
+			offs = append(offs, off, off+length/2, off+length-1)
+		}
+		offs = append(offs, en, en+15, en+31) // the index entry itself
+	}
+	for i := n - 32; i < n; i++ {
+		offs = append(offs, i) // every trailer byte
+	}
+	return offs
+}
+
 // decodeSafely runs decode with panic containment so a crash is reported
 // as a test failure naming the byte offset, not a process abort.
 func decodeSafely(t *testing.T, a artifact, data []byte, what string) (degraded bool, err error) {
@@ -226,7 +300,11 @@ func TestFaultMatrix(t *testing.T) {
 				})
 				t.Run(a.name+"/corrupt", func(t *testing.T) {
 					offs := sweepOffsets(len(a.data), 64)
-					if a.checksummed {
+					if a.checksummed && strings.HasPrefix(a.name, "expdb-v3") {
+						// Aligned layout: hit every section, index entry
+						// and trailer byte.
+						offs = append(offs, v3Offsets(a.data)...)
+					} else if a.checksummed {
 						// Also hit every structural element of the frame:
 						// magic ("CPP2" is 4 bytes, "CPDB2" is 5), ids,
 						// lengths, payloads, CRC trailers, end marker.

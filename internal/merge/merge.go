@@ -8,7 +8,7 @@
 // Merging is parallel by default: ranks are split into contiguous shards,
 // each folded into a private Accumulator by one worker, and the shards are
 // combined with a pairwise tree reduction (Accumulator.Merge) that sums
-// metric columns and merges Welford summary streams — see parallel.go.
+// metric columns and summary-statistic moments — see parallel.go.
 package merge
 
 import (

@@ -26,12 +26,13 @@ import (
 // first-occurrence order of scopes and metric columns — and therefore
 // every child list and column ID — is identical to the sequential fold.
 // Metric sums are sums of integer-valued float64 samples, so they are
-// exact under any association; only the Welford summary moments (mean,
-// stddev) depend on reduction order, within ulp-level tolerances.
+// exact under any association; the summary statistics keep raw moments
+// (N, Σx, Σx², min, max), so their combine is the same exact addition
+// and the merged database is byte-identical for any jobs value.
 
 // Merge folds another unfinished accumulator into a, summing metric
-// columns (matched by name) and combining the per-scope Welford summary
-// streams, so shards can be reduced pairwise in any grouping. The other
+// columns (matched by name) and adding the per-scope summary moments,
+// so shards can be reduced pairwise in any grouping. The other
 // accumulator is consumed: it cannot be used afterwards.
 func (a *Accumulator) Merge(other *Accumulator) error {
 	if a.res == nil || other == nil || other.res == nil {

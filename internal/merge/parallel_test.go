@@ -20,14 +20,15 @@ import (
 
 // The equivalence harness for the parallel shard/reduce merge: for every
 // workload and a spread of rank counts, merging with jobs=1 and jobs=8
-// must produce the same experiment — identical trees and metric sums
-// bit-for-bit, summary statistics within floating-point reassociation
-// tolerances (mean/min/max 1e-9 relative, stddev 1e-6), and identical
-// per-node imbalance factors.
+// must produce the same experiment — identical trees, metric sums,
+// summary statistics and per-node imbalance factors, all bit-for-bit.
+// Statistics are exact since the Stats rewrite to raw moments (N, Σx,
+// Σx², min, max): merging is pure addition of integer-valued sums, which
+// reassociates exactly below 2^53, so no tolerance is needed anywhere.
 
 const (
-	meanTol   = 1e-9
-	stddevTol = 1e-6
+	meanTol   = 0
+	stddevTol = 0
 )
 
 // workloadFixture builds one workload through the measurement pipeline at
@@ -54,10 +55,13 @@ func workloadFixture(t testing.TB, name string, ranks int) (*structfile.Doc, []*
 	return doc, profs
 }
 
-// closeEnough compares within a relative tolerance.
+// closeEnough compares within a relative tolerance; tol 0 is exact.
 func closeEnough(a, b, tol float64) bool {
 	if a == b {
 		return true
+	}
+	if tol == 0 {
+		return false
 	}
 	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 	return math.Abs(a-b) <= tol*scale
@@ -77,7 +81,7 @@ func sameVector(t *testing.T, where string, a, b *metric.View) {
 }
 
 // sameTree walks two merged results in lockstep asserting identical
-// structure, scope order, metric sums and (within tolerance) statistics.
+// structure, scope order, metric sums and statistics, all exact.
 func sameTree(t *testing.T, seq, par *Result) {
 	t.Helper()
 	if seq.NRanks != par.NRanks {

@@ -3,26 +3,37 @@ package metric
 import "math"
 
 // Stats accumulates streaming summary statistics for one metric at one
-// scope: sum, mean, min, max and standard deviation, using Welford's online
-// algorithm so that thousands of per-process values never need to be held
-// in memory at once (Section VII of the paper: "we summarize metrics of all
-// processors into mean, covariance, min and max, instead of displaying
-// thousands of metrics").
+// scope: sum, mean, min, max and standard deviation, so that thousands of
+// per-process values never need to be held in memory at once (Section VII
+// of the paper: "we summarize metrics of all processors into mean,
+// covariance, min and max, instead of displaying thousands of metrics").
+//
+// The accumulator keeps exact moments (count, sum, sum of squares) rather
+// than Welford's recurrence. Welford is numerically gentler in the general
+// case, but its combine step (Chan et al.) rounds differently than its
+// sequential update, so reducing per-shard accumulators pairwise produced
+// summary values that differed from the -jobs 1 fold in the last mantissa
+// bits. Moment addition is plain float64 '+': metric samples are
+// integer-valued and their squares and partial sums stay well inside the
+// 2^53 exact-integer range for any realistic rank count, so Observe folds
+// and Merge reductions are exact — hence bitwise identical — under every
+// association. This is the same invariant the parallel merge already relies
+// on for the metric sums themselves.
 //
 // The zero Stats is ready to use.
 type Stats struct {
-	N    int64
-	Sum  float64
-	Min  float64
-	Max  float64
-	mean float64
-	m2   float64
+	N     int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	sumsq float64
 }
 
 // Observe folds one value into the statistics.
 func (s *Stats) Observe(x float64) {
 	s.N++
 	s.Sum += x
+	s.sumsq += x * x
 	if s.N == 1 {
 		s.Min, s.Max = x, x
 	} else {
@@ -33,13 +44,12 @@ func (s *Stats) Observe(x float64) {
 			s.Max = x
 		}
 	}
-	delta := x - s.mean
-	s.mean += delta / float64(s.N)
-	s.m2 += delta * (x - s.mean)
 }
 
-// Merge combines another accumulator into s (parallel Welford / Chan et al.),
-// so per-rank partial summaries can be reduced in any order.
+// Merge combines another accumulator into s. Every field update is an exact
+// associative operation on integer-valued data (addition of exactly
+// representable sums, min, max), so per-rank partial summaries reduce to
+// the same bits in any order — pairwise trees included.
 func (s *Stats) Merge(o Stats) {
 	if o.N == 0 {
 		return
@@ -48,29 +58,38 @@ func (s *Stats) Merge(o Stats) {
 		*s = o
 		return
 	}
-	n := s.N + o.N
-	delta := o.mean - s.mean
-	s.m2 += o.m2 + delta*delta*float64(s.N)*float64(o.N)/float64(n)
-	s.mean += delta * float64(o.N) / float64(n)
+	s.N += o.N
 	s.Sum += o.Sum
+	s.sumsq += o.sumsq
 	if o.Min < s.Min {
 		s.Min = o.Min
 	}
 	if o.Max > s.Max {
 		s.Max = o.Max
 	}
-	s.N = n
 }
 
 // Mean returns the arithmetic mean (zero when empty).
-func (s *Stats) Mean() float64 { return s.mean }
+func (s *Stats) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
 
-// Variance returns the population variance (zero when N < 2).
+// Variance returns the population variance (zero when N < 2). The
+// moment-form E[x²] − E[x]² can dip fractionally below zero from rounding;
+// it is clamped so StdDev never produces NaN.
 func (s *Stats) Variance() float64 {
 	if s.N < 2 {
 		return 0
 	}
-	return s.m2 / float64(s.N)
+	m := s.Mean()
+	v := s.sumsq/float64(s.N) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // StdDev returns the population standard deviation.

@@ -36,9 +36,19 @@ const (
 
 // Store holds the column slabs. The zero value is not ready to use; call
 // NewStore.
+//
+// Ownership: slabs are normally heap memory owned by the store, but a
+// loader may install foreign memory — an mmap'd v3 column section — with
+// AdoptCol(..., borrowed=true). Borrowed slabs are strictly read-only;
+// every write path (Col, set, add, View.Reset) detaches them first by
+// copying to owned heap memory (copy-on-write), so a mapped file's bytes
+// can never be scribbled through the store.
 type Store struct {
 	rows   int
 	planes [numPlanes][][]float64
+	// borrowed marks columns whose slab aliases foreign read-only memory;
+	// indexes parallel planes (absent entries mean owned).
+	borrowed [numPlanes][]bool
 }
 
 // NewStore returns an empty store with no rows.
@@ -85,6 +95,56 @@ func (s *Store) ColRead(p Plane, col int) []float64 {
 	return cols[col]
 }
 
+// AdoptCol installs slab as column col of plane p, replacing whatever was
+// there. With borrowed=true the slab is treated as foreign read-only memory
+// (e.g. a float64 view over an mmap'd file section): reads serve it
+// zero-copy and the first write detaches it by copying (see unborrow).
+// The slab length fixes how many rows read from it; rows beyond read zero.
+func (s *Store) AdoptCol(p Plane, col int, slab []float64, borrowed bool) {
+	s.ensureCol(p, col)
+	s.planes[p][col] = slab
+	s.setBorrowed(p, col, borrowed)
+}
+
+// DetachCol drops column col of plane p entirely: reads return zero and the
+// borrowed flag is cleared. Used to degrade a mapped column whose section
+// failed its checksum.
+func (s *Store) DetachCol(p Plane, col int) {
+	if col >= 0 && col < len(s.planes[p]) {
+		s.planes[p][col] = nil
+		s.setBorrowed(p, col, false)
+	}
+}
+
+// Borrowed reports whether column col of plane p currently aliases foreign
+// memory (no write has detached it yet).
+func (s *Store) Borrowed(p Plane, col int) bool {
+	bs := s.borrowed[p]
+	return col >= 0 && col < len(bs) && bs[col]
+}
+
+func (s *Store) setBorrowed(p Plane, col int, v bool) {
+	bs := s.borrowed[p]
+	if !v && col >= len(bs) {
+		return
+	}
+	for col >= len(bs) {
+		bs = append(bs, false)
+	}
+	bs[col] = v
+	s.borrowed[p] = bs
+}
+
+// unborrow detaches a borrowed slab by copying it to owned heap memory —
+// the copy-on-write step guarding every store write path.
+func (s *Store) unborrow(p Plane, col int) {
+	slab := s.planes[p][col]
+	owned := make([]float64, len(slab))
+	copy(owned, slab)
+	s.planes[p][col] = owned
+	s.setBorrowed(p, col, false)
+}
+
 func (s *Store) get(p Plane, col int, row int32) float64 {
 	cols := s.planes[p]
 	if col < 0 || col >= len(cols) {
@@ -105,8 +165,11 @@ func (s *Store) set(p Plane, col int, row int32, x float64) {
 	if x == 0 {
 		cols := s.planes[p]
 		if col >= 0 && col < len(cols) {
-			if slab := cols[col]; int(row) < len(slab) {
-				slab[row] = 0
+			if slab := cols[col]; int(row) < len(slab) && slab[row] != 0 {
+				if s.Borrowed(p, col) {
+					s.unborrow(p, col)
+				}
+				s.planes[p][col][row] = 0
 			}
 		}
 		return
@@ -135,6 +198,9 @@ func (s *Store) ensureCol(p Plane, col int) {
 // shrink, so re-slicing within capacity exposes only zeros.
 func (s *Store) slabFor(p Plane, col int, row int32) []float64 {
 	s.ensureCol(p, col)
+	if s.Borrowed(p, col) {
+		s.unborrow(p, col)
+	}
 	slab := s.planes[p][col]
 	if n := int(row) + 1; n > len(slab) {
 		if n > cap(slab) {
@@ -317,9 +383,11 @@ func (v *View) Reset() {
 		return
 	}
 	row := int(v.row)
-	for _, slab := range v.s.planes[v.p] {
-		if row < len(slab) {
-			slab[row] = 0
+	for id, slab := range v.s.planes[v.p] {
+		if row < len(slab) && slab[row] != 0 {
+			// Route through set so a borrowed (mapped) slab is detached
+			// before the write.
+			v.s.set(v.p, id, v.row, 0)
 		}
 	}
 }

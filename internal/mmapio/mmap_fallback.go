@@ -1,0 +1,52 @@
+//go:build !unix || nommap
+
+package mmapio
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Map reads path into a page-aligned heap buffer — the portable stand-in
+// for mmap. The open is O(file) rather than O(index), but alignment and
+// the read-only contract match the mapped path exactly, so readers built
+// on float64 views over the bytes work unchanged.
+func Map(path string) (*Region, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := int(st.Size())
+	if size == 0 {
+		return &Region{}, nil
+	}
+	buf := alignedBuf(size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return &Region{data: buf}, nil
+}
+
+// alignedBuf allocates n bytes starting on a page boundary by over-
+// allocating one page and slicing at the first aligned offset.
+func alignedBuf(n int) []byte {
+	page := os.Getpagesize()
+	raw := make([]byte, n+page)
+	off := int(uintptr(unsafe.Pointer(&raw[0])) & uintptr(page-1))
+	if off != 0 {
+		off = page - off
+	}
+	return raw[off : off+n : off+n]
+}
+
+// Close releases the buffer (garbage collection does the actual work).
+func (r *Region) Close() error {
+	r.data = nil
+	return nil
+}

@@ -1,0 +1,50 @@
+//go:build unix && !nommap
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Map maps path read-only. The file handle is closed before returning (the
+// mapping keeps the pages alive), so the region is the only resource to
+// release.
+func Map(path string) (*Region, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Region{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s: file too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+	}
+	return &Region{data: data, mapped: true}, nil
+}
+
+// Close unmaps the region. Any []byte or []float64 views into it become
+// invalid; touching them after Close faults.
+func (r *Region) Close() error {
+	if r.data == nil {
+		return nil
+	}
+	data := r.data
+	r.data = nil
+	if !r.mapped {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

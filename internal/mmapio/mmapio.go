@@ -1,0 +1,38 @@
+// Package mmapio maps files into memory read-only. It is the zero-copy
+// substrate of the v3 experiment-database open: the mapped bytes are handed
+// out as column slabs without ever being copied onto the heap, so an open
+// database's resident set is just the pages queries actually touch.
+//
+// Two implementations sit behind one API:
+//
+//   - On unix (and without the nommap build tag), Map uses mmap(2) with
+//     PROT_READ|MAP_PRIVATE: open cost is O(1) in the file size and pages
+//     fault in lazily on first access.
+//   - Elsewhere — or with `-tags nommap`, for filesystems where mmap
+//     misbehaves — Map falls back to reading the file into a page-aligned
+//     heap buffer. Alignment and read-only discipline are preserved so
+//     callers behave identically; only the laziness is lost.
+//
+// Either way the returned bytes start on a page boundary, so 8-byte-aligned
+// file offsets stay 8-byte-aligned in memory — the precondition for viewing
+// slices of the mapping as []float64.
+package mmapio
+
+// Region is a read-only byte view of an entire file. Close releases it;
+// the bytes must not be accessed afterwards (for a real mapping they are
+// unmapped and access faults).
+type Region struct {
+	data   []byte
+	mapped bool
+}
+
+// Bytes returns the file contents. Callers must treat them as read-only:
+// the memory may be a shared file mapping.
+func (r *Region) Bytes() []byte { return r.data }
+
+// Len returns the file size in bytes.
+func (r *Region) Len() int { return len(r.data) }
+
+// Mapped reports whether the region is a true memory mapping (false for
+// the page-aligned read fallback).
+func (r *Region) Mapped() bool { return r.mapped }
