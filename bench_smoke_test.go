@@ -66,6 +66,7 @@ func TestBenchSmoke(t *testing.T) {
 		{"ColdFirstQueryMapped", BenchmarkColdFirstQueryMapped},
 		{"ColdFirstQueryLazy", BenchmarkColdFirstQueryLazy},
 		{"ConcurrentSessions", BenchmarkConcurrentSessions},
+		{"CatalogSessions", BenchmarkCatalogSessions},
 		{"DiffUnion", BenchmarkDiffUnion},
 		{"DiffKernels", BenchmarkDiffKernels},
 	}

@@ -111,19 +111,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -format %q (want binary or v3)", *outFormat)
 	}
 	if *outDB != "" {
-		f, err := os.Create(*outDB)
-		if err != nil {
-			return err
-		}
 		write := res.Exp.WriteBinary
 		if *outFormat == "v3" {
 			write = res.Exp.WriteBinaryV3
 		}
-		if err := write(f); err != nil {
-			f.Close()
-			return fmt.Errorf("writing %s: %w", *outDB, err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic publish: never leave a torn union database under -o.
+		if err := expdb.WriteFileAtomic(*outDB, func(f *os.File) error { return write(f) }); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote union database %s (%d scopes, %d columns)\n",

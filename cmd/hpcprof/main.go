@@ -111,23 +111,20 @@ func run(args []string) (err error) {
 		exp.Provenance = report
 	}
 
-	f, err := os.Create(*out)
+	// Atomic publish: temp file + fsync + rename, so an interrupted merge
+	// never leaves a torn database under the output name (a catalog spool
+	// would otherwise happily ingest it).
+	err = expdb.WriteFileAtomic(*out, func(f *os.File) error {
+		switch *format {
+		case "xml":
+			return exp.WriteXML(f)
+		case "v3":
+			return exp.WriteBinaryV3(f)
+		default:
+			return exp.WriteBinary(f)
+		}
+	})
 	if err != nil {
-		return err
-	}
-	switch *format {
-	case "xml":
-		err = exp.WriteXML(f)
-	case "v3":
-		err = exp.WriteBinaryV3(f)
-	default:
-		err = exp.WriteBinary(f)
-	}
-	if err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
 		return err
 	}
 	if report.Clean() {

@@ -14,7 +14,10 @@ import (
 // may be called from many sessions at once; implementations must be safe
 // for concurrent use.
 type Catalog interface {
-	// LookupSnapshot returns the named snapshot.
+	// LookupSnapshot returns the named snapshot with one reference
+	// retained for the caller, who must Release it when done. The retain
+	// happens under the catalog's lock so a lifecycle catalog can never
+	// evict (and unmap) the snapshot between lookup and use.
 	LookupSnapshot(name string) (*Snapshot, error)
 	// SnapshotNames lists the available names, sorted.
 	SnapshotNames() []string
@@ -30,6 +33,7 @@ func (c SnapshotCatalog) LookupSnapshot(name string) (*Snapshot, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: no database %q in the catalog", name)
 	}
+	sn.Retain()
 	return sn, nil
 }
 
@@ -103,6 +107,10 @@ func (s *Session) Compare(name string, cfg diff.Config) (*diff.Result, error) {
 	snap, res, err := DiffSnapshots(cfg,
 		DiffInput{Label: "A", Snap: s.snap},
 		DiffInput{Label: "B", Snap: other})
+	// The union copies every value into a fresh in-memory experiment, so
+	// the lookup reference (which kept other mapped through the walk) can
+	// drop as soon as the diff is built — or failed.
+	other.Release()
 	if err != nil {
 		return nil, err
 	}

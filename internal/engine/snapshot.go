@@ -62,6 +62,11 @@ type Snapshot struct {
 	// (at or above).
 	baseCols int
 
+	// hookMu guards lastRelease: hooks appended by lifecycle owners (the
+	// catalog) that run after the closer at final release.
+	hookMu      sync.Mutex
+	lastRelease []func()
+
 	// mu orders queries (read lock) against fault-in (write lock).
 	mu sync.RWMutex
 	// gen counts fault-in events; sessions compare it to their last
@@ -191,12 +196,39 @@ func (sn *Snapshot) seal() {
 func (sn *Snapshot) Retain() { sn.refs.Add(1) }
 
 // Release drops one owner; the last release runs the snapshot's closer
-// (unmapping the file for mapped databases).
+// (unmapping the file for mapped databases), then any OnLastRelease hooks.
 func (sn *Snapshot) Release() error {
-	if sn.refs.Add(-1) == 0 && sn.closer != nil {
-		return sn.closer()
+	if sn.refs.Add(-1) != 0 {
+		return nil
 	}
-	return nil
+	var err error
+	if sn.closer != nil {
+		err = sn.closer()
+	}
+	sn.hookMu.Lock()
+	hooks := sn.lastRelease
+	sn.lastRelease = nil
+	sn.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
+	return err
+}
+
+// RefCount reports the current number of owners (creator + live sessions +
+// any lifecycle manager references). It is a point-in-time observation for
+// stats and tests, not a synchronization primitive.
+func (sn *Snapshot) RefCount() int64 { return sn.refs.Load() }
+
+// OnLastRelease registers f to run after the final Release — for a mapped
+// database, after the file is actually unmapped. The catalog uses it to
+// account resident bytes at true unmap time (an evicted snapshot stays
+// mapped while sessions still retain it). Safe to call concurrently with
+// Retain/Release; if the count already hit zero the hook never runs.
+func (sn *Snapshot) OnLastRelease(f func()) {
+	sn.hookMu.Lock()
+	sn.lastRelease = append(sn.lastRelease, f)
+	sn.hookMu.Unlock()
 }
 
 // Close releases the creator's reference. Call it once, when the frontend

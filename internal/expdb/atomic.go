@@ -1,0 +1,51 @@
+package expdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file crash-safely: the payload goes to a
+// temporary file in the target's directory, is fsynced, and only then
+// renamed over path (followed by a directory fsync so the rename itself is
+// durable). A reader — including a catalog spool watcher racing the writer,
+// or a crash at any instant — can therefore observe either the old file or
+// the complete new one, never a torn database. On any error the temporary
+// file is removed and the target is left untouched.
+//
+// Every database writer in this repo (hpcprof -o, hpcdiff -o, catalog
+// ingest) goes through this helper: a half-written CPDB must never be
+// visible under a name something else might open.
+func WriteFileAtomic(path string, write func(f *os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Make the rename durable. Directory fsync is advisory on some
+	// filesystems; a failure here does not un-publish the file.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

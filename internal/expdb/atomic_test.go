@@ -1,0 +1,66 @@
+package expdb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileAtomic covers the publish contract: success installs the
+// full payload, failure leaves the previous file (or absence) intact and
+// cleans its temp file up — an interrupted merge must never leave a torn
+// database a spool watcher could ingest.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.db")
+
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.WriteString("generation-1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "generation-1" {
+		t.Fatalf("payload = %q", got)
+	}
+
+	// A failing writer must not disturb the published generation.
+	boom := errors.New("disk full")
+	err := WriteFileAtomic(path, func(f *os.File) error {
+		_, _ = f.WriteString("torn gener")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped %v", err, boom)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "generation-1" {
+		t.Fatalf("after failed write payload = %q, want old generation", got)
+	}
+
+	// Replacement is atomic: the new bytes fully supersede the old.
+	if err := WriteFileAtomic(path, func(f *os.File) error {
+		_, err := f.WriteString("g2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "g2" {
+		t.Fatalf("replaced payload = %q", got)
+	}
+
+	// No temp droppings either way.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(ents))
+	}
+}

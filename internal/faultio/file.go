@@ -1,0 +1,62 @@
+package faultio
+
+import "os"
+
+// The file-level injectors damage databases in place on disk, for
+// live-serving chaos tests: a published file whose generation is closed or
+// evicted can be truncated or scribbled to simulate storage rot between
+// open and reopen. They must never be aimed at a file a live mapping still
+// reads — in-place damage under an mmap is undefined behavior by design;
+// the serving path's protection against torn bytes is the atomic
+// publish/rename protocol, not tolerance for mutation.
+
+// CorruptSpan returns a copy of data with n bytes starting at off XORed
+// with deterministic nonzero values derived from seed. Spans beat single
+// flips for coverage: one byte can land in alignment padding no checksum
+// covers, a span cannot.
+func CorruptSpan(data []byte, off, n int, seed uint64) []byte {
+	out := append([]byte(nil), data...)
+	corruptSpan(out, off, n, seed)
+	return out
+}
+
+func corruptSpan(data []byte, off, n int, seed uint64) {
+	r := rng{state: seed}
+	for i := off; i < off+n && i < len(data); i++ {
+		if i < 0 {
+			continue
+		}
+		x := byte(r.next())
+		if x == 0 {
+			x = 0x5a
+		}
+		data[i] ^= x
+	}
+}
+
+// TruncateFile cuts the file at path to n bytes in place (no-op when the
+// file is already shorter), simulating a tail lost to storage failure.
+func TruncateFile(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n >= fi.Size() {
+		return nil
+	}
+	return os.Truncate(path, n)
+}
+
+// CorruptFileSpan XORs n bytes at off in the file at path, in place,
+// with the same deterministic pattern as CorruptSpan.
+func CorruptFileSpan(path string, off, n int64, seed uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	corruptSpan(data, int(off), int(n), seed)
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,205 @@
+package server
+
+// Live-serving chaos for the HTTP layer: panics, stuck commands and
+// request floods are injected into a serving process (via testExecHook —
+// the hook runs inside the exec goroutine, exactly where a real engine
+// bug would fire) and the process must degrade per contract: typed
+// errors, killed sessions, shed requests — never a crash, never a wedge.
+// `make chaos` runs these under -race.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChaosPanicIsolation: a panic inside one session's command kills that
+// session — typed 500, token gone, counted — while the process and every
+// other session keep serving.
+func TestChaosPanicIsolation(t *testing.T) {
+	srv := New(lazySnapshot(t, fixtureBytes(t)), nil, 1)
+	defer srv.Close()
+	srv.testExecHook = func(line string) {
+		if strings.Contains(line, "BOOM") {
+			panic("injected chaos panic")
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	c := &client{t: t, base: ts.URL, hc: hc}
+
+	victim := c.createSession()
+	bystander := c.createSession()
+
+	status, data := postJSON(t, hc, ts.URL+"/v1/sessions/"+victim+"/exec", map[string]string{"line": "ls BOOM"})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("panicking exec = %d (%s), want 500", status, data)
+	}
+	if e := apiErrorOf(t, data); e.Type != "session-panic" {
+		t.Fatalf("panic error type = %q", e.Type)
+	}
+	// The victim session is dead...
+	status, _ = postJSON(t, hc, ts.URL+"/v1/sessions/"+victim+"/exec", map[string]string{"line": "ls"})
+	if status != http.StatusNotFound {
+		t.Fatalf("exec on panicked session = %d, want 404", status)
+	}
+	// ...the bystander is fine, repeatedly...
+	for i := 0; i < 3; i++ {
+		if out, errText, _ := c.exec(bystander, "ls"); errText != "" || out == "" {
+			t.Fatalf("bystander exec %d: %q / %q", i, out, errText)
+		}
+	}
+	// ...and the books record exactly one panic.
+	st := getStats(t, hc, ts.URL)
+	if st.SessionPanics != 1 || st.Sessions != 1 {
+		t.Fatalf("stats after panic = %+v", st)
+	}
+}
+
+// TestChaosDeadlineKillsSession: a command that outlives ExecTimeout gets
+// a typed 504, its session is killed (not the process), and the counter
+// moves. The stuck goroutine drains into the buffered result channel.
+func TestChaosDeadlineKillsSession(t *testing.T) {
+	gate := make(chan struct{})
+	srv := NewWithConfig(lazySnapshot(t, fixtureBytes(t)), Config{Jobs: 1, ExecTimeout: 50 * time.Millisecond})
+	defer srv.Close()
+	srv.testExecHook = func(line string) {
+		if strings.Contains(line, "STALL") {
+			<-gate
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	c := &client{t: t, base: ts.URL, hc: hc}
+
+	token := c.createSession()
+	status, data := postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls STALL"})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled exec = %d (%s), want 504", status, data)
+	}
+	if e := apiErrorOf(t, data); e.Type != "deadline-exceeded" {
+		t.Fatalf("deadline error type = %q", e.Type)
+	}
+	close(gate) // unwedge the goroutine; it drains into the buffered channel
+	status, _ = postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls"})
+	if status != http.StatusNotFound {
+		t.Fatalf("exec on timed-out session = %d, want 404", status)
+	}
+	if st := getStats(t, hc, ts.URL); st.ExecTimeouts != 1 {
+		t.Fatalf("stats after timeout = %+v", st)
+	}
+	// The server still creates and serves fresh sessions.
+	fresh := c.createSession()
+	if out, errText, _ := c.exec(fresh, "ls"); errText != "" || out == "" {
+		t.Fatalf("fresh session after timeout: %q / %q", out, errText)
+	}
+}
+
+// TestChaosAdmissionFlood: with one execution slot held hostage, a flood
+// of requests must split into exactly the contract's three outcomes —
+// served (200), queued-then-expired (429) or shed immediately (503) —
+// every shed response carrying Retry-After and a typed error, and the
+// books balancing: served + shed = flood.
+func TestChaosAdmissionFlood(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv := NewWithConfig(lazySnapshot(t, fixtureBytes(t)), Config{
+		Jobs:         1,
+		MaxInflight:  1,
+		MaxQueue:     2,
+		QueueTimeout: 100 * time.Millisecond,
+	})
+	defer srv.Close()
+	srv.testExecHook = func(line string) {
+		if strings.Contains(line, "HOLD") {
+			entered <- struct{}{}
+			<-gate
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	c := &client{t: t, base: ts.URL, hc: hc}
+	token := c.createSession()
+
+	// Occupy the only slot.
+	var hostage sync.WaitGroup
+	hostage.Add(1)
+	go func() {
+		defer hostage.Done()
+		status, _ := postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls HOLD"})
+		if status != http.StatusOK {
+			t.Errorf("hostage exec = %d", status)
+		}
+	}()
+	<-entered
+
+	// Flood. Every response must be one of the three contract outcomes.
+	const flood = 12
+	statuses := make(chan int, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/"+token+"/exec",
+				strings.NewReader(`{"line":"ls"}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := hc.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("shed %d response lacks Retry-After", resp.StatusCode)
+				}
+			default:
+				t.Errorf("flood response %d outside the contract", resp.StatusCode)
+			}
+			statuses <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(statuses)
+	counts := map[int]int{}
+	for s := range statuses {
+		counts[s]++
+	}
+	// The slot is hostage and the queue holds 2 with a 100ms expiry: at
+	// least flood-3 requests must have been shed outright, and none can
+	// have been served while the gate was closed.
+	if counts[http.StatusOK] != 0 {
+		t.Fatalf("%d requests served while the only slot was hostage: %v", counts[http.StatusOK], counts)
+	}
+	shed := counts[http.StatusTooManyRequests] + counts[http.StatusServiceUnavailable]
+	if shed != flood {
+		t.Fatalf("flood outcomes don't balance: %v", counts)
+	}
+	if counts[http.StatusServiceUnavailable] < flood-3 {
+		t.Fatalf("queue of 2 shed only %d immediately: %v", counts[http.StatusServiceUnavailable], counts)
+	}
+
+	close(gate)
+	hostage.Wait()
+
+	// Recovery: with the slot free, the same session serves again.
+	if out, errText, _ := c.exec(token, "ls"); errText != "" || out == "" {
+		t.Fatalf("exec after flood: %q / %q", out, errText)
+	}
+	st := getStats(t, hc, ts.URL)
+	if st.ShedRequests < uint64(flood) {
+		t.Fatalf("shed counter %d < flood %d", st.ShedRequests, flood)
+	}
+}

@@ -1,74 +1,43 @@
 package server
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
-	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/diff"
 	"repro/internal/engine"
 )
 
-// catalog state: extra opened databases sessions can diff against, plus a
-// cache of computed unions (a diff over a large database is expensive and
-// read-only once built, so concurrent compare requests share it).
-type catalogState struct {
-	mu    sync.Mutex
-	snaps map[string]*engine.Snapshot
-	diffs map[string]*diff.Result
-}
+// The server implements engine.Catalog over its lifecycle catalog, so
+// every session's `diff NAME` resolves against the same generations HTTP
+// clients see. Lookups return retained snapshots (the engine releases
+// them after the union is built), taken under the catalog lock so an
+// eviction or republish can never unmap a snapshot mid-diff.
 
-// AddSnapshot registers another opened database under name, making it
-// visible to GET /v1/catalog, POST /v1/compare and every session's diff
-// command. Safe to call while serving.
+// AddSnapshot pins an already-open database under name, making it visible
+// to GET /v1/catalog, POST /v1/compare and every session's diff command.
+// Pinned snapshots sit outside the eviction/generation lifecycle — the
+// static `-compare name=path` entries. Safe to call while serving.
 func (srv *Server) AddSnapshot(name string, snap *engine.Snapshot) error {
-	if name == "" || strings.ContainsAny(name, " \t,") {
-		return fmt.Errorf("server: catalog name %q must be non-empty without spaces or commas", name)
-	}
-	srv.catalog.mu.Lock()
-	defer srv.catalog.mu.Unlock()
-	if srv.catalog.snaps == nil {
-		srv.catalog.snaps = map[string]*engine.Snapshot{}
-	}
-	if _, ok := srv.catalog.snaps[name]; ok {
-		return fmt.Errorf("server: catalog already has %q", name)
-	}
-	srv.catalog.snaps[name] = snap
-	return nil
+	return srv.cat.Pin(name, snap)
 }
 
-// LookupSnapshot implements engine.Catalog over the registered databases.
+// LookupSnapshot implements engine.Catalog: the returned snapshot is
+// retained for the caller, who must Release it.
 func (srv *Server) LookupSnapshot(name string) (*engine.Snapshot, error) {
-	srv.catalog.mu.Lock()
-	defer srv.catalog.mu.Unlock()
-	sn, ok := srv.catalog.snaps[name]
-	if !ok {
-		return nil, fmt.Errorf("server: no database %q in the catalog", name)
-	}
-	return sn, nil
+	snap, _, err := srv.cat.Acquire(name)
+	return snap, err
 }
 
 // SnapshotNames implements engine.Catalog.
-func (srv *Server) SnapshotNames() []string {
-	srv.catalog.mu.Lock()
-	defer srv.catalog.mu.Unlock()
-	names := make([]string, 0, len(srv.catalog.snaps))
-	for name := range srv.catalog.snaps {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func (srv *Server) SnapshotNames() []string { return srv.cat.Names() }
 
 type catalogResponse struct {
 	Databases []string `json:"databases"`
 }
 
 func (srv *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, catalogResponse{Databases: srv.SnapshotNames()})
+	writeJSON(w, http.StatusOK, catalogResponse{Databases: srv.cat.Names()})
 }
 
 // compareRequest asks for a diff between two catalog entries. An empty
@@ -87,84 +56,115 @@ type compareRequest struct {
 
 func (srv *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req compareRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if req.Other == "" {
-		http.Error(w, `missing "other" database name`, http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad-request", `missing "other" database name`)
 		return
 	}
 	mode := diff.ModeAuto
 	if req.Mode != "" {
 		m, err := diff.ParseMode(req.Mode)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
 		mode = m
 	}
+	// Acquire both inputs up front — the references pin their generations
+	// (and mappings) for the duration of the union, against concurrent
+	// eviction and republish.
 	base := srv.snap
 	if req.Base != "" {
-		sn, err := srv.LookupSnapshot(req.Base)
+		sn, _, err := srv.cat.Acquire(req.Base)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotFound)
+			writeAcquireError(w, err)
 			return
 		}
 		base = sn
-	}
-	other, err := srv.LookupSnapshot(req.Other)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		defer sn.Release()
+	} else if base == nil {
+		writeError(w, http.StatusNotFound, "no-default-database",
+			`server has no default database; pass "base"`)
 		return
 	}
+	other, _, err := srv.cat.Acquire(req.Other)
+	if err != nil {
+		writeAcquireError(w, err)
+		return
+	}
+	defer other.Release()
 
 	res, err := srv.cachedDiff(req, mode, base, other)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "diff-failed", err.Error())
 		return
 	}
 	rep, err := res.Report(diff.ReportOptions{Metric: req.Metric, Threshold: req.Threshold, Top: req.Top})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeError(w, http.StatusUnprocessableEntity, "report-failed", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// cachedDiff returns the union for one (base, other, metric, mode) tuple,
-// computing it at most once — the result is immutable, so later requests
-// (and different report thresholds) reuse it.
+// diffCacheKey identifies a union by the snapshot identities themselves —
+// not names, which can be republished onto new generations. A cached
+// result is fully materialized (the union copies every value), so it stays
+// valid after its inputs are evicted or unmapped; the snapshot pointers
+// serve only as identity.
+type diffCacheKey struct {
+	base, other *engine.Snapshot
+	metric      string
+	mode        diff.Mode
+}
+
+// diffCacheEntry computes its result at most once; concurrent requests
+// for the same key share the wait instead of redundantly unioning.
+type diffCacheEntry struct {
+	once sync.Once
+	res  *diff.Result
+	err  error
+}
+
+// maxDiffCacheEntries bounds the cache; republishing rotates generations,
+// and unions over dead generations would otherwise accumulate forever.
+const maxDiffCacheEntries = 128
+
 func (srv *Server) cachedDiff(req compareRequest, mode diff.Mode, base, other *engine.Snapshot) (*diff.Result, error) {
 	var metrics []string
 	if req.Metric != "" {
 		metrics = []string{req.Metric}
 	}
-	key := fmt.Sprintf("%s\x00%s\x00%s\x00%s", req.Base, req.Other, req.Metric, mode)
-	srv.catalog.mu.Lock()
-	if res, ok := srv.catalog.diffs[key]; ok {
-		srv.catalog.mu.Unlock()
-		return res, nil
+	key := diffCacheKey{base: base, other: other, metric: req.Metric, mode: mode}
+	srv.diffMu.Lock()
+	e, ok := srv.diffs[key]
+	if !ok {
+		if len(srv.diffs) >= maxDiffCacheEntries {
+			srv.diffs = map[diffCacheKey]*diffCacheEntry{}
+		}
+		e = &diffCacheEntry{}
+		srv.diffs[key] = e
 	}
-	srv.catalog.mu.Unlock()
+	srv.diffMu.Unlock()
 
-	// Diff outside the lock: inputs are read-only after FaultAll, and two
-	// racing requests computing the same key just do redundant work once.
-	_, res, err := engine.DiffSnapshots(diff.Config{Metrics: metrics, Mode: mode, Jobs: srv.jobs},
-		engine.DiffInput{Label: "A", Snap: base},
-		engine.DiffInput{Label: "B", Snap: other})
-	if err != nil {
-		return nil, err
+	// Diff outside the lock: inputs are read-only after FaultAll, and the
+	// once collapses racing requests for one key into a single union.
+	e.once.Do(func() {
+		_, e.res, e.err = engine.DiffSnapshots(diff.Config{Metrics: metrics, Mode: mode, Jobs: srv.cfg.Jobs},
+			engine.DiffInput{Label: "A", Snap: base},
+			engine.DiffInput{Label: "B", Snap: other})
+	})
+	if e.err != nil {
+		// Failed unions don't deserve cache residency (the input may be
+		// republished healthy); drop the entry.
+		srv.diffMu.Lock()
+		if srv.diffs[key] == e {
+			delete(srv.diffs, key)
+		}
+		srv.diffMu.Unlock()
+		return nil, e.err
 	}
-	srv.catalog.mu.Lock()
-	if srv.catalog.diffs == nil {
-		srv.catalog.diffs = map[string]*diff.Result{}
-	}
-	if prev, ok := srv.catalog.diffs[key]; ok {
-		res = prev // keep the first; results are interchangeable
-	} else {
-		srv.catalog.diffs[key] = res
-	}
-	srv.catalog.mu.Unlock()
-	return res, nil
+	return e.res, e.err
 }

@@ -122,9 +122,9 @@ func TestCompareEndpoint(t *testing.T) {
 	if status2 != http.StatusOK || !bytes.Equal(data, data2) {
 		t.Fatalf("repeat compare diverged (status %d)", status2)
 	}
-	srv.catalog.mu.Lock()
-	cached := len(srv.catalog.diffs)
-	srv.catalog.mu.Unlock()
+	srv.diffMu.Lock()
+	cached := len(srv.diffs)
+	srv.diffMu.Unlock()
 	if cached != 1 {
 		t.Fatalf("cached %d diffs, want 1", cached)
 	}

@@ -1,10 +1,12 @@
-// Package server is the HTTP/JSON frontend over internal/engine: one
-// opened experiment database (an engine.Snapshot) serving any number of
-// concurrent presentation sessions, each keyed by an unguessable token.
+// Package server is the HTTP/JSON frontend over internal/engine and
+// internal/catalog: a multi-tenant catalog of experiment databases serving
+// any number of concurrent presentation sessions, each keyed by an
+// unguessable token.
 //
 // The server is deliberately thin — it owns transport concerns only
-// (tokens, per-session serialization, JSON framing, shutdown); every
-// presentation capability is the engine's. A session speaks the same
+// (tokens, per-session serialization, JSON framing, admission control,
+// deadlines, shutdown); every presentation capability is the engine's and
+// every lifecycle capability the catalog's. A session speaks the same
 // command grammar as `hpcviewer -interactive` (see engine.Help), so a
 // command stream sent over HTTP renders byte-identically to the same
 // stream typed into the CLI.
@@ -12,41 +14,122 @@
 // API:
 //
 //	GET    /healthz                    liveness probe ("ok")
-//	GET    /v1/info                    database shape: node/metric counts, notes
-//	GET    /v1/catalog                 extra databases available for diffing
+//	GET    /readyz                     readiness: 503 while draining
+//	GET    /v1/stats                   sessions, shed/panic counters, catalog stats
+//	GET    /v1/info                    default database shape: node/metric counts, notes
+//	GET    /v1/catalog                 databases available for sessions and diffing
+//	POST   /v1/ingest?service=&run=&ts=  publish a database (body = db bytes)
 //	POST   /v1/compare                 {"other": NAME, ...} -> diff report (see compare.go)
-//	POST   /v1/sessions                create a session -> {"token": "..."}
+//	POST   /v1/sessions                {"db": NAME?} -> {"token", "db"}
 //	POST   /v1/sessions/{token}/exec   {"line": "..."} -> {"output", "error", "quit"}
 //	DELETE /v1/sessions/{token}        close and forget the session
 //
-// A command that quits (the REPL's "quit") closes the session server-side;
-// further requests with its token return 404.
+// Robustness contract: request bodies are size-capped (oversized -> 413),
+// load beyond the bounded admission queue is shed with 429/503 and a
+// Retry-After header instead of queueing unboundedly, a request that
+// outlives its deadline kills its session (504) rather than wedging a
+// worker, and a panic inside one session's command kills that session
+// (500, counted in /v1/stats) — never the process. Degraded responses
+// carry a typed JSON error body: {"error":{"type","message"}}.
 package server
 
 import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/prog"
 )
 
-// Server shares one snapshot across HTTP sessions.
+// Config shapes a server beyond its default snapshot.
+type Config struct {
+	// Source, when non-nil, backs the src command of every session.
+	Source *prog.Program
+	// Jobs bounds each session's bulk callers-view expansion (<=1 serial).
+	Jobs int
+	// Catalog is the lifecycle catalog behind session creation, diffing
+	// and ingest. Nil gets a private pin-only catalog (no storage dir).
+	Catalog *catalog.Catalog
+
+	// MaxInflight bounds concurrently executing heavy requests (session
+	// create/exec/compare/ingest); further requests wait in a queue of at
+	// most MaxQueue before being shed with 429/503. Zero values take the
+	// defaults (64 inflight, 256 queued, 2s queue wait).
+	MaxInflight  int
+	MaxQueue     int
+	QueueTimeout time.Duration
+	// ExecTimeout is the per-request deadline for session commands; a
+	// command still running when it expires gets its session killed (the
+	// engine cancels in-flight expansion) and the request a 504. Zero
+	// takes the default 30s; negative disables.
+	ExecTimeout time.Duration
+	// MaxBodyBytes caps control-plane POST bodies (exec, compare, session
+	// create); MaxIngestBytes caps ingest payloads. Defaults 1 MiB / 1 GiB.
+	MaxBodyBytes   int64
+	MaxIngestBytes int64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 256
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.ExecTimeout == 0 {
+		cfg.ExecTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = 1 << 30
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = catalog.New(catalog.Config{})
+	}
+	return cfg
+}
+
+// Server shares a catalog of snapshots across HTTP sessions.
 type Server struct {
-	snap   *engine.Snapshot
-	source *prog.Program
-	jobs   int
+	snap *engine.Snapshot // default database; nil in catalog-only mode
+	cfg  Config
+	cat  *catalog.Catalog
+
+	admit *limiter
 
 	mu       sync.Mutex
 	sessions map[string]*session
 	closed   bool
+	draining atomic.Bool
 
-	// catalog holds extra databases for diffing (see compare.go).
-	catalog catalogState
+	sessionsCreated atomic.Uint64
+	sessionPanics   atomic.Uint64
+	execTimeouts    atomic.Uint64
+
+	// diffs caches computed unions; see compare.go.
+	diffMu sync.Mutex
+	diffs  map[diffCacheKey]*diffCacheEntry
+
+	// testExecHook, when set (tests only), runs inside the exec goroutine
+	// before the engine executes the line — the lever for injecting
+	// slowness and panics into live serving without a debug grammar.
+	testExecHook func(line string)
 }
 
 // session pairs an engine session with the mutex that serializes its
@@ -56,35 +139,69 @@ type Server struct {
 type session struct {
 	mu sync.Mutex
 	s  *engine.Session
+	// db names the catalog generation the session was created over
+	// ("" = the default database).
+	db string
 }
 
-// New creates a server over a sealed snapshot. source may be nil (the src
-// command then reports that no source is attached). jobs bounds each
-// session's bulk callers-view expansion (<=1 serial).
+// New creates a server over a sealed default snapshot with default limits.
+// source may be nil (the src command then reports that no source is
+// attached). jobs bounds each session's bulk callers-view expansion.
 func New(snap *engine.Snapshot, source *prog.Program, jobs int) *Server {
-	return &Server{snap: snap, source: source, jobs: jobs, sessions: map[string]*session{}}
+	return NewWithConfig(snap, Config{Source: source, Jobs: jobs})
 }
 
-// Handler returns the HTTP handler for the API above.
+// NewWithConfig creates a server. snap may be nil when every session names
+// a catalog database explicitly.
+func NewWithConfig(snap *engine.Snapshot, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		snap:     snap,
+		cfg:      cfg,
+		cat:      cfg.Catalog,
+		admit:    newLimiter(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueTimeout),
+		sessions: map[string]*session{},
+		diffs:    map[diffCacheKey]*diffCacheEntry{},
+	}
+}
+
+// Catalog returns the lifecycle catalog behind the server.
+func (srv *Server) Catalog() *catalog.Catalog { return srv.cat }
+
+// Handler returns the HTTP handler for the API above. Health, readiness
+// and stats bypass admission control — they must answer while shedding.
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", srv.handleReady)
+	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/info", srv.handleInfo)
 	mux.HandleFunc("GET /v1/catalog", srv.handleCatalog)
-	mux.HandleFunc("POST /v1/compare", srv.handleCompare)
-	mux.HandleFunc("POST /v1/sessions", srv.handleCreate)
-	mux.HandleFunc("POST /v1/sessions/{token}/exec", srv.handleExec)
+	mux.HandleFunc("POST /v1/ingest", srv.limited(srv.handleIngest, shedWhileDraining))
+	mux.HandleFunc("POST /v1/compare", srv.limited(srv.handleCompare, shedWhileDraining))
+	mux.HandleFunc("POST /v1/sessions", srv.limited(srv.handleCreate, shedWhileDraining))
+	// Exec keeps serving during a drain: existing sessions finish their
+	// work inside the shutdown window; only NEW work is refused.
+	mux.HandleFunc("POST /v1/sessions/{token}/exec", srv.limited(srv.handleExec, serveWhileDraining))
 	mux.HandleFunc("DELETE /v1/sessions/{token}", srv.handleDelete)
 	return mux
 }
+
+// StartDrain flips /readyz to 503 so load balancers stop sending new work,
+// while existing sessions keep serving. Call it before http.Server.Shutdown.
+func (srv *Server) StartDrain() { srv.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (srv *Server) Draining() bool { return srv.draining.Load() }
 
 // Close shuts every session down (cancelling their in-flight work) and
 // refuses new ones. Graceful shutdown calls it after the HTTP server
 // drains.
 func (srv *Server) Close() {
+	srv.draining.Store(true)
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	srv.closed = true
@@ -101,6 +218,162 @@ func (srv *Server) SessionCount() int {
 	return len(srv.sessions)
 }
 
+// --- typed errors and admission ---------------------------------------
+
+// apiError is the typed JSON error envelope degraded responses carry.
+type apiError struct {
+	Type    string `json:"type"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, typ, msg string) {
+	writeJSON(w, status, struct {
+		Error apiError `json:"error"`
+	}{apiError{Type: typ, Message: msg}})
+}
+
+// writeShed answers an overload response: 429 (try again, the queue timed
+// out) or 503 (queue full / draining), always with Retry-After.
+func writeShed(w http.ResponseWriter, status int, typ, msg string, retryAfter time.Duration) {
+	secs := int(retryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, status, typ, msg)
+}
+
+// limiter is the bounded admission queue: MaxInflight slots execute,
+// MaxQueue requests wait, the rest shed immediately. Waiting is bounded by
+// the queue timeout and the client's own context.
+type limiter struct {
+	slots chan struct{}
+	queue chan struct{}
+	wait  time.Duration
+	shed  atomic.Uint64
+}
+
+func newLimiter(inflight, queued int, wait time.Duration) *limiter {
+	return &limiter{
+		slots: make(chan struct{}, inflight),
+		queue: make(chan struct{}, queued),
+		wait:  wait,
+	}
+}
+
+// acquire returns a release func, or nil with a shed status/type.
+func (l *limiter) acquire(done <-chan struct{}) (release func(), status int, typ string) {
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, 0, ""
+	default:
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		l.shed.Add(1)
+		return nil, http.StatusServiceUnavailable, "queue-full"
+	}
+	defer func() { <-l.queue }()
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return func() { <-l.slots }, 0, ""
+	case <-t.C:
+		l.shed.Add(1)
+		return nil, http.StatusTooManyRequests, "queue-timeout"
+	case <-done:
+		l.shed.Add(1)
+		return nil, http.StatusServiceUnavailable, "client-gone"
+	}
+}
+
+// drainPolicy says what a handler does while the server drains: work that
+// would create state (sessions, generations, unions) is shed, work that
+// finishes existing state (exec) keeps serving.
+type drainPolicy bool
+
+const (
+	shedWhileDraining  drainPolicy = true
+	serveWhileDraining drainPolicy = false
+)
+
+// limited wraps a handler in admission control and the body-size cap.
+func (srv *Server) limited(h http.HandlerFunc, drain drainPolicy) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if drain == shedWhileDraining && srv.draining.Load() {
+			writeShed(w, http.StatusServiceUnavailable, "draining", "server is draining", 5*time.Second)
+			return
+		}
+		release, status, typ := srv.admit.acquire(r.Context().Done())
+		if release == nil {
+			writeShed(w, status, typ, "server overloaded, request shed", srv.cfg.QueueTimeout)
+			return
+		}
+		defer release()
+		limit := srv.cfg.MaxBodyBytes
+		if r.URL.Path == "/v1/ingest" {
+			limit = srv.cfg.MaxIngestBytes
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+		h(w, r)
+	}
+}
+
+// decodeBody decodes a JSON request body, mapping an exceeded size cap
+// onto 413 and malformed JSON onto 400. An empty body decodes to the zero
+// value (dst untouched).
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(r.Body).Decode(dst)
+	if err == nil || errors.Is(err, io.EOF) { // io.EOF: empty body = zero request
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body-too-large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "bad-request", "bad request body: "+err.Error())
+	return false
+}
+
+// --- health, stats -----------------------------------------------------
+
+func (srv *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if srv.draining.Load() {
+		writeShed(w, http.StatusServiceUnavailable, "draining", "server is draining", 5*time.Second)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+type statsResponse struct {
+	Sessions        int           `json:"sessions"`
+	SessionsCreated uint64        `json:"sessions_created"`
+	SessionPanics   uint64        `json:"session_panics"`
+	ExecTimeouts    uint64        `json:"exec_timeouts"`
+	ShedRequests    uint64        `json:"shed_requests"`
+	Draining        bool          `json:"draining"`
+	Catalog         catalog.Stats `json:"catalog"`
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Sessions:        srv.SessionCount(),
+		SessionsCreated: srv.sessionsCreated.Load(),
+		SessionPanics:   srv.sessionPanics.Load(),
+		ExecTimeouts:    srv.execTimeouts.Load(),
+		ShedRequests:    srv.admit.shed.Load(),
+		Draining:        srv.draining.Load(),
+		Catalog:         srv.cat.Stats(),
+	})
+}
+
+// --- info --------------------------------------------------------------
+
 type infoResponse struct {
 	Nodes   int      `json:"nodes"`
 	Metrics []string `json:"metrics"`
@@ -108,6 +381,11 @@ type infoResponse struct {
 }
 
 func (srv *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if srv.snap == nil {
+		writeError(w, http.StatusNotFound, "no-default-database",
+			"server has no default database; sessions must name one from /v1/catalog")
+		return
+	}
 	info := infoResponse{Nodes: srv.snap.Tree().NumNodes(), Notes: srv.snap.Notes()}
 	for _, d := range srv.snap.Tree().Reg.Columns() {
 		info.Metrics = append(info.Metrics, d.Name)
@@ -115,30 +393,119 @@ func (srv *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// --- ingest ------------------------------------------------------------
+
+type ingestResponse struct {
+	Name string `json:"name"`
+}
+
+func (srv *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ts, err := strconv.ParseInt(q.Get("ts"), 10, 64)
+	if q.Get("service") == "" || q.Get("ts") == "" || err != nil {
+		writeError(w, http.StatusBadRequest, "bad-key",
+			"ingest needs ?service= and integer ?ts= (and optionally ?run=)")
+		return
+	}
+	key := catalog.Key{Service: q.Get("service"), Run: q.Get("run"), Ts: ts}
+	if err := key.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-key", err.Error())
+		return
+	}
+	if err := srv.cat.Ingest(key, r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		var ierr *catalog.IngestError
+		switch {
+		case errors.As(err, &tooBig):
+			writeError(w, http.StatusRequestEntityTooLarge, "body-too-large",
+				fmt.Sprintf("ingest body exceeds %d bytes", tooBig.Limit))
+		case errors.Is(err, catalog.ErrDuplicate):
+			writeError(w, http.StatusConflict, "duplicate-generation", err.Error())
+		case errors.As(err, &ierr):
+			writeError(w, http.StatusUnprocessableEntity, "invalid-database", err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, "ingest-failed", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, ingestResponse{Name: key.String()})
+}
+
+// --- sessions ----------------------------------------------------------
+
+type createRequest struct {
+	// DB names a catalog database ("service/run", optionally "@ts") to
+	// present; empty means the server's default database.
+	DB string `json:"db,omitempty"`
+}
+
 type createResponse struct {
 	Token string `json:"token"`
+	DB    string `json:"db,omitempty"`
 }
 
 func (srv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	token, err := newToken()
-	if err != nil {
-		http.Error(w, "token generation failed", http.StatusInternalServerError)
+	var req createRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	s := engine.NewSession(srv.snap)
-	s.SetSource(srv.source)
-	s.SetJobs(srv.jobs)
+	token, err := newToken()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "token generation failed")
+		return
+	}
+
+	snap := srv.snap
+	dbName := ""
+	if req.DB != "" {
+		acq, key, err := srv.cat.Acquire(req.DB)
+		if err != nil {
+			writeAcquireError(w, err)
+			return
+		}
+		snap = acq
+		dbName = key.String()
+		// NewSession takes its own reference below; the Acquire reference
+		// drops right after.
+		defer acq.Release()
+	} else if snap == nil {
+		writeError(w, http.StatusNotFound, "no-default-database",
+			`server has no default database; pass {"db": NAME}`)
+		return
+	}
+
+	s := engine.NewSession(snap)
+	s.SetSource(srv.cfg.Source)
+	s.SetJobs(srv.cfg.Jobs)
 	s.SetCatalog(srv)
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
 		s.Close()
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		writeShed(w, http.StatusServiceUnavailable, "shutting-down", "server shutting down", 5*time.Second)
 		return
 	}
-	srv.sessions[token] = &session{s: s}
+	srv.sessions[token] = &session{s: s, db: dbName}
 	srv.mu.Unlock()
-	writeJSON(w, http.StatusCreated, createResponse{Token: token})
+	srv.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, createResponse{Token: token, DB: dbName})
+}
+
+// writeAcquireError maps catalog acquire failures onto typed statuses: an
+// unknown name is the client's fault, a damaged published file is a
+// degraded server state (503: another generation may publish any moment).
+func writeAcquireError(w http.ResponseWriter, err error) {
+	var oerr *catalog.OpenError
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		writeError(w, http.StatusNotFound, "unknown-database", err.Error())
+	case errors.As(err, &oerr):
+		writeShed(w, http.StatusServiceUnavailable, "database-damaged", err.Error(), 5*time.Second)
+	case errors.Is(err, catalog.ErrClosed):
+		writeShed(w, http.StatusServiceUnavailable, "shutting-down", err.Error(), 5*time.Second)
+	default:
+		writeError(w, http.StatusBadRequest, "bad-database-name", err.Error())
+	}
 }
 
 type execRequest struct {
@@ -157,26 +524,84 @@ func (srv *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	se := srv.sessions[token]
 	srv.mu.Unlock()
 	if se == nil {
-		http.Error(w, "unknown session", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "unknown-session", "unknown session")
 		return
 	}
 	var req execRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &req) {
 		return
 	}
-	se.mu.Lock()
-	resp := se.s.Do(engine.Request{Line: req.Line})
-	se.mu.Unlock()
+	resp, ok := srv.execSession(w, token, se, engine.Request{Line: req.Line})
+	if !ok {
+		return
+	}
 	if resp.Quit {
 		srv.remove(token)
 	}
 	writeJSON(w, http.StatusOK, execResponse{Output: resp.Output, Err: resp.Err, Quit: resp.Quit})
 }
 
+// execResult carries one command's outcome out of its goroutine.
+type execResult struct {
+	resp     engine.Response
+	panicked any
+	stack    []byte
+}
+
+// execSession runs one engine command under the per-request deadline with
+// panic isolation. A panic or deadline kills the session — its lock may be
+// poisoned and its in-flight work must be cancelled — but never the
+// process: the session is removed, the failure is counted in /v1/stats,
+// and the client gets a typed error. Returns ok=false when it already
+// wrote an error response.
+func (srv *Server) execSession(w http.ResponseWriter, token string, se *session, req engine.Request) (engine.Response, bool) {
+	done := make(chan execResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- execResult{panicked: p, stack: debug.Stack()}
+			}
+		}()
+		se.mu.Lock()
+		if hook := srv.testExecHook; hook != nil {
+			hook(req.Line)
+		}
+		resp := se.s.Do(req)
+		se.mu.Unlock()
+		done <- execResult{resp: resp}
+	}()
+
+	var deadline <-chan time.Time
+	if srv.cfg.ExecTimeout > 0 {
+		t := time.NewTimer(srv.cfg.ExecTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case res := <-done:
+		if res.panicked != nil {
+			srv.sessionPanics.Add(1)
+			srv.remove(token)
+			writeError(w, http.StatusInternalServerError, "session-panic",
+				fmt.Sprintf("command %q crashed its session (session closed): %v", req.Line, res.panicked))
+			return engine.Response{}, false
+		}
+		return res.resp, true
+	case <-deadline:
+		// Kill the session: Close cancels its context, so in-flight bulk
+		// expansion stops at the next root and the goroutine above drains
+		// into the buffered channel.
+		srv.execTimeouts.Add(1)
+		srv.remove(token)
+		writeError(w, http.StatusGatewayTimeout, "deadline-exceeded",
+			fmt.Sprintf("command %q exceeded the %s request deadline (session closed)", req.Line, srv.cfg.ExecTimeout))
+		return engine.Response{}, false
+	}
+}
+
 func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !srv.remove(r.PathValue("token")) {
-		http.Error(w, "unknown session", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "unknown-session", "unknown session")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
