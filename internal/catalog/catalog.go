@@ -221,6 +221,11 @@ type Catalog struct {
 	clock  uint64 // LRU ticks
 	seq    uint64 // publish sequence
 	closed bool
+	// reserving holds keys whose ingest is between its duplicate check and
+	// its publish, so two concurrent ingests of one key cannot both write
+	// the canonical path (the loser's rename would replace the winner's
+	// published — immutable! — file).
+	reserving map[Key]bool
 
 	openCount int
 	openBytes int64
@@ -243,7 +248,7 @@ func New(cfg Config) *Catalog {
 	if cfg.MaxGenerations <= 0 {
 		cfg.MaxGenerations = 3
 	}
-	return &Catalog{cfg: cfg, byName: map[string]*series{}}
+	return &Catalog{cfg: cfg, byName: map[string]*series{}, reserving: map[Key]bool{}}
 }
 
 func (c *Catalog) logf(format string, args ...any) {
@@ -301,7 +306,7 @@ func (c *Catalog) Pin(name string, snap *engine.Snapshot) error {
 	return c.publishLocked(key, "", int64(len(snap.MappedBytes())), snap)
 }
 
-// publishLocked appends a generation; pinned when snap != nil.
+// publishLocked inserts a generation; pinned when snap != nil.
 func (c *Catalog) publishLocked(key Key, path string, size int64, snap *engine.Snapshot) error {
 	s := c.byName[key.Series()]
 	if s == nil {
@@ -322,18 +327,39 @@ func (c *Catalog) publishLocked(key Key, path string, size int64, snap *engine.S
 		c.openCount++
 		c.openBytes += size
 	}
-	s.gens = append(s.gens, g)
+	// Insert in ascending (Ts, seq) order, not arrival order: "latest" is a
+	// timestamp promise, so a generation arriving late (out-of-order spool
+	// delivery, LoadDir's lexicographic scan of mixed-width timestamps)
+	// must not displace a newer one from resolveLocked's gens[len-1].
+	i := len(s.gens)
+	for i > 0 && s.gens[i-1].key.Ts > key.Ts {
+		i--
+	}
+	s.gens = append(s.gens, nil)
+	copy(s.gens[i+1:], s.gens[i:])
+	s.gens[i] = g
 	c.published++
-	// Trim history: only the newest MaxGenerations stay resolvable. The
-	// trimmed generations' snapshots (if open) lose the catalog reference;
-	// sessions still holding them are unaffected.
-	for len(s.gens) > c.cfg.MaxGenerations {
-		old := s.gens[0]
-		if old.pinned {
-			break // pinned entries are not history; never trim them
+	// Trim history: only the newest MaxGenerations unpinned generations
+	// stay resolvable. Pinned entries are not history — they are skipped
+	// (never trimmed) and don't count against the budget, so a series whose
+	// oldest entry is pinned still sheds its unpinned tail. The trimmed
+	// generations' snapshots (if open) lose the catalog reference; sessions
+	// still holding them are unaffected.
+	unpinned := 0
+	for _, g := range s.gens {
+		if !g.pinned {
+			unpinned++
 		}
-		s.gens = s.gens[1:]
+	}
+	for i := 0; unpinned > c.cfg.MaxGenerations && i < len(s.gens); {
+		if s.gens[i].pinned {
+			i++
+			continue
+		}
+		old := s.gens[i]
+		s.gens = append(s.gens[:i], s.gens[i+1:]...)
 		c.dropLocked(old)
+		unpinned--
 	}
 	return nil
 }

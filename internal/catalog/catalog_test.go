@@ -544,3 +544,156 @@ func TestOpenErrorTyped(t *testing.T) {
 	}
 	snap.Release()
 }
+
+// TestPublishOutOfOrderKeepsNewest: "latest" is a timestamp promise, not an
+// arrival-order one. A generation published late (out-of-order spool
+// delivery, or LoadDir's lexicographic scan putting "1000" before "999")
+// must slot in behind the newer one, and history trims by timestamp.
+func TestPublishOutOfOrderKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{MaxGenerations: 2})
+	defer c.Close()
+	paths := map[int64]string{}
+	for _, ts := range []int64{999, 1000, 998} {
+		p := filepath.Join(dir, fmt.Sprintf("g%d.db", ts))
+		writeDB(t, p)
+		paths[ts] = p
+	}
+	if err := c.Publish(Key{Service: "svc", Ts: 1000}, paths[1000]); err != nil {
+		t.Fatal(err)
+	}
+	// Late arrival of an older run must not displace ts=1000 from "latest".
+	if err := c.Publish(Key{Service: "svc", Ts: 999}, paths[999]); err != nil {
+		t.Fatal(err)
+	}
+	if _, k, err := c.AcquireRelease("svc"); err != nil || k.Ts != 1000 {
+		t.Fatalf("after late publish, latest = %v (%v), want ts 1000", k, err)
+	}
+	if gens := c.Generations("svc"); len(gens) != 2 || gens[0].Ts != 999 || gens[1].Ts != 1000 {
+		t.Fatalf("generations = %v, want ascending ts 999,1000", gens)
+	}
+	// An even older straggler overflows MaxGenerations and must be the one
+	// trimmed — by timestamp, not by arrival.
+	if err := c.Publish(Key{Service: "svc", Ts: 998}, paths[998]); err != nil {
+		t.Fatal(err)
+	}
+	if gens := c.Generations("svc"); len(gens) != 2 || gens[0].Ts != 999 || gens[1].Ts != 1000 {
+		t.Fatalf("generations after straggler = %v, want ts 999,1000", gens)
+	}
+	if _, k, err := c.AcquireRelease("svc"); err != nil || k.Ts != 1000 {
+		t.Fatalf("latest after straggler = %v (%v), want ts 1000", k, err)
+	}
+}
+
+// TestLoadDirOutOfOrderTimestamps: mixed-width timestamps make os.ReadDir's
+// lexicographic order disagree with numeric order ("svc__1000.db" sorts
+// before "svc__999.db"); a restart must still resolve the numerically
+// newest generation.
+func TestLoadDirOutOfOrderTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	for _, ts := range []int64{999, 1000} {
+		writeDB(t, filepath.Join(dir, fmt.Sprintf("svc__%d.db", ts)))
+	}
+	c := New(Config{Dir: dir})
+	defer c.Close()
+	n, err := c.LoadDir()
+	if err != nil || n != 2 {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	if _, k, err := c.AcquireRelease("svc"); err != nil || k.Ts != 1000 {
+		t.Fatalf("latest after LoadDir = %v (%v), want ts 1000", k, err)
+	}
+}
+
+// TestTrimSkipsPinnedHead: a pinned entry sitting at the head of a series
+// is not history — trimming must skip it and keep shedding the unpinned
+// tail instead of wedging and accumulating generations unboundedly.
+func TestTrimSkipsPinnedHead(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "pin.db")
+	writeDB(t, p)
+	snap, err := engine.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	c := New(Config{MaxGenerations: 2})
+	defer c.Close()
+	if err := c.Pin("svc", snap); err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(1); ts <= 5; ts++ {
+		gp := filepath.Join(dir, fmt.Sprintf("g%d.db", ts))
+		writeDB(t, gp)
+		if err := c.Publish(Key{Service: "svc", Ts: ts}, gp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := c.Generations("svc")
+	if len(gens) != 3 || gens[0].Ts != 0 || gens[1].Ts != 4 || gens[2].Ts != 5 {
+		t.Fatalf("generations = %v, want pinned ts 0 + unpinned ts 4,5", gens)
+	}
+	// The pin survives and still resolves; the series' latest is the newest
+	// unpinned publish.
+	if got, _, err := c.AcquireRelease("svc@0"); err != nil || got != snap {
+		t.Fatalf("pinned acquire = %v (%v), want the pinned snapshot", got, err)
+	}
+	if _, k, err := c.AcquireRelease("svc"); err != nil || k.Ts != 5 {
+		t.Fatalf("latest = %v (%v), want ts 5", k, err)
+	}
+}
+
+// TestConcurrentIngestSameKey: two ingests of one key race; exactly one
+// publishes, the losers get ErrDuplicate, and — the destructive half of
+// the old race — the losers must not have replaced or deleted the file
+// backing the winner's published generation.
+func TestConcurrentIngestSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Config{Dir: dir})
+	defer c.Close()
+	data := fixtureV3(t)
+	key := Key{Service: "svc", Ts: 7}
+
+	const racers = 8
+	errs := make(chan error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- c.Ingest(key, bytes.NewReader(data))
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	won, dups := 0, 0
+	for err := range errs {
+		switch {
+		case err == nil:
+			won++
+		case errors.Is(err, ErrDuplicate):
+			dups++
+		default:
+			t.Fatalf("concurrent ingest: %v", err)
+		}
+	}
+	if won != 1 || dups != racers-1 {
+		t.Fatalf("outcomes = %d published, %d duplicates, want 1/%d", won, dups, racers-1)
+	}
+	// The published generation must still open — its backing file intact,
+	// not deleted or replaced by a losing racer's cleanup.
+	snap, k, err := c.Acquire("svc")
+	if err != nil || k != key {
+		t.Fatalf("acquire after race = %v (%v)", k, err)
+	}
+	if out := render(t, snap); out == "" {
+		t.Fatal("post-race generation failed to render")
+	}
+	snap.Release()
+	if err := ValidateFile(filepath.Join(dir, spoolFileName(key))); err != nil {
+		t.Fatalf("published file damaged by losing racer: %v", err)
+	}
+	if st := c.Stats(); st.Ingested != 1 || st.IngestErrors != 0 {
+		t.Fatalf("stats after race = %+v, want 1 ingested, 0 errors", st)
+	}
+}

@@ -43,27 +43,40 @@ func (c *Catalog) ingest(key Key, r io.Reader) error {
 	if err := key.Validate(); err != nil {
 		return err
 	}
-	// Refuse duplicates before doing any I/O; re-check at publish (two
-	// concurrent ingests of the same key race to the rename, and exactly
-	// one publishes).
+	// Reserve the key before doing any I/O and hold the reservation through
+	// publish: the on-disk name is deterministic, so two concurrent ingests
+	// of one key would otherwise both write the canonical path — the
+	// loser's rename replacing the winner's just-published (immutable!)
+	// file, and the loser's cleanup deleting the file backing the winner's
+	// generation. With the reservation, exactly one ingest per key is ever
+	// between duplicate check and publish.
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	dup := false
+	if c.cfg.Dir == "" {
+		c.mu.Unlock()
+		return &IngestError{Key: key, Err: fmt.Errorf("catalog has no storage directory")}
+	}
+	dup := c.reserving[key]
 	if s := c.byName[key.Series()]; s != nil {
 		for _, g := range s.gens {
 			dup = dup || g.key.Ts == key.Ts
 		}
 	}
+	if !dup {
+		c.reserving[key] = true
+	}
 	c.mu.Unlock()
 	if dup {
 		return fmt.Errorf("%w: %s", ErrDuplicate, key)
 	}
-	if c.cfg.Dir == "" {
-		return &IngestError{Key: key, Err: fmt.Errorf("catalog has no storage directory")}
-	}
+	defer func() {
+		c.mu.Lock()
+		delete(c.reserving, key)
+		c.mu.Unlock()
+	}()
 
 	path := filepath.Join(c.cfg.Dir, spoolFileName(key))
 	if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
@@ -81,7 +94,13 @@ func (c *Catalog) ingest(key Key, r io.Reader) error {
 		return &IngestError{Key: key, Err: err}
 	}
 	if err := c.Publish(key, path); err != nil {
-		os.Remove(path)
+		// The file is complete and validated. On ErrDuplicate (a direct
+		// Publish of this key slipped in despite the reservation) the
+		// canonical path now backs the published generation — deleting it
+		// would poison every later Acquire — so leave the file alone.
+		if !errors.Is(err, ErrDuplicate) {
+			os.Remove(path)
+		}
 		return err
 	}
 	return nil

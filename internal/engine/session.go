@@ -154,6 +154,12 @@ func (s *Session) Close() {
 	}
 }
 
+// Cancel stops the session's in-flight work — bulk expansion observes the
+// context between roots — without releasing its snapshot references. Use it
+// when a concurrent goroutine may still be inside Do and the mapping must
+// stay alive until it drains; call Close once it has.
+func (s *Session) Cancel() { s.cancel() }
+
 // Context returns the session's lifetime context (done after Close).
 func (s *Session) Context() context.Context { return s.ctx }
 

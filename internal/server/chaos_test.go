@@ -203,3 +203,115 @@ func TestChaosAdmissionFlood(t *testing.T) {
 		t.Fatalf("shed counter %d < flood %d", st.ShedRequests, flood)
 	}
 }
+
+// TestChaosDeadlineNeverUnmapsUnderReader is the PR invariant at its
+// sharpest: when a deadline kills a session whose worker is still inside
+// the engine — and that session holds the LAST reference on its snapshot —
+// the release (and so the munmap, for mapped databases) must not happen
+// until the worker drains. Releasing at the 504 would hand unmapped memory
+// to a goroutine mid-read.
+func TestChaosDeadlineNeverUnmapsUnderReader(t *testing.T) {
+	gate := make(chan struct{})
+	stalled := make(chan struct{})
+	snap := lazySnapshot(t, fixtureBytes(t))
+	unmapped := make(chan struct{})
+	snap.OnLastRelease(func() { close(unmapped) })
+
+	srv := NewWithConfig(snap, Config{Jobs: 1, ExecTimeout: 50 * time.Millisecond})
+	srv.testExecHook = func(line string) {
+		if strings.Contains(line, "STALL") {
+			close(stalled)
+			<-gate
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	c := &client{t: t, base: ts.URL, hc: hc}
+
+	token := c.createSession()
+	// Drop the test's own reference: the session now holds the last one,
+	// so the session's close is exactly the snapshot's release point.
+	snap.Release()
+
+	status, _ := postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls STALL"})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("stalled exec = %d, want 504", status)
+	}
+	<-stalled
+	// The 504 is out but the worker is still wedged inside the session:
+	// the snapshot must still be alive.
+	select {
+	case <-unmapped:
+		t.Fatal("snapshot released while a worker was still inside the session")
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Unwedge the worker; the reaper now drains it and closes the session,
+	// which is when the last reference — and the mapping — may go.
+	close(gate)
+	select {
+	case <-unmapped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("snapshot never released after the worker drained")
+	}
+}
+
+// TestChaosPanicReleasesQueuedRequest: a panic must not poison the
+// session's request lock. A request already past the token lookup and
+// queued behind the panicking command must complete promptly — served, or
+// refused with the typed dead-session 404 — never wedge until its own
+// deadline leaks a goroutine and an admission slot.
+func TestChaosPanicReleasesQueuedRequest(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	srv := NewWithConfig(lazySnapshot(t, fixtureBytes(t)), Config{Jobs: 1, ExecTimeout: 10 * time.Second})
+	defer srv.Close()
+	srv.testExecHook = func(line string) {
+		if strings.Contains(line, "BOOM") {
+			close(entered)
+			<-gate
+			panic("injected chaos panic")
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hc := ts.Client()
+	c := &client{t: t, base: ts.URL, hc: hc}
+	token := c.createSession()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, _ := postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls BOOM"})
+		if status != http.StatusInternalServerError {
+			t.Errorf("panicking exec = %d, want 500", status)
+		}
+	}()
+	<-entered
+
+	// Queue a second request behind the held session lock, then let the
+	// first one panic under it.
+	queued := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, _ := postJSON(t, hc, ts.URL+"/v1/sessions/"+token+"/exec", map[string]string{"line": "ls"})
+		queued <- status
+	}()
+	time.Sleep(50 * time.Millisecond) // let it reach the session lock
+	close(gate)
+
+	select {
+	case status := <-queued:
+		if status != http.StatusOK && status != http.StatusNotFound {
+			t.Fatalf("queued request after panic = %d, want 200 or 404", status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("request queued behind a panic wedged on the poisoned session lock")
+	}
+	wg.Wait()
+	if st := getStats(t, hc, ts.URL); st.ExecTimeouts != 0 {
+		t.Fatalf("queued request hit its deadline instead of draining: %+v", st)
+	}
+}

@@ -142,6 +142,10 @@ type session struct {
 	// db names the catalog generation the session was created over
 	// ("" = the default database).
 	db string
+	// dead flips (before the engine session closes) when the session is
+	// killed; a request already past the token lookup checks it under mu so
+	// it can never run a command against a released snapshot.
+	dead atomic.Bool
 }
 
 // New creates a server over a sealed default snapshot with default limits.
@@ -203,11 +207,24 @@ func (srv *Server) Draining() bool { return srv.draining.Load() }
 func (srv *Server) Close() {
 	srv.draining.Store(true)
 	srv.mu.Lock()
-	defer srv.mu.Unlock()
 	srv.closed = true
+	sessions := make([]*session, 0, len(srv.sessions))
 	for token, se := range srv.sessions {
-		se.s.Close()
+		sessions = append(sessions, se)
 		delete(srv.sessions, token)
+	}
+	srv.mu.Unlock()
+	// Cancel everything first so in-flight commands all start winding down,
+	// then wait for each worker to leave the session (mu barrier) before
+	// releasing its snapshot — never unmap under a reader.
+	for _, se := range sessions {
+		se.dead.Store(true)
+		se.s.Cancel()
+	}
+	for _, se := range sessions {
+		se.mu.Lock()
+		se.mu.Unlock() //nolint:staticcheck // empty critical section = drain barrier
+		se.s.Close()
 	}
 }
 
@@ -546,29 +563,45 @@ type execResult struct {
 	resp     engine.Response
 	panicked any
 	stack    []byte
+	// dead reports the session was killed before the command could run.
+	dead bool
 }
 
 // execSession runs one engine command under the per-request deadline with
-// panic isolation. A panic or deadline kills the session — its lock may be
-// poisoned and its in-flight work must be cancelled — but never the
-// process: the session is removed, the failure is counted in /v1/stats,
-// and the client gets a typed error. Returns ok=false when it already
-// wrote an error response.
+// panic isolation. A panic or deadline kills the session — its in-flight
+// work must be cancelled — but never the process: the session is removed,
+// the failure is counted in /v1/stats, and the client gets a typed error.
+// Returns ok=false when it already wrote an error response.
+//
+// Release discipline: the session's snapshot may only be released once no
+// goroutine is inside se.s.Do — otherwise a catalog eviction could leave
+// the session holding the last reference and the release would unmap
+// memory the worker is still reading. The deadline path therefore only
+// cancels and unroutes the session; the final Close happens in a reaper
+// that waits for the worker to drain into the buffered channel.
 func (srv *Server) execSession(w http.ResponseWriter, token string, se *session, req engine.Request) (engine.Response, bool) {
 	done := make(chan execResult, 1)
 	go func() {
 		defer func() {
+			// The recover runs after the mu-unlock defer below (LIFO), so a
+			// panic never leaves se.mu locked for the requests queued on it.
 			if p := recover(); p != nil {
 				done <- execResult{panicked: p, stack: debug.Stack()}
 			}
 		}()
 		se.mu.Lock()
+		defer se.mu.Unlock()
+		if se.dead.Load() {
+			// The session was killed (deadline, panic, delete, shutdown)
+			// while this request waited on se.mu; its snapshot reference is
+			// gone or going, so the command must not touch the engine.
+			done <- execResult{dead: true}
+			return
+		}
 		if hook := srv.testExecHook; hook != nil {
 			hook(req.Line)
 		}
-		resp := se.s.Do(req)
-		se.mu.Unlock()
-		done <- execResult{resp: resp}
+		done <- execResult{resp: se.s.Do(req)}
 	}()
 
 	var deadline <-chan time.Time
@@ -579,20 +612,33 @@ func (srv *Server) execSession(w http.ResponseWriter, token string, se *session,
 	}
 	select {
 	case res := <-done:
-		if res.panicked != nil {
+		switch {
+		case res.panicked != nil:
 			srv.sessionPanics.Add(1)
 			srv.remove(token)
 			writeError(w, http.StatusInternalServerError, "session-panic",
 				fmt.Sprintf("command %q crashed its session (session closed): %v", req.Line, res.panicked))
 			return engine.Response{}, false
+		case res.dead:
+			writeError(w, http.StatusNotFound, "unknown-session", "session closed")
+			return engine.Response{}, false
 		}
 		return res.resp, true
 	case <-deadline:
-		// Kill the session: Close cancels its context, so in-flight bulk
-		// expansion stops at the next root and the goroutine above drains
-		// into the buffered channel.
+		// Kill the session — but never unmap under the reader: cancel its
+		// context (in-flight bulk expansion stops at the next root) and
+		// unroute the token now, then let a reaper release the snapshot
+		// only after the worker has drained into the buffered channel.
 		srv.execTimeouts.Add(1)
-		srv.remove(token)
+		se.dead.Store(true)
+		se.s.Cancel()
+		srv.forget(token)
+		go func() {
+			if res := <-done; res.panicked != nil {
+				srv.sessionPanics.Add(1)
+			}
+			se.s.Close()
+		}()
 		writeError(w, http.StatusGatewayTimeout, "deadline-exceeded",
 			fmt.Sprintf("command %q exceeded the %s request deadline (session closed)", req.Line, srv.cfg.ExecTimeout))
 		return engine.Response{}, false
@@ -607,7 +653,10 @@ func (srv *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// remove closes and forgets one session; reports whether it existed.
+// remove closes and forgets one session; reports whether it existed. It
+// marks the session dead and cancels it first, then waits for any worker
+// still inside the engine (holding se.mu) to drain before releasing the
+// snapshot — a DELETE racing an in-flight command must not unmap under it.
 func (srv *Server) remove(token string) bool {
 	srv.mu.Lock()
 	se := srv.sessions[token]
@@ -616,8 +665,20 @@ func (srv *Server) remove(token string) bool {
 	if se == nil {
 		return false
 	}
+	se.dead.Store(true)
+	se.s.Cancel()
+	se.mu.Lock()
+	se.mu.Unlock() //nolint:staticcheck // empty critical section = drain barrier
 	se.s.Close()
 	return true
+}
+
+// forget unroutes a token without closing its session; the caller owns the
+// close (the deadline path, whose reaper must drain the worker first).
+func (srv *Server) forget(token string) {
+	srv.mu.Lock()
+	delete(srv.sessions, token)
+	srv.mu.Unlock()
 }
 
 func newToken() (string, error) {
