@@ -69,6 +69,8 @@ func TestBenchSmoke(t *testing.T) {
 		{"CatalogSessions", BenchmarkCatalogSessions},
 		{"DiffUnion", BenchmarkDiffUnion},
 		{"DiffKernels", BenchmarkDiffKernels},
+		{"TraceView", BenchmarkTraceView},
+		{"TraceCapture", BenchmarkTraceCapture},
 	}
 	for _, bm := range benches {
 		bm := bm

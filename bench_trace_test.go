@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sampler"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Trace-engine benchmarks: the O(pixels) rendering claim and the capture
+// overhead bound. Baseline numbers live in BENCH_trace.json.
+//
+// BenchmarkTraceView renders a fixed 512×1 pixel budget over pyramids
+// built from 10^5, 10^6 and 10^7 events; ns/op must stay flat (±10%)
+// across the three sizes, because the view reads the pyramid level that
+// matches the pixel budget, never the event stream.
+
+// benchTraceSource is an in-memory trace.Source holding one rank's
+// finished pyramid, standing in for a mapped database.
+type benchTraceSource struct {
+	meta   trace.Meta
+	levels [][]trace.Bucket
+}
+
+func (s *benchTraceSource) TraceRanks() []int { return []int{0} }
+func (s *benchTraceSource) TraceMeta(rank int) (trace.Meta, bool) {
+	if rank != 0 {
+		return trace.Meta{}, false
+	}
+	return s.meta, true
+}
+func (s *benchTraceSource) TraceLevel(rank, level int) []trace.Bucket {
+	if rank != 0 || level < 0 || level >= len(s.levels) {
+		return nil
+	}
+	return s.levels[level]
+}
+
+// buildTraceSource synthesizes n events with a deterministic call-path
+// walk and finishes the zoom pyramid over them.
+func buildTraceSource(b *testing.B, n int) *benchTraceSource {
+	b.Helper()
+	lastT := uint64(n) * 10
+	pb := trace.NewBuilder(0, uint64(n), lastT)
+	for i := 1; i <= n; i++ {
+		rec := trace.Rec{
+			T:     uint64(i) * 10,
+			CPID:  uint32(i % 97),
+			Depth: uint16(1 + i%7),
+		}
+		if err := pb.Add(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	meta, levels := pb.Finish()
+	return &benchTraceSource{meta: meta, levels: levels}
+}
+
+func BenchmarkTraceView(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000, 10_000_000} {
+		src := buildTraceSource(b, n)
+		b.Run(fmt.Sprintf("events=%d", n), func(b *testing.B) {
+			// Warm the pyramid level the view reads, so the first
+			// iteration doesn't pay its cold-cache cost.
+			if _, err := trace.View(src, 0, 0, nil, 512, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := trace.View(src, 0, 0, nil, 512, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.W != 512 || g.H != 1 {
+					b.Fatalf("grid %dx%d", g.W, g.H)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceCapture measures the cost tracing adds to a sampled run:
+// the same workload and sampling config, with capture off and on (bounded
+// in-memory spill). The "on" run must stay within 10% of "off" — capture
+// is an O(1) append per sample, amortized by the 4096-record buffer.
+func BenchmarkTraceCapture(b *testing.B) {
+	// One spill for all iterations, reset (capacity kept) between runs: a
+	// real capture owns its spill for the whole run, so a fresh buffer per
+	// iteration would measure allocator churn, not capture cost.
+	spill := &trace.MemSpill{}
+	samplerAt := func(traced bool) func() (sim.Observer, error) {
+		return func() (sim.Observer, error) {
+			s, err := sampler.New("s3d", 0, 0, []sampler.EventConfig{{Event: sim.EvCycles, Period: 1000}})
+			if err != nil {
+				return nil, err
+			}
+			if traced {
+				if err := spill.Close(); err != nil {
+					return nil, err
+				}
+				// 256-record buffer: ~33 flushes over this run's ~8k
+				// samples, so flush cost is measured, while the buffer
+				// allocation itself stays small next to the run.
+				s.EnableTrace(spill, 256)
+			}
+			return s, nil
+		}
+	}
+	b.Run("off", func(b *testing.B) { benchVM(b, samplerAt(false)) })
+	b.Run("on", func(b *testing.B) { benchVM(b, samplerAt(true)) })
+}

@@ -167,6 +167,14 @@ func run(args []string) (err error) {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "hpcserver: residency %s: %s\n", name, diag.ResidencyString(data))
+		spans := sn.SectionSpans()
+		kinds := make([]diag.KindSpan, len(spans))
+		for i, sp := range spans {
+			kinds[i] = diag.KindSpan{Kind: sp.Kind, Data: sp.Data}
+		}
+		for _, line := range diag.ResidencyByKind(kinds) {
+			fmt.Fprintf(os.Stderr, "hpcserver: residency %s:   %s\n", name, line)
+		}
 	}
 
 	// The default database, shared by every session that names no catalog

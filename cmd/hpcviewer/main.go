@@ -226,6 +226,14 @@ func runInteractive(dbPath string, derived derivedFlags, workload, structPath, m
 			return
 		}
 		fmt.Fprintf(os.Stderr, "hpcviewer: residency at %s: %s\n", when, diag.ResidencyString(data))
+		spans := snap.SectionSpans()
+		kinds := make([]diag.KindSpan, len(spans))
+		for i, sp := range spans {
+			kinds[i] = diag.KindSpan{Kind: sp.Kind, Data: sp.Data}
+		}
+		for _, line := range diag.ResidencyByKind(kinds) {
+			fmt.Fprintf(os.Stderr, "hpcviewer: residency at %s:   %s\n", when, line)
+		}
 	}
 	reportResidency("open")
 	defer reportResidency("exit")

@@ -241,6 +241,11 @@ type Catalog struct {
 	// OnLastRelease hook — which may fire long after eviction, when the
 	// last session releases. Atomic because the hook runs outside mu.
 	residentBytes atomic.Int64
+
+	// measureMu guards measures, the per-generation total-cost memo behind
+	// Pick. Separate from mu: measuring acquires generations.
+	measureMu sync.Mutex
+	measures  map[Key]float64
 }
 
 // New creates a catalog.

@@ -1,0 +1,100 @@
+package correlate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/structfile"
+)
+
+// ResolveFrames maps each trie node of prof onto the Frame scope an
+// earlier correlation of the same profile created in tree, in lookup-only
+// mode: it replays exactly the frame/materializeChain walk of Into but
+// never creates scopes and never touches metrics. hpcprof's trace pass
+// uses it to rewrite trace call-path ids (trie preorder indices in the
+// measurement file) into rows of the final merged tree.
+//
+// Empty trie frames (no samples anywhere below — never traced, since
+// trace events are emitted only when a sample is recorded) map to nil.
+// A non-empty frame missing from the tree is an error: the tree was not
+// built from this profile.
+func ResolveFrames(doc *structfile.Doc, prof *profile.Profile, tree *core.Tree) (map[*profile.Node]*core.Node, error) {
+	if doc.Fingerprint != 0 && prof.Fingerprint != 0 && doc.Fingerprint != prof.Fingerprint {
+		return nil, fmt.Errorf(
+			"correlate: profile (rank %d) was measured from a different build than the structure document (fingerprint %x vs %x)",
+			prof.Rank, prof.Fingerprint, doc.Fingerprint)
+	}
+	doc.EnsureSyms()
+	r := &resolver{doc: doc, out: map[*profile.Node]*core.Node{}}
+	if err := r.frame(prof.Root, tree.Root, 0); err != nil {
+		return nil, err
+	}
+	return r.out, nil
+}
+
+type resolver struct {
+	doc *structfile.Doc
+	out map[*profile.Node]*core.Node
+}
+
+// frame mirrors correlator.frame with create=false everywhere.
+func (r *resolver) frame(raw *profile.Node, parent *core.Node, callPC uint64) error {
+	framePC, ok := anyPCWithin(raw)
+	if !ok {
+		return nil
+	}
+	calleeRes, ok := r.doc.Resolve(framePC)
+	if !ok {
+		return fmt.Errorf("correlate: PC 0x%x not covered by structure document", framePC)
+	}
+	ctx := parent
+	key := core.Key{
+		Kind: core.KindFrame,
+		Name: calleeRes.Proc.NameSym,
+		File: calleeRes.Proc.FileSym,
+		Line: calleeRes.Proc.Line,
+		ID:   callPC,
+	}
+	if callPC != 0 {
+		callRes, ok := r.doc.Resolve(callPC)
+		if !ok {
+			return fmt.Errorf("correlate: call PC 0x%x not covered by structure document", callPC)
+		}
+		if ctx = lookupChain(ctx, callRes.Chain); ctx == nil {
+			return fmt.Errorf("correlate: call chain for PC 0x%x missing from tree", callPC)
+		}
+	}
+	fr := ctx.Child(key, false)
+	if fr == nil {
+		return fmt.Errorf("correlate: frame for PC 0x%x missing from tree (tree not built from this profile?)", framePC)
+	}
+	r.out[raw] = fr
+	for _, child := range raw.Children() {
+		if err := r.frame(child, fr, child.CallPC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lookupChain walks the loop/alien scopes of a static chain under base
+// without creating them; nil when any link is missing.
+func lookupChain(base *core.Node, chain []*structfile.Scope) *core.Node {
+	cur := base
+	for _, s := range chain {
+		var key core.Key
+		switch s.Kind {
+		case structfile.KindLoop:
+			key = core.Key{Kind: core.KindLoop, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
+		case structfile.KindAlien:
+			key = core.Key{Kind: core.KindAlien, Name: s.NameSym, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
+		default:
+			continue
+		}
+		if cur = cur.Child(key, false); cur == nil {
+			return nil
+		}
+	}
+	return cur
+}

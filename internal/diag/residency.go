@@ -17,6 +17,52 @@ func ResidencyString(data []byte) string {
 	return fmt.Sprintf("resident %s of %s (%.1f%%)", byteSize(resident), byteSize(total), pct)
 }
 
+// KindSpan labels one byte span for grouped residency reporting; spans
+// sharing a Kind are aggregated.
+type KindSpan struct {
+	Kind string
+	Data []byte
+}
+
+// ResidencyByKind probes every span and returns one formatted line per
+// kind ("column: resident 128 KiB of 24.0 MiB (0.5%)"), in order of each
+// kind's first appearance. A kind whose probe fails reports "n/a".
+func ResidencyByKind(spans []KindSpan) []string {
+	type agg struct {
+		resident, total int64
+		ok              bool
+	}
+	var order []string
+	byKind := map[string]*agg{}
+	for _, sp := range spans {
+		a := byKind[sp.Kind]
+		if a == nil {
+			a = &agg{ok: true}
+			byKind[sp.Kind] = a
+			order = append(order, sp.Kind)
+		}
+		resident, total, ok := Residency(sp.Data)
+		a.resident += resident
+		a.total += total
+		a.ok = a.ok && ok
+	}
+	lines := make([]string, 0, len(order))
+	for _, kind := range order {
+		a := byKind[kind]
+		if !a.ok {
+			lines = append(lines, fmt.Sprintf("%s: resident n/a of %s", kind, byteSize(a.total)))
+			continue
+		}
+		pct := 0.0
+		if a.total > 0 {
+			pct = 100 * float64(a.resident) / float64(a.total)
+		}
+		lines = append(lines, fmt.Sprintf("%s: resident %s of %s (%.1f%%)",
+			kind, byteSize(a.resident), byteSize(a.total), pct))
+	}
+	return lines
+}
+
 func byteSize(n int64) string {
 	switch {
 	case n >= 1<<20:

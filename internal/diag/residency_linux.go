@@ -11,18 +11,23 @@ import (
 // Residency reports how many bytes of data are resident in physical memory
 // via mincore(2), making the mapped-open claim observable: an open-but-idle
 // v3 database should show resident ≈ index size, not the file size. data
-// should start page-aligned (mmapio regions do). ok is false when the probe
-// is unavailable or fails; resident is then 0.
+// need not start page-aligned — mincore requires alignment, so the probe
+// widens to the containing pages (section spans inside a mapping are only
+// 8-aligned); residency is therefore page-granular, clamped to the span.
+// ok is false when the probe is unavailable or fails; resident is then 0.
 func Residency(data []byte) (resident, total int64, ok bool) {
 	total = int64(len(data))
 	if len(data) == 0 {
 		return 0, 0, true
 	}
 	page := os.Getpagesize()
-	npages := (len(data) + page - 1) / page
+	addr := uintptr(unsafe.Pointer(&data[0]))
+	off := addr % uintptr(page)
+	length := uintptr(len(data)) + off
+	npages := (int(length) + page - 1) / page
 	vec := make([]byte, npages)
 	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
-		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+		addr-off, length, uintptr(unsafe.Pointer(&vec[0])))
 	if errno != 0 {
 		return 0, total, false
 	}

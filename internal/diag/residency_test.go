@@ -1,0 +1,37 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResidencyByKind(t *testing.T) {
+	spans := []KindSpan{
+		{Kind: "column", Data: make([]byte, 100)},
+		{Kind: "trace", Data: make([]byte, 50)},
+		{Kind: "column", Data: make([]byte, 28)},
+		{Kind: "pyramid", Data: nil},
+	}
+	lines := ResidencyByKind(spans)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (column/trace/pyramid): %v", len(lines), lines)
+	}
+	// First-appearance order, and spans of the same kind are summed.
+	for i, prefix := range []string{"column:", "trace:", "pyramid:"} {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Fatalf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	if !strings.Contains(lines[0], "of 128 B") {
+		t.Fatalf("column spans not aggregated: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "of 0 B") {
+		t.Fatalf("empty pyramid span misreported: %q", lines[2])
+	}
+}
+
+func TestResidencyByKindEmpty(t *testing.T) {
+	if lines := ResidencyByKind(nil); len(lines) != 0 {
+		t.Fatalf("nil spans produced lines: %v", lines)
+	}
+}

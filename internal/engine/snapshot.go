@@ -275,6 +275,15 @@ func (sn *Snapshot) MappedBytes() []byte {
 // Mapped reports whether the snapshot is backed by a true memory mapping.
 func (sn *Snapshot) Mapped() bool { return sn.mdb != nil && sn.mdb.Mapped() }
 
+// SectionSpans returns the mapped database's sections as named byte
+// spans (nil for eager snapshots), for per-kind residency probes.
+func (sn *Snapshot) SectionSpans() []expdb.SectionSpan {
+	if sn.mdb == nil {
+		return nil
+	}
+	return sn.mdb.SectionSpans()
+}
+
 // Provenance faults in and returns the database's quarantine report (nil
 // when absent).
 func (sn *Snapshot) Provenance() (*ingest.Report, error) {
@@ -292,6 +301,33 @@ func (sn *Snapshot) Provenance() (*ingest.Report, error) {
 	sn.mu.Lock()
 	defer sn.mu.Unlock()
 	return sn.ldb.Provenance()
+}
+
+// Trace returns the snapshot's trace view (time-dimension data), building
+// and checksum-verifying it on first call. Only mapped (v3) snapshots
+// carry traces; others return (nil, nil). The view is immutable and safe
+// for concurrent renders; the snapshot's refcount keeps its mapping alive,
+// so callers must hold a reference (sessions do) for as long as they use
+// the view. Damage degrades into Notes, never an error here.
+func (sn *Snapshot) Trace() (*expdb.TraceView, error) {
+	if sn.mdb == nil {
+		return nil, nil
+	}
+	// The database appends degradation notes to the shared Experiment under
+	// its own lock; take the snapshot's write lock so Notes() readers (who
+	// hold the read lock) never race the append.
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.mdb.Trace()
+}
+
+// NodeAt resolves a trace call-path id (structural tree row) to its node;
+// nil for non-mapped snapshots or out-of-range rows.
+func (sn *Snapshot) NodeAt(row int) *core.Node {
+	if sn.mdb == nil {
+		return nil
+	}
+	return sn.mdb.NodeAt(row)
 }
 
 // SetColumnFaulter replaces the snapshot's column faulter and forgets which

@@ -81,6 +81,12 @@ func sectionName(id byte) string {
 		return "overrides"
 	case dbSecProvenance:
 		return "provenance"
+	case dbSecTrace:
+		return "trace"
+	case dbSecPyramid:
+		return "pyramid"
+	case dbSecTraceMeta:
+		return "tracemeta"
 	}
 	return "framing"
 }

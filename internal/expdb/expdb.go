@@ -36,6 +36,10 @@ type Experiment struct {
 	// damaged optional section opens without it, and each drop is recorded
 	// here so the viewer can tell the user what is missing.
 	Notes []string
+	// TraceRanks are write-side trace sources, one per rank in ascending
+	// rank order; WriteBinaryV3 streams each into a trace section and
+	// bakes its zoom pyramid. Nil for databases without traces.
+	TraceRanks []TraceRank
 }
 
 // SectionError reports fatal damage to one section of a v2 database: the

@@ -1,0 +1,107 @@
+package expdb
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/merge"
+	"repro/internal/mpi"
+	"repro/internal/prog"
+	"repro/internal/sampler"
+	"repro/internal/sim"
+	"repro/internal/structfile"
+	"repro/internal/trace"
+)
+
+// tracedSeed builds a v3 database whose ranks carry trace, pyramid and
+// tracemeta sections.
+func tracedSeed(f *testing.F) []byte {
+	f.Helper()
+	p := prog.NewBuilder("fuzztr").
+		File("a.c").
+		Proc("work", 10,
+			prog.Lx(11, prog.ScaledInt{X: prog.RankInt{}, Num: 20, Den: 1, Off: 20},
+				prog.W(12, 10))).
+		Proc("main", 1,
+			prog.C(2, "work"),
+			prog.Sync(3)).
+		Entry("main").MustBuild()
+	im, err := lower.Lower(p, lower.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	doc, err := structfile.Recover(im)
+	if err != nil {
+		f.Fatal(err)
+	}
+	profs, err := mpi.Run(im, mpi.Config{
+		NRanks: 3,
+		Events: []sampler.EventConfig{{Event: sim.EvCycles, Period: 10}},
+		Trace:  true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := merge.Profiles(doc, profs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	e := FromMerge(res)
+	if err := TraceRanksFromProfiles(e, doc, profs); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteBinaryV3(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTrace guards the trace adoption path of the mapped v3 reader:
+// arbitrary bytes must open with traces either adopted or dropped with a
+// note, never panic, and whatever traces survive must render a bounded
+// view. The geometry checks (power-of-two bucket counts, level tiling,
+// record counts against the declared meta) all run before any slab view
+// is trusted.
+func FuzzReadTrace(f *testing.F) {
+	good := tracedSeed(f)
+	f.Add(good)
+	f.Add([]byte("CPDB3"))
+	f.Add([]byte{})
+	if len(good) > 64 {
+		f.Add(good[:len(good)*2/3]) // truncated mid-section
+		f.Add(good[:len(good)-32])  // trailer sheared off
+		// Trace, pyramid and tracemeta sections sit late in the section
+		// area, just before the index: flips in the last third mostly land
+		// inside them, exercising the drop-with-note paths.
+		for _, at := range []int{len(good) * 2 / 3, len(good) * 3 / 4, len(good) - 48} {
+			mut := append([]byte(nil), good...)
+			mut[at] ^= 0x7f
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := newMappedDB(data)
+		if err != nil {
+			return
+		}
+		if _, err := db.Experiment(); err != nil {
+			return
+		}
+		tv, err := db.Trace()
+		if err != nil || tv == nil {
+			return
+		}
+		for _, rank := range tv.TraceRanks() {
+			if _, ok := tv.TraceMeta(rank); !ok {
+				t.Fatalf("rank %d listed without meta", rank)
+			}
+		}
+		if len(tv.TraceRanks()) > 0 {
+			if _, err := trace.View(tv, 0, 0, nil, 32, 4); err != nil {
+				t.Fatalf("surviving traces failed to render: %v", err)
+			}
+		}
+	})
+}

@@ -30,7 +30,10 @@ import (
 //	           zero-padded to the next 8-byte boundary
 //	           kinds: 1 strings, 2 header, 3 metrics, 4 tree (no base
 //	           values — they live in the column slabs), 6 provenance,
-//	           7 column (plane byte + column id; dense rows×8 payload)
+//	           7 column (plane byte + column id; dense rows×8 payload),
+//	           8 trace (col = rank; 16-byte records), 9 pyramid
+//	           (col = rank, plane = level; 8-byte buckets), 10 tracemeta
+//	           (singleton; 32-byte per-rank geometry entries)
 //	index      count × 32-byte fixed-width entries:
 //	           { kind u8, plane u8, rsvd u16, col u32,
 //	             offset u64, length u64, crc32c u32, rsvd u32 }
@@ -57,6 +60,21 @@ const (
 
 // dbSecColumn is the v3-only section kind holding one dense column slab.
 const dbSecColumn byte = 7
+
+// v3-only trace section kinds. Trace sections hold one rank's raw
+// fixed-width event records (col = rank); pyramid sections hold one zoom
+// level of that rank's mipmap (col = rank, plane = level, 0 finest);
+// tracemeta is a singleton table of 32-byte per-rank geometry entries:
+//
+//	{ rank u32, nbuckets u32, count u64, lastT u64, width u64 }
+const (
+	dbSecTrace     byte = 8
+	dbSecPyramid   byte = 9
+	dbSecTraceMeta byte = 10
+)
+
+// traceMetaEntrySize is the fixed width of one tracemeta table entry.
+const traceMetaEntrySize = 32
 
 const (
 	v3EntrySize   = 32
@@ -128,12 +146,15 @@ func (e *Experiment) WriteBinaryV3(w io.Writer) error {
 		sec   framing.AlignedSection
 	}
 	var entries []entry
+	add := func(kind, plane uint8, col uint32, sec framing.AlignedSection) {
+		entries = append(entries, entry{kind, plane, col, sec})
+	}
 	emit := func(kind, plane uint8, col uint32, payload []byte) error {
 		sec, err := aw.Section(payload)
 		if err != nil {
 			return err
 		}
-		entries = append(entries, entry{kind, plane, col, sec})
+		add(kind, plane, col, sec)
 		return nil
 	}
 	for _, s := range []struct {
@@ -191,6 +212,12 @@ func (e *Experiment) WriteBinaryV3(w io.Writer) error {
 		if err := emit(dbSecProvenance, 0, 0, encodeProvenance(e.Provenance)); err != nil {
 			return err
 		}
+	}
+	// Trace sections stream through the aligned writer so peak memory
+	// stays at the chunk buffer regardless of event count; each rank's
+	// pyramid is built in the same single pass.
+	if err := e.writeTraceSections(aw, emit, add); err != nil {
+		return err
 	}
 
 	idx := make([]byte, len(entries)*v3EntrySize)
@@ -290,8 +317,10 @@ func parseV3Index(data []byte) ([]v3sec, error) {
 
 	secs := make([]v3sec, count)
 	next := int64(len(dbMagicV3Full))
-	var haveStrings, haveHeader, haveMetrics, haveTree bool
+	var haveStrings, haveHeader, haveMetrics, haveTree, haveTraceMeta bool
 	colSeen := map[uint64]bool{}
+	traceSeen := map[uint32]bool{}
+	pyrSeen := map[uint64]bool{}
 	for i := range secs {
 		en := idx[i*v3EntrySize:]
 		s := v3sec{
@@ -338,6 +367,37 @@ func parseV3Index(data []byte) ([]v3sec, error) {
 				return nil, fmt.Errorf("expdb: duplicate v3 column section (metric %d, %s)", s.col, v3PlaneName(s.plane))
 			}
 			colSeen[key] = true
+		case dbSecTrace:
+			if s.plane != 0 {
+				return nil, fmt.Errorf("expdb: v3 trace section has nonzero plane %d", s.plane)
+			}
+			if s.length%16 != 0 {
+				return nil, fmt.Errorf("expdb: v3 trace section length %d is not a multiple of 16", s.length)
+			}
+			if traceSeen[s.col] {
+				return nil, fmt.Errorf("expdb: duplicate v3 trace section for rank %d", s.col)
+			}
+			traceSeen[s.col] = true
+		case dbSecPyramid:
+			if s.length%8 != 0 {
+				return nil, fmt.Errorf("expdb: v3 pyramid section length %d is not a multiple of 8", s.length)
+			}
+			key := uint64(s.col)<<8 | uint64(s.plane)
+			if pyrSeen[key] {
+				return nil, fmt.Errorf("expdb: duplicate v3 pyramid section (rank %d, level %d)", s.col, s.plane)
+			}
+			pyrSeen[key] = true
+		case dbSecTraceMeta:
+			if haveTraceMeta {
+				return nil, fmt.Errorf("expdb: duplicate v3 tracemeta section")
+			}
+			haveTraceMeta = true
+			if s.plane != 0 || s.col != 0 {
+				return nil, fmt.Errorf("expdb: v3 tracemeta section has column fields set")
+			}
+			if s.length%traceMetaEntrySize != 0 {
+				return nil, fmt.Errorf("expdb: v3 tracemeta section length %d is not a multiple of %d", s.length, traceMetaEntrySize)
+			}
 		default:
 			return nil, fmt.Errorf("expdb: unknown v3 section kind %d", s.kind)
 		}
@@ -391,6 +451,9 @@ type MappedDB struct {
 
 	provDone bool
 	provErr  error
+
+	traceDone bool
+	traceView *TraceView
 
 	reads map[string]int
 }
@@ -744,6 +807,12 @@ func readBinaryV3(br *bufio.Reader) (*Experiment, error) {
 		return nil, err
 	}
 	if err := db.VerifyAll(); err != nil {
+		return nil, err
+	}
+	// Adopt trace sections too: damage there degrades the open with notes
+	// (traces dropped) exactly as the mapped path does, instead of passing
+	// silently through an eager read.
+	if _, err := db.Trace(); err != nil {
 		return nil, err
 	}
 	return exp, nil

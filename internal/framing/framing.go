@@ -115,6 +115,48 @@ func (fw *Writer) Section(id byte, payload []byte) error {
 	return err
 }
 
+// StreamSection frames one section whose payload length is known up front
+// but whose bytes are produced incrementally: fn receives a writer that
+// accumulates the CRC as bytes pass through, so the payload is never
+// materialized. fn must write exactly length bytes or the stream is left
+// inconsistent and an error is returned.
+func (fw *Writer) StreamSection(id byte, length uint64, fn func(io.Writer) error) error {
+	if id == EndMarker {
+		return fmt.Errorf("framing: section id 0 is reserved for the end marker")
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = id
+	n := binary.PutUvarint(hdr[1:], length)
+	if _, err := fw.w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: fw.w}
+	if err := fn(cw); err != nil {
+		return err
+	}
+	if uint64(cw.n) != length {
+		return fmt.Errorf("framing: streamed section %d wrote %d bytes, declared %d", id, cw.n, length)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], cw.crc)
+	_, err := fw.w.Write(crc[:])
+	return err
+}
+
+// crcWriter forwards writes while accumulating their CRC32C and length.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	return n, err
+}
+
 // Close writes the end marker. The underlying writer is not closed.
 func (fw *Writer) Close() error {
 	_, err := fw.w.Write([]byte{EndMarker})
@@ -126,7 +168,16 @@ type Reader struct {
 	br   *bufio.Reader
 	size int64 // total input size including magic, -1 if unknown
 	off  int64 // bytes consumed so far
+	sink func(id byte) io.Writer
 }
+
+// SetSink registers a per-section streaming sink. When fn returns a
+// non-nil writer for a section id, Next streams that section's payload
+// through the writer in bounded chunks instead of buffering it, and
+// returns a nil payload for the section. The CRC is still verified over
+// the streamed bytes. Use io.Discard to skip a large section (a trace
+// section in a measurement file) without O(payload) memory.
+func (fr *Reader) SetSink(fn func(id byte) io.Writer) { fr.sink = fn }
 
 // NewReader checks the magic and returns a section reader. size is the
 // total input length including the magic (use SizeOf on the unwrapped
@@ -194,6 +245,11 @@ func (fr *Reader) Next() (byte, []byte, error) {
 	if int64(n) < 0 || (fr.size >= 0 && int64(n) > fr.remaining()) {
 		return 0, nil, &FrameError{Offset: start, Reason: fmt.Sprintf("section %d length %d exceeds remaining input", id, n)}
 	}
+	if fr.sink != nil {
+		if w := fr.sink(id); w != nil {
+			return fr.streamPayload(id, n, start, w)
+		}
+	}
 	var payload []byte
 	if fr.size >= 0 || n <= maxChunk {
 		payload = make([]byte, n)
@@ -223,6 +279,38 @@ func (fr *Reader) Next() (byte, []byte, error) {
 		return id, payload, &ChecksumError{SectionID: id, Offset: start}
 	}
 	return id, payload, nil
+}
+
+// streamPayload consumes a section's payload in bounded chunks, forwarding
+// each chunk to w and accumulating the CRC, then verifies the trailer.
+// Sink write errors are surfaced as-is so the caller can distinguish its
+// own failures from stream damage.
+func (fr *Reader) streamPayload(id byte, n uint64, start int64, w io.Writer) (byte, []byte, error) {
+	var buf [32 * 1024]byte
+	crc := uint32(0)
+	for left := n; left > 0; {
+		c := left
+		if c > uint64(len(buf)) {
+			c = uint64(len(buf))
+		}
+		chunk := buf[:c]
+		if err := fr.readFull(chunk); err != nil {
+			return 0, nil, &FrameError{Offset: start, Reason: fmt.Sprintf("reading section %d payload", id), Err: err}
+		}
+		crc = crc32.Update(crc, castagnoli, chunk)
+		if _, err := w.Write(chunk); err != nil {
+			return 0, nil, err
+		}
+		left -= c
+	}
+	var trailer [4]byte
+	if err := fr.readFull(trailer[:]); err != nil {
+		return 0, nil, &FrameError{Offset: start, Reason: fmt.Sprintf("reading section %d checksum", id), Err: err}
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != crc {
+		return id, nil, &ChecksumError{SectionID: id, Offset: start}
+	}
+	return id, nil, nil
 }
 
 func uvarintLen(v uint64) int {

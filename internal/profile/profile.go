@@ -36,6 +36,10 @@ type Profile struct {
 	Metrics []MetricInfo
 	// Root is the entry frame (no call site).
 	Root *Node
+	// Trace holds the thread's time-dimension trace capture, nil unless
+	// EnableTrace was called. Traces ride along in the v2 measurement
+	// format; readers without trace support skip them.
+	Trace *TraceData
 }
 
 // Node is one dynamic frame: the frame created by the call instruction at
@@ -44,6 +48,12 @@ type Node struct {
 	CallPC   uint64
 	children map[uint64]*Node
 	samples  map[uint64][]uint64 // leaf PC -> per-metric event counts
+
+	// traceSlot is the frame's dense capture id plus one (0 = none yet),
+	// assigned on first trace emission. Intrusive so the capture hot path
+	// is an integer check, not a map lookup; owned by the profile's single
+	// TraceData.
+	traceSlot uint32
 }
 
 // NewProfile creates an empty profile.
@@ -120,13 +130,15 @@ type SampleRow struct {
 
 // Record attributes count events of the given metric to the context
 // (callPath, leafPC): callPath holds the call instruction addresses from
-// outermost to innermost.
-func (p *Profile) Record(callPath []uint64, leafPC uint64, metric int, count uint64) {
+// outermost to innermost. It returns the attributed frame so the sampler
+// can feed the same context to the trace recorder.
+func (p *Profile) Record(callPath []uint64, leafPC uint64, metric int, count uint64) *Node {
 	n := p.Root
 	for _, pc := range callPath {
 		n = n.Child(pc, true)
 	}
 	n.AddSample(leafPC, metric, len(p.Metrics), count)
+	return n
 }
 
 // MetricIndex returns the column of the named metric, or -1.

@@ -18,6 +18,8 @@
 //	GET    /v1/stats                   sessions, shed/panic counters, catalog stats
 //	GET    /v1/info                    default database shape: node/metric counts, notes
 //	GET    /v1/catalog                 databases available for sessions and diffing
+//	GET    /v1/trace?db=&w=&h=&t0=&t1=  time×rank trace grid JSON (O(w·h) render)
+//	GET    /v1/pick?series=&strategy=  choose a generation (latest|most-samples|p50)
 //	POST   /v1/ingest?service=&run=&ts=  publish a database (body = db bytes)
 //	POST   /v1/compare                 {"other": NAME, ...} -> diff report (see compare.go)
 //	POST   /v1/sessions                {"db": NAME?} -> {"token", "db"}
@@ -184,6 +186,8 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/info", srv.handleInfo)
 	mux.HandleFunc("GET /v1/catalog", srv.handleCatalog)
+	mux.HandleFunc("GET /v1/trace", srv.limited(srv.handleTrace, serveWhileDraining))
+	mux.HandleFunc("GET /v1/pick", srv.limited(srv.handlePick, serveWhileDraining))
 	mux.HandleFunc("POST /v1/ingest", srv.limited(srv.handleIngest, shedWhileDraining))
 	mux.HandleFunc("POST /v1/compare", srv.limited(srv.handleCompare, shedWhileDraining))
 	mux.HandleFunc("POST /v1/sessions", srv.limited(srv.handleCreate, shedWhileDraining))

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"unsafe"
+)
+
+// Zero-copy views over mapped trace and pyramid sections. Rec and Bucket
+// mirror their little-endian on-disk layouts field for field, so on a
+// little-endian host an aligned section payload can be reinterpreted in
+// place; other hosts fall back to a decoding copy. This is the trace twin
+// of expdb's float64 column views.
+
+// hostLittleEndian reports whether the running host stores multi-byte
+// integers little-endian, matching the on-disk encoding.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// RecsFromBytes views b (a whole trace section payload, length a multiple
+// of RecSize) as records, zero-copy when the host layout matches.
+func RecsFromBytes(b []byte) []Rec {
+	n := len(b) / RecSize
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(Rec{}) == 0 {
+		return unsafe.Slice((*Rec)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Rec, n)
+	for i := range out {
+		out[i] = DecodeRec(b[i*RecSize:])
+	}
+	return out
+}
+
+// BucketsFromBytes views b (a pyramid level payload, length a multiple of
+// BucketSize) as buckets, zero-copy when the host layout matches.
+func BucketsFromBytes(b []byte) []Bucket {
+	n := len(b) / BucketSize
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(Bucket{}) == 0 {
+		return unsafe.Slice((*Bucket)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i] = DecodeBucket(b[i*BucketSize:])
+	}
+	return out
+}
+
+// Compile-time checks that the structs really mirror the on-disk layout.
+var (
+	_ [RecSize]byte    = [unsafe.Sizeof(Rec{})]byte{}
+	_ [BucketSize]byte = [unsafe.Sizeof(Bucket{})]byte{}
+)

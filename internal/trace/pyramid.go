@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// The zoom pyramid is a per-rank mipmap over time. Level 0 divides the
+// rank's time span [0, LastT] into NBuckets buckets of Width virtual-time
+// units each; every higher level halves the bucket count (rounding up) and
+// doubles the width. Each bucket keeps the *representative* call path of
+// its span — the deepest sampled path, ties broken toward more samples and
+// then toward earlier time — plus a saturating sample count. This is the
+// same downsampling hpctraceviewer performs on the fly per repaint, done
+// once at finalize time so a zoomed-out render touches O(pixels) buckets
+// instead of O(events) records.
+//
+// Invariants (checked by the property tests and relied on by View):
+//
+//  1. NBuckets is a power of two, at most MaxBaseBuckets, so every level
+//     above base is an exact pairwise merge and the level count is
+//     log2(NBuckets)+1 ≤ MaxLevels.
+//  2. Width ≥ 1 and NBuckets·Width > LastT: every event lands in a bucket.
+//  3. Level l bucket i summarizes exactly base buckets [i·2^l, (i+1)·2^l);
+//     merging is associative on that grouping, so building level l from
+//     level l−1 equals building it from level 0.
+//  4. Representative choice is deterministic: records arrive in time
+//     order, so "deeper wins, tie keeps more samples, tie keeps earlier"
+//     has one answer regardless of buffering.
+
+// Bucket is one pyramid cell. The on-disk encoding is 8 little-endian
+// bytes — CPID u32 | Depth u16 | Samples u16 — mirrored by the struct
+// layout so mapped pyramid sections can be viewed in place.
+type Bucket struct {
+	CPID    uint32
+	Depth   uint16
+	Samples uint16 // saturating at 65535
+}
+
+// BucketSize is the fixed on-disk size of one pyramid bucket.
+const BucketSize = 8
+
+// EmptyCPID marks a bucket (or view cell) with no samples.
+const EmptyCPID = ^uint32(0)
+
+// MaxBaseBuckets caps the base resolution of a rank's pyramid: 65536
+// buckets × 8 bytes ≈ 512 KiB of pyramid per rank across all levels, and
+// any render window maps onto at most MaxBaseBuckets direct array
+// accesses.
+const MaxBaseBuckets = 1 << 16
+
+// MaxLevels bounds the level count (log2(MaxBaseBuckets)+1): levels are
+// stored in a section index plane byte, which holds far more.
+const MaxLevels = 17
+
+// Empty reports whether the bucket holds no samples.
+func (b Bucket) Empty() bool { return b.CPID == EmptyCPID }
+
+// AppendBucket appends b's 8-byte little-endian encoding to dst.
+func AppendBucket(dst []byte, b Bucket) []byte {
+	var e [BucketSize]byte
+	binary.LittleEndian.PutUint32(e[0:4], b.CPID)
+	binary.LittleEndian.PutUint16(e[4:6], b.Depth)
+	binary.LittleEndian.PutUint16(e[6:8], b.Samples)
+	return append(dst, e[:]...)
+}
+
+// DecodeBucket decodes one bucket from b, which must hold at least
+// BucketSize bytes.
+func DecodeBucket(b []byte) Bucket {
+	return Bucket{
+		CPID:    binary.LittleEndian.Uint32(b[0:4]),
+		Depth:   binary.LittleEndian.Uint16(b[4:6]),
+		Samples: binary.LittleEndian.Uint16(b[6:8]),
+	}
+}
+
+// Meta describes one rank's trace and pyramid geometry. It is what the
+// tracemeta v3 section stores per rank.
+type Meta struct {
+	Rank     int
+	Count    uint64 // trace records in the rank's trace section
+	LastT    uint64 // timestamp of the last record (0 when Count is 0)
+	NBuckets uint32 // base-level bucket count (power of two)
+	Width    uint64 // base-level bucket width in virtual-time units
+}
+
+// Levels reports the pyramid level count for the meta's base resolution.
+func (m Meta) Levels() int {
+	if m.NBuckets == 0 {
+		return 0
+	}
+	return bits.Len32(m.NBuckets-1) + 1
+}
+
+// BaseBuckets picks the base-level bucket count for a trace of count
+// events: the next power of two, capped at MaxBaseBuckets. More buckets
+// than events buys nothing; fewer than the cap keeps tiny traces tiny.
+func BaseBuckets(count uint64) uint32 {
+	if count == 0 {
+		return 0
+	}
+	if count >= MaxBaseBuckets {
+		return MaxBaseBuckets
+	}
+	return 1 << bits.Len64(count-1)
+}
+
+// BaseWidth picks the base bucket width so every timestamp in [0, lastT]
+// lands inside the nb buckets: the smallest width with nb·width > lastT.
+func BaseWidth(lastT uint64, nb uint32) uint64 {
+	if nb == 0 {
+		return 1
+	}
+	return lastT/uint64(nb) + 1
+}
+
+// LevelBuckets reports the bucket count of level l for a base of nb
+// buckets; readers use it to validate mapped pyramid section lengths.
+func LevelBuckets(nb uint32, l int) int {
+	n := int(nb)
+	for i := 0; i < l; i++ {
+		n = (n + 1) / 2
+	}
+	return n
+}
+
+// mergeInto folds record r into bucket b.
+func mergeInto(b *Bucket, r Rec) {
+	if b.Samples < 65535 {
+		b.Samples++
+	}
+	// Deeper wins; records arrive in time order, so ties keep the
+	// earlier (already stored) representative.
+	if b.Empty() || r.Depth > b.Depth {
+		b.CPID = r.CPID
+		b.Depth = r.Depth
+	}
+}
+
+// MergeBucket combines two adjacent buckets (a earlier than b) into their
+// parent, deterministically: deeper representative wins, ties keep the
+// bucket with more samples, final ties keep the earlier bucket.
+func MergeBucket(a, b Bucket) Bucket {
+	s := uint32(a.Samples) + uint32(b.Samples)
+	if s > 65535 {
+		s = 65535
+	}
+	out := a
+	if a.Empty() || (!b.Empty() && (b.Depth > a.Depth || (b.Depth == a.Depth && b.Samples > a.Samples))) {
+		out = b
+	}
+	out.Samples = uint16(s)
+	return out
+}
+
+// Builder accumulates one rank's pyramid in a single streaming pass over
+// its time-ordered records, then derives the higher levels by pairwise
+// merges. Memory is O(NBuckets), independent of the event count.
+type Builder struct {
+	meta Meta
+	base []Bucket
+}
+
+// NewBuilder sizes a pyramid for a trace of count events ending at lastT.
+// Both values must be known up front (the trace section header carries
+// them) so the base geometry is fixed before the first record arrives.
+func NewBuilder(rank int, count, lastT uint64) *Builder {
+	nb := BaseBuckets(count)
+	m := Meta{Rank: rank, Count: count, LastT: lastT, NBuckets: nb, Width: BaseWidth(lastT, nb)}
+	base := make([]Bucket, nb)
+	for i := range base {
+		base[i].CPID = EmptyCPID
+	}
+	return &Builder{meta: m, base: base}
+}
+
+// Add folds one record into the base level. Records must satisfy the
+// geometry declared to NewBuilder (t ≤ lastT).
+func (pb *Builder) Add(r Rec) error {
+	if len(pb.base) == 0 {
+		return fmt.Errorf("trace: record added to empty pyramid")
+	}
+	i := r.T / pb.meta.Width
+	if i >= uint64(len(pb.base)) {
+		return fmt.Errorf("trace: event time %d outside declared span %d", r.T, pb.meta.LastT)
+	}
+	mergeInto(&pb.base[i], r)
+	return nil
+}
+
+// Finish derives the upper levels and returns every level, finest first.
+// Level l has ceil(NBuckets/2^l) buckets; the coarsest has one.
+func (pb *Builder) Finish() (Meta, [][]Bucket) {
+	if len(pb.base) == 0 {
+		return pb.meta, nil
+	}
+	levels := [][]Bucket{pb.base}
+	for len(levels[len(levels)-1]) > 1 {
+		levels = append(levels, Downsample(levels[len(levels)-1]))
+	}
+	return pb.meta, levels
+}
+
+// Downsample builds the next-coarser level from src by merging adjacent
+// pairs; an odd trailing bucket is carried up unchanged.
+func Downsample(src []Bucket) []Bucket {
+	dst := make([]Bucket, (len(src)+1)/2)
+	for i := range dst {
+		a := src[2*i]
+		if 2*i+1 < len(src) {
+			dst[i] = MergeBucket(a, src[2*i+1])
+		} else {
+			dst[i] = a
+		}
+	}
+	return dst
+}
+
+// EncodeLevel returns the on-disk encoding of one pyramid level.
+func EncodeLevel(level []Bucket) []byte {
+	out := make([]byte, 0, len(level)*BucketSize)
+	for _, b := range level {
+		out = AppendBucket(out, b)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestBaseGeometry(t *testing.T) {
+	cases := []struct {
+		count uint64
+		nb    uint32
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{65535, 65536}, {65536, 65536}, {1 << 30, 65536},
+	}
+	for _, c := range cases {
+		if got := BaseBuckets(c.count); got != c.nb {
+			t.Errorf("BaseBuckets(%d) = %d, want %d", c.count, got, c.nb)
+		}
+	}
+	// Every t in [0, lastT] must land inside nb buckets of width w.
+	for _, lastT := range []uint64{0, 1, 7, 65535, 65536, 1 << 40} {
+		for _, nb := range []uint32{1, 2, 64, 65536} {
+			w := BaseWidth(lastT, nb)
+			if w == 0 {
+				t.Fatalf("BaseWidth(%d,%d) = 0", lastT, nb)
+			}
+			if lastT/w >= uint64(nb) {
+				t.Errorf("lastT %d, nb %d, width %d: last bucket %d out of range", lastT, nb, w, lastT/w)
+			}
+		}
+	}
+}
+
+func TestMergeBucketRules(t *testing.T) {
+	e := Bucket{CPID: EmptyCPID}
+	a := Bucket{CPID: 1, Depth: 3, Samples: 2}
+	b := Bucket{CPID: 2, Depth: 5, Samples: 1}
+	if got := MergeBucket(a, b); got.CPID != 2 || got.Depth != 5 || got.Samples != 3 {
+		t.Errorf("deeper must win: %+v", got)
+	}
+	if got := MergeBucket(b, a); got.CPID != 2 || got.Samples != 3 {
+		t.Errorf("deeper must win regardless of side: %+v", got)
+	}
+	c := Bucket{CPID: 9, Depth: 3, Samples: 7}
+	if got := MergeBucket(a, c); got.CPID != 9 {
+		t.Errorf("equal depth: more samples must win: %+v", got)
+	}
+	d := Bucket{CPID: 8, Depth: 3, Samples: 2}
+	if got := MergeBucket(a, d); got.CPID != 1 {
+		t.Errorf("full tie: earlier (left) must win: %+v", got)
+	}
+	if got := MergeBucket(e, a); got.CPID != 1 || got.Samples != 2 {
+		t.Errorf("empty left: %+v", got)
+	}
+	if got := MergeBucket(a, e); got.CPID != 1 || got.Samples != 2 {
+		t.Errorf("empty right: %+v", got)
+	}
+	if got := MergeBucket(e, e); !got.Empty() {
+		t.Errorf("empty pair: %+v", got)
+	}
+	s := Bucket{CPID: 1, Depth: 1, Samples: 65000}
+	if got := MergeBucket(s, Bucket{CPID: 2, Depth: 1, Samples: 65000}); got.Samples != 65535 {
+		t.Errorf("samples must saturate: %d", got.Samples)
+	}
+}
+
+// buildFromRecs streams recs through a Builder.
+func buildFromRecs(t *testing.T, rank int, recs []Rec) (Meta, [][]Bucket) {
+	t.Helper()
+	var lastT uint64
+	if len(recs) > 0 {
+		lastT = recs[len(recs)-1].T
+	}
+	pb := NewBuilder(rank, uint64(len(recs)), lastT)
+	for _, r := range recs {
+		if err := pb.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pb.Finish()
+}
+
+// lcg is a tiny deterministic generator for property inputs.
+type lcg uint64
+
+func (l *lcg) next() uint64 { *l = *l*6364136223846793005 + 1442695040888963407; return uint64(*l) }
+
+func randRecs(n int, seed uint64) []Rec {
+	g := lcg(seed)
+	recs := make([]Rec, n)
+	t := uint64(0)
+	for i := range recs {
+		t += g.next() % 1000
+		recs[i] = Rec{T: t, CPID: uint32(g.next() % 50), Depth: uint16(g.next() % 30)}
+	}
+	return recs
+}
+
+// TestPyramidLevelInvariant checks invariant 3: every level equals the
+// fold of its base-bucket group, i.e. repeated Downsample from base.
+func TestPyramidLevelInvariant(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 1000, 70000} {
+		recs := randRecs(n, uint64(n))
+		meta, levels := buildFromRecs(t, 0, recs)
+		if meta.Count != uint64(n) {
+			t.Fatalf("meta count %d, want %d", meta.Count, n)
+		}
+		if got, want := len(levels), meta.Levels(); got != want {
+			t.Fatalf("n=%d: %d levels, want %d", n, got, want)
+		}
+		for l := 1; l < len(levels); l++ {
+			if got, want := len(levels[l]), LevelBuckets(meta.NBuckets, l); got != want {
+				t.Fatalf("n=%d level %d: %d buckets, want %d", n, l, got, want)
+			}
+			want := Downsample(levels[l-1])
+			for i := range want {
+				if levels[l][i] != want[i] {
+					t.Fatalf("n=%d level %d bucket %d: %+v != downsample %+v", n, l, i, levels[l][i], want[i])
+				}
+			}
+		}
+		if len(levels[len(levels)-1]) != 1 {
+			t.Fatalf("n=%d: coarsest level has %d buckets", n, len(levels[len(levels)-1]))
+		}
+		// The coarsest bucket must carry the (saturated) total count and
+		// the global max depth.
+		top := levels[len(levels)-1][0]
+		wantSamples := n
+		if wantSamples > 65535 {
+			wantSamples = 65535
+		}
+		if int(top.Samples) != wantSamples {
+			t.Fatalf("n=%d: coarsest samples %d, want %d", n, top.Samples, wantSamples)
+		}
+		var maxD uint16
+		for _, r := range recs {
+			if r.Depth > maxD {
+				maxD = r.Depth
+			}
+		}
+		if top.Depth != maxD {
+			t.Fatalf("n=%d: coarsest depth %d, want %d", n, top.Depth, maxD)
+		}
+	}
+}
+
+func TestPyramidRejectsOutOfSpan(t *testing.T) {
+	pb := NewBuilder(0, 4, 100)
+	if err := pb.Add(Rec{T: 100}); err != nil {
+		t.Fatalf("t == lastT must fit: %v", err)
+	}
+	nb := BaseBuckets(4)
+	if err := pb.Add(Rec{T: BaseWidth(100, nb) * uint64(nb)}); err == nil {
+		t.Fatal("event beyond declared span accepted")
+	}
+}
+
+func TestEncodeLevelRoundTrip(t *testing.T) {
+	_, levels := buildFromRecs(t, 3, randRecs(500, 9))
+	for l, lv := range levels {
+		enc := EncodeLevel(lv)
+		got := BucketsFromBytes(enc)
+		for i := range lv {
+			if got[i] != lv[i] {
+				t.Fatalf("level %d bucket %d: %+v != %+v", l, i, got[i], lv[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package trace implements the time-dimension trace engine: bounded-memory
+// capture of per-rank call-path sample events, a multi-resolution zoom
+// pyramid computed at finalize time, and an O(pixels) time×rank view
+// kernel that renders any zoom window of a multi-million-event trace at a
+// cost proportional to the pixel budget, never the event count.
+//
+// The package is a leaf: it knows nothing about profiles, trees, or
+// databases. Call paths appear only as opaque uint32 ids; the layers above
+// (profile capture, hpcprof merge, expdb v3 sections) assign and rewrite
+// those ids.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Rec is one trace event: at virtual time T, the rank's innermost sampled
+// call path was CPID at stack depth Depth. The on-disk encoding is exactly
+// 16 little-endian bytes:
+//
+//	T u64 | CPID u32 | Depth u16 | flags u16 (reserved, written zero)
+//
+// The in-memory struct mirrors that layout field for field so a mapped
+// section can be viewed in place on little-endian hosts.
+type Rec struct {
+	T     uint64
+	CPID  uint32
+	Depth uint16
+	Flags uint16 // reserved; writers emit 0, readers ignore
+}
+
+// RecSize is the fixed on-disk size of one trace record.
+const RecSize = 16
+
+// AppendRec appends r's 16-byte little-endian encoding to dst.
+func AppendRec(dst []byte, r Rec) []byte {
+	var b [RecSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], r.T)
+	binary.LittleEndian.PutUint32(b[8:12], r.CPID)
+	binary.LittleEndian.PutUint16(b[12:14], r.Depth)
+	binary.LittleEndian.PutUint16(b[14:16], r.Flags)
+	return append(dst, b[:]...)
+}
+
+// DecodeRec decodes one record from b, which must hold at least RecSize
+// bytes.
+func DecodeRec(b []byte) Rec {
+	return Rec{
+		T:     binary.LittleEndian.Uint64(b[0:8]),
+		CPID:  binary.LittleEndian.Uint32(b[8:12]),
+		Depth: binary.LittleEndian.Uint16(b[12:14]),
+		Flags: binary.LittleEndian.Uint16(b[14:16]),
+	}
+}
+
+// SpillStore absorbs encoded trace records as the capture buffer fills, so
+// the recorder's peak memory stays at the buffer size regardless of how
+// many events the run emits. Writes arrive in whole-record multiples.
+type SpillStore interface {
+	io.Writer
+	// Reader returns a reader positioned at the first spilled byte. The
+	// store must not be written after Reader is called.
+	Reader() (io.Reader, error)
+	// Close releases the store's backing resources.
+	Close() error
+}
+
+// MemSpill keeps spilled records in memory: the zero value is ready to
+// use. It trades the bounded-memory guarantee for zero setup, which is
+// what in-process tests and single-rank runs want.
+type MemSpill struct {
+	buf bytes.Buffer
+}
+
+func (m *MemSpill) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *MemSpill) Reader() (io.Reader, error)  { return bytes.NewReader(m.buf.Bytes()), nil }
+func (m *MemSpill) Close() error                { m.buf.Reset(); return nil }
+
+// FileSpill spills records to an unlinked temporary file, keeping capture
+// memory bounded by the recorder's buffer even for multi-million-event
+// runs.
+type FileSpill struct {
+	f *os.File
+}
+
+// NewFileSpill creates a spill file in dir (the default temp dir when dir
+// is empty). The file is removed as soon as it is open, so a crashed run
+// leaks no spill files.
+func NewFileSpill(dir string) (*FileSpill, error) {
+	f, err := os.CreateTemp(dir, "trace-spill-*.bin")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink immediately: the open descriptor keeps the data alive.
+	if err := os.Remove(f.Name()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileSpill{f: f}, nil
+}
+
+func (fs *FileSpill) Write(p []byte) (int, error) { return fs.f.Write(p) }
+
+func (fs *FileSpill) Reader() (io.Reader, error) {
+	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return fs.f, nil
+}
+
+func (fs *FileSpill) Close() error { return fs.f.Close() }
+
+// Recorder buffers trace events for one rank and spills their fixed-width
+// encoding to a SpillStore when the buffer fills. Timestamps must be
+// nondecreasing — the virtual clock is monotonic per rank — which is what
+// lets the pyramid builder run in a single streaming pass later.
+type Recorder struct {
+	spill SpillStore
+	buf   []byte // encoded records, cap = flush threshold
+	count uint64
+	lastT uint64
+}
+
+// DefaultBufRecords is the capture buffer size, in records, used when the
+// caller passes 0: 4096 records = 64 KiB per rank.
+const DefaultBufRecords = 4096
+
+// NewRecorder wraps spill with a buffer of bufRecords records (0 means
+// DefaultBufRecords).
+func NewRecorder(spill SpillStore, bufRecords int) *Recorder {
+	if bufRecords <= 0 {
+		bufRecords = DefaultBufRecords
+	}
+	return &Recorder{spill: spill, buf: make([]byte, 0, bufRecords*RecSize)}
+}
+
+// Emit records one event. Events must arrive in nondecreasing time order.
+// This is the capture hot path — once per sample — so on little-endian
+// hosts the record is stored into the buffer in place (Rec mirrors the
+// on-disk layout; the buffer base is allocator-aligned and grows in whole
+// records, keeping every record slot aligned).
+func (r *Recorder) Emit(rec Rec) error {
+	if rec.T < r.lastT {
+		return fmt.Errorf("trace: event time %d precedes previous event %d", rec.T, r.lastT)
+	}
+	n := len(r.buf)
+	if n == cap(r.buf) {
+		if err := r.flush(); err != nil {
+			return err
+		}
+		n = 0
+	}
+	if hostLittleEndian {
+		r.buf = r.buf[:n+RecSize]
+		*(*Rec)(unsafe.Pointer(&r.buf[n])) = rec
+	} else {
+		r.buf = AppendRec(r.buf, rec)
+	}
+	r.count++
+	r.lastT = rec.T
+	return nil
+}
+
+func (r *Recorder) flush() error {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	if _, err := r.spill.Write(r.buf); err != nil {
+		return err
+	}
+	r.buf = r.buf[:0]
+	return nil
+}
+
+// Count reports the number of events emitted so far.
+func (r *Recorder) Count() uint64 { return r.count }
+
+// LastT reports the timestamp of the most recent event (0 when empty).
+func (r *Recorder) LastT() uint64 { return r.lastT }
+
+// Scan flushes the buffer and replays every recorded event in order. It
+// may be called more than once for stores whose Reader restarts (both
+// provided stores do).
+func (r *Recorder) Scan(fn func(Rec) error) error {
+	if err := r.flush(); err != nil {
+		return err
+	}
+	src, err := r.spill.Reader()
+	if err != nil {
+		return err
+	}
+	var chunk [RecSize * 512]byte
+	left := r.count * RecSize
+	for left > 0 {
+		c := left
+		if c > uint64(len(chunk)) {
+			c = uint64(len(chunk))
+		}
+		b := chunk[:c]
+		if _, err := io.ReadFull(src, b); err != nil {
+			return fmt.Errorf("trace: spill store lost data: %w", err)
+		}
+		for o := 0; o < len(b); o += RecSize {
+			if err := fn(DecodeRec(b[o : o+RecSize])); err != nil {
+				return err
+			}
+		}
+		left -= c
+	}
+	return nil
+}
+
+// Close releases the spill store.
+func (r *Recorder) Close() error { return r.spill.Close() }

@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecRoundTrip(t *testing.T) {
+	recs := []Rec{
+		{},
+		{T: 1, CPID: 2, Depth: 3},
+		{T: 1<<63 + 7, CPID: ^uint32(0) - 1, Depth: 65535, Flags: 0},
+	}
+	var b []byte
+	for _, r := range recs {
+		b = AppendRec(b, r)
+	}
+	if len(b) != len(recs)*RecSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), len(recs)*RecSize)
+	}
+	for i, want := range recs {
+		if got := DecodeRec(b[i*RecSize:]); got != want {
+			t.Errorf("rec %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	bks := []Bucket{
+		{CPID: EmptyCPID},
+		{CPID: 7, Depth: 4, Samples: 9},
+		{CPID: 0, Depth: 65535, Samples: 65535},
+	}
+	var b []byte
+	for _, k := range bks {
+		b = AppendBucket(b, k)
+	}
+	for i, want := range bks {
+		if got := DecodeBucket(b[i*BucketSize:]); got != want {
+			t.Errorf("bucket %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// spills builds both store kinds for a subtest sweep.
+func spills(t *testing.T) map[string]SpillStore {
+	t.Helper()
+	fs, err := NewFileSpill(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]SpillStore{"mem": &MemSpill{}, "file": fs}
+}
+
+func TestRecorderSpillAndScan(t *testing.T) {
+	for name, spill := range spills(t) {
+		t.Run(name, func(t *testing.T) {
+			// Buffer of 8 records forces many spills for 1000 events.
+			r := NewRecorder(spill, 8)
+			defer r.Close()
+			const n = 1000
+			for i := 0; i < n; i++ {
+				if err := r.Emit(Rec{T: uint64(i * 3), CPID: uint32(i % 17), Depth: uint16(i % 5)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r.Count() != n {
+				t.Fatalf("count %d, want %d", r.Count(), n)
+			}
+			if r.LastT() != (n-1)*3 {
+				t.Fatalf("lastT %d, want %d", r.LastT(), (n-1)*3)
+			}
+			for pass := 0; pass < 2; pass++ { // Scan must be repeatable
+				i := 0
+				if err := r.Scan(func(rec Rec) error {
+					want := Rec{T: uint64(i * 3), CPID: uint32(i % 17), Depth: uint16(i % 5)}
+					if rec != want {
+						t.Fatalf("pass %d rec %d: got %+v want %+v", pass, i, rec, want)
+					}
+					i++
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if i != n {
+					t.Fatalf("pass %d scanned %d records, want %d", pass, i, n)
+				}
+			}
+		})
+	}
+}
+
+func TestRecorderRejectsTimeRegression(t *testing.T) {
+	r := NewRecorder(&MemSpill{}, 0)
+	if err := r.Emit(Rec{T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Emit(Rec{T: 10}); err != nil {
+		t.Fatalf("equal timestamps must be accepted: %v", err)
+	}
+	if err := r.Emit(Rec{T: 9}); err == nil {
+		t.Fatal("time regression accepted")
+	}
+}
+
+func TestByteViewsMatchDecode(t *testing.T) {
+	var rb []byte
+	var want []Rec
+	for i := 0; i < 37; i++ {
+		r := Rec{T: uint64(i) * 1001, CPID: uint32(i), Depth: uint16(i % 7)}
+		rb = AppendRec(rb, r)
+		want = append(want, r)
+	}
+	got := RecsFromBytes(rb)
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rec %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	var bb []byte
+	var wantB []Bucket
+	for i := 0; i < 19; i++ {
+		b := Bucket{CPID: uint32(i * 3), Depth: uint16(i), Samples: uint16(i * 2)}
+		bb = AppendBucket(bb, b)
+		wantB = append(wantB, b)
+	}
+	gotB := BucketsFromBytes(bb)
+	for i := range wantB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("bucket %d: got %+v want %+v", i, gotB[i], wantB[i])
+		}
+	}
+	// Unaligned input must take the copy path and still decode.
+	un := append(make([]byte, 1, 1+len(rb)), rb...)[1:]
+	if &un[0] == &rb[0] {
+		t.Skip("allocator aligned the copy identically")
+	}
+	got2 := RecsFromBytes(un)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("unaligned rec %d: got %+v want %+v", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestFileSpillUnlinked(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileSpill(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Write(bytes.Repeat([]byte{7}, RecSize)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := fs.Reader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, RecSize)
+	if _, err := rd.Read(b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"testing"
+)
+
+// memSource is an in-memory Source for kernel tests.
+type memSource struct {
+	metas  map[int]Meta
+	levels map[int][][]Bucket
+}
+
+func newMemSource() *memSource {
+	return &memSource{metas: map[int]Meta{}, levels: map[int][][]Bucket{}}
+}
+
+func (s *memSource) add(t *testing.T, rank int, recs []Rec) {
+	t.Helper()
+	meta, levels := buildFromRecs(t, rank, recs)
+	s.metas[rank] = meta
+	s.levels[rank] = levels
+}
+
+func (s *memSource) TraceRanks() []int {
+	var out []int
+	for r := 0; r < 1<<20; r++ {
+		if _, ok := s.metas[r]; ok {
+			out = append(out, r)
+		}
+		if len(out) == len(s.metas) {
+			break
+		}
+	}
+	return out
+}
+
+func (s *memSource) TraceMeta(rank int) (Meta, bool) { m, ok := s.metas[rank]; return m, ok }
+
+func (s *memSource) TraceLevel(rank, level int) []Bucket {
+	lv := s.levels[rank]
+	if level < 0 || level >= len(lv) {
+		return nil
+	}
+	return lv[level]
+}
+
+// phased emits a three-phase trace: calls path 1 (depth 2) for the first
+// third of time, path 2 (depth 5) for the middle, path 3 (depth 1) last.
+func phased(n int, span uint64) []Rec {
+	recs := make([]Rec, n)
+	for i := range recs {
+		t := uint64(i) * span / uint64(n)
+		switch {
+		case t < span/3:
+			recs[i] = Rec{T: t, CPID: 1, Depth: 2}
+		case t < 2*span/3:
+			recs[i] = Rec{T: t, CPID: 2, Depth: 5}
+		default:
+			recs[i] = Rec{T: t, CPID: 3, Depth: 1}
+		}
+	}
+	return recs
+}
+
+func TestViewPhases(t *testing.T) {
+	src := newMemSource()
+	const span = 3_000_000
+	src.add(t, 0, phased(100_000, span))
+	g, err := View(src, 0, span, nil, 90, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 90 || g.H != 1 || g.Ranks[0] != 0 {
+		t.Fatalf("grid %dx%d ranks %v", g.W, g.H, g.Ranks)
+	}
+	// Away from phase boundaries every cell must show the phase's path.
+	check := func(x int, want uint32) {
+		c := g.At(x, 0)
+		if c.CPID != want {
+			t.Errorf("cell %d: cpid %d, want %d", x, c.CPID, want)
+		}
+	}
+	check(5, 1)
+	check(45, 2)
+	check(85, 3)
+	// The deep middle phase must win any cell that straddles its edge.
+	for x := 0; x < 90; x++ {
+		c := g.At(x, 0)
+		if c.CPID == EmptyCPID {
+			t.Errorf("cell %d empty", x)
+		}
+	}
+}
+
+func TestViewZoomConsistency(t *testing.T) {
+	src := newMemSource()
+	const span = 1 << 20
+	src.add(t, 0, phased(50_000, span))
+	// Zooming into the middle phase must show only path 2 at every zoom.
+	// Windows stay inside the middle phase [span/3, 2·span/3).
+	for _, win := range []uint64{span / 4, span / 8, span / 64, 1024, 64} {
+		mid := uint64(span / 2)
+		g, err := View(src, mid-win/2, mid+win/2, nil, 64, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < 64; x++ {
+			if c := g.At(x, 0); c.CPID != 2 && c.CPID != EmptyCPID {
+				t.Fatalf("window %d cell %d: cpid %d", win, x, c.CPID)
+			}
+		}
+	}
+}
+
+func TestViewRankSampling(t *testing.T) {
+	src := newMemSource()
+	for r := 0; r < 16; r++ {
+		src.add(t, r, []Rec{{T: 0, CPID: uint32(r + 1), Depth: 1}, {T: 999, CPID: uint32(r + 1), Depth: 1}})
+	}
+	g, err := View(src, 0, 1000, nil, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.H != 4 {
+		t.Fatalf("H %d", g.H)
+	}
+	wantRanks := []int{0, 4, 8, 12}
+	for y, want := range wantRanks {
+		if g.Ranks[y] != want {
+			t.Fatalf("row %d rank %d, want %d", y, g.Ranks[y], want)
+		}
+		if c := g.At(0, y); c.CPID != uint32(want+1) {
+			t.Fatalf("row %d cpid %d, want %d", y, c.CPID, want+1)
+		}
+	}
+	// H larger than the rank count collapses to one row per rank.
+	g, err = View(src, 0, 1000, []int{3, 5}, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.H != 2 || g.Ranks[0] != 3 || g.Ranks[1] != 5 {
+		t.Fatalf("H %d ranks %v", g.H, g.Ranks)
+	}
+}
+
+func TestViewEmptyAndErrors(t *testing.T) {
+	src := newMemSource()
+	src.add(t, 0, phased(100, 1000))
+	if _, err := View(src, 0, 100, nil, 0, 1); err == nil {
+		t.Error("W=0 accepted")
+	}
+	if _, err := View(src, 50, 50, nil, 8, 1); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := View(src, 0, 100, []int{99}, 8, 1); err == nil {
+		t.Error("unknown rank accepted")
+	}
+	if _, err := View(src, 0, 0, nil, 1<<23, 1); err == nil {
+		t.Error("pixel budget exceeded accepted")
+	}
+	// A window wholly past the data renders empty cells, not an error.
+	g, err := View(src, 1<<40, 1<<41, nil, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 8; x++ {
+		if !g.At(x, 0).Empty() {
+			t.Fatalf("cell %d not empty", x)
+		}
+	}
+	// t1=0 means through the last event.
+	g, err = View(src, 0, 0, nil, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.T1 == 0 {
+		t.Fatal("t1 not resolved")
+	}
+}
+
+// TestViewWorkIsPixelBound counts bucket merges per render via an
+// instrumented source: the count must stay O(W·H) as events grow 100×.
+type countingSource struct {
+	*memSource
+	touched int
+}
+
+func (s *countingSource) TraceLevel(rank, level int) []Bucket {
+	lv := s.memSource.TraceLevel(rank, level)
+	s.touched += len(lv)
+	return lv
+}
+
+func TestViewLevelChoiceIsPixelBound(t *testing.T) {
+	// At a fixed 256-cell budget, the chosen level's bucket count must
+	// stay within a small constant of W no matter how many events were
+	// recorded.
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		src := newMemSource()
+		src.add(t, 0, phased(n, uint64(n)*37))
+		cs := &countingSource{memSource: src}
+		if _, err := View(cs, 0, 0, nil, 256, 1); err != nil {
+			t.Fatal(err)
+		}
+		if cs.touched > 4*256 {
+			t.Errorf("n=%d: level of %d buckets chosen for 256 cells", n, cs.touched)
+		}
+	}
+}
+
+func TestViewDeterministic(t *testing.T) {
+	src := newMemSource()
+	for r := 0; r < 4; r++ {
+		src.add(t, r, randRecs(10_000, uint64(r)+1))
+	}
+	a, err := View(src, 100, 1_000_000, nil, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := View(src, 100, 1_000_000, nil, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+}
