@@ -8,12 +8,18 @@ GO ?= go
 # ChildLookup is a nanosecond-scale operation and needs a fixed high
 # iteration count — 30 iterations of a ~50ns op is pure timer noise.
 # HotPath is anchored so it does not also select BenchmarkHotPathSize.
-BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen|BenchmarkConcurrentSessions|BenchmarkMappedOpen|BenchmarkColdFirstQuery|BenchmarkCatalogSessions|BenchmarkTraceView|BenchmarkTraceCapture
+BENCHES = BenchmarkMergeRanks|BenchmarkParallelMerge|BenchmarkBuildCCT|BenchmarkReadBinary|BenchmarkDerivedEval|BenchmarkSortTree|BenchmarkHotPath$$|BenchmarkComputeMetrics|BenchmarkLazyOpen|BenchmarkConcurrentSessions|BenchmarkMappedOpen|BenchmarkColdFirstQuery|BenchmarkCatalogSessions|BenchmarkTraceView|BenchmarkTraceCapture|BenchmarkImportPprof|BenchmarkReport$$
 BENCH_CMD = $(GO) test -run XXX -bench '$(BENCHES)' -benchtime 30x -benchmem . \
 	&& $(GO) test -run XXX -bench BenchmarkChildLookup -benchtime 2000000x -benchmem . \
 	&& $(GO) test -run XXX -bench 'BenchmarkDiffUnion|BenchmarkDiffKernels' -benchtime 5x -benchmem .
 
-.PHONY: verify build test race vet lint bench benchdiff bench-smoke bench-merge bench-diff bench-trace faults chaos
+# Packages whose fuzz targets run their seed corpora in CI and `make
+# faults`. This list is the single source of truth: CI's "Fuzz seeds" step
+# calls `make fuzz-seeds`, so adding a fuzz target means adding its package
+# here once.
+FUZZ_PKGS = ./internal/diff ./internal/expdb ./internal/profile ./internal/structfile ./internal/metric ./internal/pprofio
+
+.PHONY: verify build test race vet lint bench benchdiff bench-smoke bench-merge bench-diff bench-trace faults fuzz-seeds chaos
 
 verify: build test race vet lint bench-smoke faults chaos
 
@@ -55,7 +61,7 @@ bench:
 # deterministic and fail the diff when they regress; ns/op is reported but
 # only fails beyond 50% (single-CPU container timing is noisy).
 benchdiff:
-	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json BENCH_engine.json BENCH_diff.json BENCH_open.json BENCH_catalog.json BENCH_trace.json
+	@( $(BENCH_CMD) ) | $(GO) run ./cmd/benchdiff -max-regress 0.5 BENCH_merge.json BENCH_core.json BENCH_query.json BENCH_engine.json BENCH_diff.json BENCH_open.json BENCH_catalog.json BENCH_trace.json BENCH_report.json
 
 # Run every root benchmark body once (N=1) — the rot guard behind verify.
 bench-smoke:
@@ -73,16 +79,22 @@ bench-diff:
 bench-trace:
 	$(GO) test -run XXX -bench 'BenchmarkTraceView|BenchmarkTraceCapture' -benchtime 30x -benchmem .
 
+# Every fuzz target's checked-in seed corpus, run as plain tests.
+fuzz-seeds:
+	$(GO) test -run Fuzz $(FUZZ_PKGS)
+
 # Robustness gate: the fault-injection matrix (every workload's files, both
-# format versions, truncation + corruption sweeps) plus a short coverage-
-# guided fuzz of both binary readers.
+# format versions, truncation + corruption sweeps), every seed corpus, plus
+# a short coverage-guided fuzz of the binary readers and the pprof importer.
 faults:
 	$(GO) test -run 'TestFaultMatrix|TestReaderFaults' ./internal/faultio
+	$(MAKE) fuzz-seeds
 	$(GO) test -run XXX -fuzz 'FuzzRead$$' -fuzztime 10s ./internal/profile
 	$(GO) test -run XXX -fuzz FuzzReadBinary -fuzztime 10s ./internal/expdb
 	$(GO) test -run XXX -fuzz FuzzReadV3 -fuzztime 10s ./internal/expdb
 	$(GO) test -run XXX -fuzz FuzzReadTrace -fuzztime 10s ./internal/expdb
 	$(GO) test -run XXX -fuzz FuzzDiff -fuzztime 10s ./internal/diff
+	$(GO) test -run XXX -fuzz FuzzImportPprof -fuzztime 10s ./internal/pprofio
 
 # Live-serving chaos gate, always under -race: catalog lifecycle races
 # (evict/republish/rot under concurrent query load) and HTTP-layer fault

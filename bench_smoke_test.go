@@ -71,6 +71,8 @@ func TestBenchSmoke(t *testing.T) {
 		{"DiffKernels", BenchmarkDiffKernels},
 		{"TraceView", BenchmarkTraceView},
 		{"TraceCapture", BenchmarkTraceCapture},
+		{"ImportPprof", BenchmarkImportPprof},
+		{"Report", BenchmarkReport},
 	}
 	for _, bm := range benches {
 		bm := bm

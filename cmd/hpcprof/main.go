@@ -18,6 +18,16 @@
 //	        [-traces] [-keep-going] [-max-bad-ranks N] \
 //	        -o s3d.db measurements/s3d-*.cpprof
 //
+// hpcprof is also the pprof bridge (DESIGN.md §16). -pprof imports a
+// gzipped Go runtime/pprof profile (CPU, heap, mutex, ...) through the
+// format-neutral source boundary and writes a normal experiment database
+// (CPDB3 by default), so every view, diff, catalog and server path works
+// on real-world profiles unchanged; -export-pprof opens an existing
+// database of any format and writes it back out as a pprof profile:
+//
+//	hpcprof -pprof cpu.pb.gz -o cpu.db
+//	hpcprof -export-pprof cpu.pb.gz cpu.db
+//
 // With -traces (v3 output only), the trace sections hpcrun -trace captured
 // are correlated and streamed into the database with zoom pyramids baked
 // at write time. The trace pass re-reads each measurement file
@@ -39,11 +49,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/correlate"
 	"repro/internal/diag"
+	"repro/internal/engine"
 	"repro/internal/expdb"
 	"repro/internal/ingest"
 	"repro/internal/merge"
 	"repro/internal/metric"
+	"repro/internal/pprofio"
 	"repro/internal/profile"
+	"repro/internal/source"
 	"repro/internal/structfile"
 	"repro/internal/trace"
 )
@@ -66,8 +79,43 @@ func run(args []string) (err error) {
 	traceOut := fs.Bool("traces", false, "stream captured trace sections into the database with zoom pyramids (v3 format only)")
 	keepGoing := fs.Bool("keep-going", false, "quarantine corrupt/truncated/unreadable measurement files instead of aborting")
 	maxBad := fs.Int("max-bad-ranks", -1, "abort once more than this many files are quarantined (-1 = unlimited; setting it implies -keep-going)")
+	pprofIn := fs.String("pprof", "", "import this gzipped pprof profile instead of hpcrun measurements (no -S; writes CPDB3 unless -format says otherwise)")
+	pprofOut := fs.String("export-pprof", "", "export an existing experiment database (the positional argument) to a gzipped pprof profile at this path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	formatSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+	if *pprofOut != "" {
+		if *pprofIn != "" {
+			return fmt.Errorf("-pprof and -export-pprof are mutually exclusive")
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-export-pprof needs exactly one database argument, got %d", fs.NArg())
+		}
+		return exportPprof(fs.Arg(0), *pprofOut)
+	}
+	if *pprofIn != "" {
+		if *structPath != "" {
+			return fmt.Errorf("-S is not used with -pprof (pprof profiles are already symbolized)")
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-pprof takes no positional arguments (one profile per database)")
+		}
+		if *traceOut {
+			return fmt.Errorf("-traces requires hpcrun measurements")
+		}
+		if !formatSet {
+			*format = "v3"
+		}
+		if *format != "binary" && *format != "v3" && *format != "xml" {
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		return importPprof(*pprofIn, *out, *format)
 	}
 	if *structPath == "" {
 		return fmt.Errorf("missing -S structure file")
@@ -154,6 +202,64 @@ func run(args []string) (err error) {
 		fmt.Printf("wrote %s (%s, %d scopes, %d metric columns)\n",
 			*out, report.Summary(), res.Tree.NumNodes(), res.Tree.Reg.Len())
 	}
+	return nil
+}
+
+// importPprof builds an experiment database from one pprof profile via
+// the format-neutral source boundary, publishing it through the same
+// atomic-write path as a measurement merge.
+func importPprof(in, out, format string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	im, err := pprofio.Import(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", in, err)
+	}
+	tree, err := source.BuildTree(im)
+	if err != nil {
+		return fmt.Errorf("importing %s: %w", in, err)
+	}
+	exp := &expdb.Experiment{Program: im.Program(), NRanks: im.NRanks(), Tree: tree}
+	err = expdb.WriteFileAtomic(out, func(f *os.File) error {
+		switch format {
+		case "xml":
+			return exp.WriteXML(f)
+		case "binary":
+			return exp.WriteBinary(f)
+		default:
+			return exp.WriteBinaryV3(f)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (pprof import, %d scopes, %d metric columns)\n",
+		out, tree.NumNodes(), tree.Reg.Len())
+	return nil
+}
+
+// exportPprof round-trips an existing database (any format) out to pprof.
+func exportPprof(dbPath, out string) error {
+	sn, err := engine.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	defer sn.Release()
+	// A v3 database faults metric columns on demand; the exporter walks
+	// every raw Base value, so fault everything up front.
+	if err := sn.FaultAll(); err != nil {
+		return fmt.Errorf("loading %s: %w", dbPath, err)
+	}
+	err = expdb.WriteFileAtomic(out, func(f *os.File) error {
+		return pprofio.Export(sn.Experiment(), f)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (pprof export of %s)\n", out, dbPath)
 	return nil
 }
 

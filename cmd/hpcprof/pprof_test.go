@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestPprofBridge drives the CLI end to end: import a real Go heap
+// profile, open the resulting CPDB3, export it back to pprof, re-import,
+// and check the two databases are byte-identical (the lossless round
+// trip).
+func TestPprofBridge(t *testing.T) {
+	dir := t.TempDir()
+	pb := filepath.Join(dir, "heap.pb.gz")
+	// Allocate enough that the heap profiler (one sample per ~512 KiB)
+	// certainly recorded stacks.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<20))
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if err := os.WriteFile(pb, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db1 := filepath.Join(dir, "heap.db")
+	if err := run([]string{"-pprof", pb, "-o", db1}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := engine.Open(db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Tree().Root.Children) == 0 {
+		sn.Release()
+		t.Fatal("imported database has no scopes")
+	}
+	sn.Release()
+
+	pb2 := filepath.Join(dir, "heap2.pb.gz")
+	if err := run([]string{"-export-pprof", pb2, db1}); err != nil {
+		t.Fatal(err)
+	}
+	db2 := filepath.Join(dir, "heap2.db")
+	if err := run([]string{"-pprof", pb2, "-o", db2}); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("pprof round-trip through the CLI drifted the database bytes")
+	}
+
+	// Flag validation.
+	for _, bad := range [][]string{
+		{"-pprof", pb, "-S", "x.hpcstruct", "-o", db1},
+		{"-pprof", pb, "-traces", "-o", db1},
+		{"-pprof", pb, "-o", db1, "extra.cpprof"},
+		{"-pprof", pb, "-export-pprof", pb2, "-o", db1},
+		{"-export-pprof", pb2},
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) succeeded, want error", bad)
+		}
+	}
+}

@@ -12,6 +12,14 @@
 // Figure 3's shows "loop at integrate_erk.f90: 82" between two procedure
 // frames — and the callee's identity is taken from the procedure containing
 // the next-deeper address.
+//
+// Since the ingestion-core refactor (DESIGN.md §16) the package is one
+// implementation of the format-neutral internal/source boundary: Source
+// adapts an (hpcrun profile, structure document) pair into a
+// source.Profile whose sample stream replays the historical correlation
+// walk exactly, and Correlate/Into are thin wrappers over source.Build.
+// The resulting trees are byte-identical to the pre-refactor correlator
+// (locked by TestCorrelateSourceLock).
 package correlate
 
 import (
@@ -20,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/profile"
+	"repro/internal/source"
 	"repro/internal/structfile"
 )
 
@@ -40,134 +49,165 @@ func Correlate(doc *structfile.Doc, prof *profile.Profile) (*core.Tree, error) {
 // accumulate, so correlating several ranks into one tree yields the summed
 // profile of Section IV's finalization step.
 func Into(tree *core.Tree, doc *structfile.Doc, prof *profile.Profile) ([]int, error) {
-	if err := prof.Validate(); err != nil {
-		return nil, err
-	}
-	if doc.Fingerprint != 0 && prof.Fingerprint != 0 && doc.Fingerprint != prof.Fingerprint {
-		return nil, fmt.Errorf(
-			"correlate: profile (rank %d) was measured from a different build than the structure document (fingerprint %x vs %x)",
-			prof.Rank, prof.Fingerprint, doc.Fingerprint)
-	}
-	cols := make([]int, len(prof.Metrics))
-	for i, m := range prof.Metrics {
-		if d := tree.Reg.ByName(m.Name); d != nil {
-			cols[i] = d.ID
-			continue
-		}
-		d, err := tree.Reg.AddRaw(m.Name, m.Unit, m.Period)
-		if err != nil {
-			return nil, fmt.Errorf("correlate: %w", err)
-		}
-		cols[i] = d.ID
-	}
-	// Intern every scope name/file once per document, so the per-sample
-	// loop below builds integer keys without touching string bytes.
-	doc.EnsureSyms()
-	c := &correlator{tree: tree, doc: doc, prof: prof, cols: cols}
-	if err := c.frame(prof.Root, tree.Root, 0); err != nil {
-		return nil, err
-	}
-	return cols, nil
+	return source.Build(tree, Source(doc, prof))
 }
 
-type correlator struct {
-	tree *core.Tree
+// Source adapts one hpcrun measurement (profile + structure document) to
+// the format-neutral source boundary. Validation (profile invariants,
+// build fingerprints) happens when the sample stream starts.
+func Source(doc *structfile.Doc, prof *profile.Profile) source.Profile {
+	return &hpcrunSource{doc: doc, prof: prof}
+}
+
+type hpcrunSource struct {
 	doc  *structfile.Doc
 	prof *profile.Profile
-	cols []int
 }
 
-// frame correlates one raw trie node: it creates the fused
-// call-site/callee Frame scope under parent (materializing the call site's
-// loop and inline context first) and then attributes the node's samples and
-// children inside that frame.
-func (c *correlator) frame(raw *profile.Node, parent *core.Node, callPC uint64) error {
+func (s *hpcrunSource) Program() string { return s.prof.Program }
+
+func (s *hpcrunSource) Identity() source.Identity {
+	return source.Identity{Rank: s.prof.Rank, Thread: s.prof.Thread}
+}
+
+func (s *hpcrunSource) Metrics() []source.Metric {
+	out := make([]source.Metric, len(s.prof.Metrics))
+	for i, m := range s.prof.Metrics {
+		out[i] = source.Metric{Name: m.Name, Unit: m.Unit, Period: m.Period}
+	}
+	return out
+}
+
+// Samples replays the correlation walk as a sample stream: for every trie
+// frame it resolves the call site's static chain and the callee identity,
+// then emits one sample per leaf PC with the full scope path. The walk
+// order (own samples by PC, then children by call PC) fixes the node
+// creation order source.Build produces, byte-identical to the historical
+// in-place correlator.
+func (s *hpcrunSource) Samples(emit func(path []source.Scope, values []float64) error) error {
+	if err := s.prof.Validate(); err != nil {
+		return err
+	}
+	if s.doc.Fingerprint != 0 && s.prof.Fingerprint != 0 && s.doc.Fingerprint != s.prof.Fingerprint {
+		return fmt.Errorf(
+			"correlate: profile (rank %d) was measured from a different build than the structure document (fingerprint %x vs %x)",
+			s.prof.Rank, s.prof.Fingerprint, s.doc.Fingerprint)
+	}
+	// Intern every scope name/file once per document, so the per-sample
+	// walk below builds integer keys without touching string bytes.
+	s.doc.EnsureSyms()
+	w := &walker{
+		doc:  s.doc,
+		emit: emit,
+		vals: make([]float64, len(s.prof.Metrics)),
+	}
+	return w.frame(s.prof.Root, 0)
+}
+
+// walker streams one trie as scope-path samples, reusing a single path
+// stack and value buffer across the whole profile.
+type walker struct {
+	doc  *structfile.Doc
+	emit func(path []source.Scope, values []float64) error
+	path []source.Scope
+	vals []float64
+}
+
+// frame handles one raw trie node: it pushes the fused call-site/callee
+// Frame scope (materializing the call site's loop and inline context
+// first), emits the node's samples inside that frame and then recurses
+// into the children.
+func (w *walker) frame(raw *profile.Node, callPC uint64) error {
 	framePC, ok := anyPCWithin(raw)
 	if !ok {
 		// An empty frame (no samples anywhere below): nothing to
 		// attribute — performance data is sparse (Section V-A).
 		return nil
 	}
-	calleeRes, ok := c.doc.Resolve(framePC)
+	calleeRes, ok := w.doc.Resolve(framePC)
 	if !ok {
 		return fmt.Errorf("correlate: PC 0x%x not covered by structure document", framePC)
 	}
 
-	ctx := parent
-	key := core.Key{
-		Kind: core.KindFrame,
-		Name: calleeRes.Proc.NameSym,
-		File: calleeRes.Proc.FileSym,
-		Line: calleeRes.Proc.Line,
-		ID:   callPC,
+	depth := len(w.path)
+	fr := source.Scope{
+		Key: core.Key{
+			Kind: core.KindFrame,
+			Name: calleeRes.Proc.NameSym,
+			File: calleeRes.Proc.FileSym,
+			Line: calleeRes.Proc.Line,
+			ID:   callPC,
+		},
+		NoSource: calleeRes.Proc.NoSource,
 	}
-	var callRes structfile.Resolution
+	if calleeRes.LM != nil {
+		fr.Mod = calleeRes.LM.NameSym
+	}
 	if callPC != 0 {
-		callRes, ok = c.doc.Resolve(callPC)
+		callRes, ok := w.doc.Resolve(callPC)
 		if !ok {
 			return fmt.Errorf("correlate: call PC 0x%x not covered by structure document", callPC)
 		}
 		// The loops and inlined frames *containing the call site*
 		// become static scopes between the caller and callee frames
 		// (Section III-D.2).
-		ctx = c.materializeChain(ctx, callRes.Chain)
+		w.pushChain(callRes.Chain)
+		if callRes.Stmt != nil {
+			fr.CallLine = callRes.Stmt.Line
+			fr.CallFile = callRes.Stmt.FileSym
+		}
 	}
-	fr := ctx.Child(key, true)
-	fr.NoSource = calleeRes.Proc.NoSource
-	if calleeRes.LM != nil {
-		fr.Mod = calleeRes.LM.NameSym
-	}
-	if callPC != 0 && callRes.Stmt != nil {
-		fr.CallLine = callRes.Stmt.Line
-		fr.CallFile = callRes.Stmt.FileSym
-	}
+	w.path = append(w.path, fr)
 
 	for _, row := range raw.Samples() {
-		res, ok := c.doc.Resolve(row.PC)
+		res, ok := w.doc.Resolve(row.PC)
 		if !ok {
 			return fmt.Errorf("correlate: sample PC 0x%x not covered by structure document", row.PC)
 		}
-		sctx := c.materializeChain(fr, res.Chain)
-		stmt := sctx.Child(core.Key{
-			Kind: core.KindStmt,
-			File: res.Stmt.FileSym,
-			Line: res.Stmt.Line,
-		}, true)
-		stmt.NoSource = res.Proc.NoSource
+		mark := len(w.path)
+		w.pushChain(res.Chain)
+		w.path = append(w.path, source.Scope{
+			Key: core.Key{
+				Kind: core.KindStmt,
+				File: res.Stmt.FileSym,
+				Line: res.Stmt.Line,
+			},
+			NoSource: res.Proc.NoSource,
+		})
 		for mi, count := range row.Counts {
-			stmt.Base.Add(c.cols[mi], float64(count))
+			w.vals[mi] = float64(count)
 		}
+		if err := w.emit(w.path, w.vals); err != nil {
+			return err
+		}
+		w.path = w.path[:mark]
 	}
 
 	for _, child := range raw.Children() {
-		if err := c.frame(child, fr, child.CallPC); err != nil {
+		if err := w.frame(child, child.CallPC); err != nil {
 			return err
 		}
 	}
+	w.path = w.path[:depth]
 	return nil
 }
 
-// materializeChain creates the loop/alien scopes of a static chain under
-// base and returns the innermost.
-func (c *correlator) materializeChain(base *core.Node, chain []*structfile.Scope) *core.Node {
-	cur := base
+// pushChain appends the loop/alien scopes of a static chain to the path
+// stack.
+func (w *walker) pushChain(chain []*structfile.Scope) {
 	for _, s := range chain {
-		var key core.Key
 		switch s.Kind {
 		case structfile.KindLoop:
-			key = core.Key{Kind: core.KindLoop, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
+			w.path = append(w.path, source.Scope{
+				Key: core.Key{Kind: core.KindLoop, File: s.FileSym, Line: s.Line, ID: scopeID(s)},
+			})
 		case structfile.KindAlien:
-			key = core.Key{Kind: core.KindAlien, Name: s.NameSym, File: s.FileSym, Line: s.Line, ID: scopeID(s)}
-		default:
-			continue
+			w.path = append(w.path, source.Scope{
+				Key:      core.Key{Kind: core.KindAlien, Name: s.NameSym, File: s.FileSym, Line: s.Line, ID: scopeID(s)},
+				CallLine: s.CallLine,
+			})
 		}
-		next := cur.Child(key, true)
-		if s.Kind == structfile.KindAlien && next.CallLine == 0 {
-			next.CallLine = s.CallLine
-		}
-		cur = next
 	}
-	return cur
 }
 
 // scopeID returns a stable identifier for a structure scope: its first

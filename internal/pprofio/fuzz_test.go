@@ -1,0 +1,60 @@
+package pprofio
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/expdb"
+	"repro/internal/source"
+)
+
+// FuzzImportPprof throws arbitrary bytes at the importer. Seeds are real
+// profiles: a Go CPU profile and heap profile of the fuzzing process
+// itself, one of this package's own exports (repro-marked), a raw
+// hand-built foreign profile, and truncations. The invariant is the fault
+// model's: malformed input may be rejected but must never panic, and any
+// accepted profile must build a tree without error.
+func FuzzImportPprof(f *testing.F) {
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err == nil {
+		spin := time.Now()
+		for time.Since(spin) < 50*time.Millisecond {
+			runtime.Gosched()
+		}
+		pprof.StopCPUProfile()
+		f.Add(cpu.Bytes())
+	}
+	f.Add(writeHeapProfile(f))
+	raw := foreignProto().marshal()
+	f.Add(raw)
+	if im, err := Import(bytes.NewReader(raw)); err == nil {
+		if tree, err := source.BuildTree(im); err == nil {
+			var exported bytes.Buffer
+			if err := Export(&expdb.Experiment{Program: im.Program(), NRanks: 1, Tree: tree},
+				&exported); err == nil {
+				f.Add(exported.Bytes())
+			}
+		}
+	}
+	f.Add(raw[:len(raw)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Import(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		tree, err := source.BuildTree(im)
+		if err != nil {
+			return
+		}
+		// An accepted profile must also survive export (arbitrary interned
+		// strings, weird lines, zero metrics are all reachable here).
+		_ = Export(&expdb.Experiment{Program: im.Program(), NRanks: im.NRanks(), Tree: tree},
+			&bytes.Buffer{})
+	})
+}

@@ -1,0 +1,319 @@
+package pprofio
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/intern"
+	"repro/internal/source"
+)
+
+// Comment keys and system_name markers of the lossless "repro:" encoding
+// (DESIGN.md §16). A profile carrying the program comment is one of our
+// own exports and imports structurally; anything else imports at pprof
+// granularity.
+const (
+	commentProgram = "repro:program="
+	commentNRanks  = "repro:nranks="
+	commentPeriods = "repro:periods="
+
+	markFrame    = "repro:frame"
+	markLoop     = "repro:loop"
+	markAlien    = "repro:alien"
+	markStmt     = "repro:stmt"
+	markCallFile = "repro:callfile"
+	markNoSource = ";nosource"
+)
+
+// Profile is an imported pprof profile, ready to stream into a tree via
+// source.Build.
+type Profile struct {
+	p       *proto
+	program string
+	nranks  int
+	repro   bool // carries the lossless "repro:" encoding
+	metrics []source.Metric
+}
+
+var _ source.Profile = (*Profile)(nil)
+
+// Import reads one pprof profile (gzipped or raw profile.proto) and wraps
+// it as a format-neutral source. All cross-references are validated here;
+// the sample stream cannot fail on malformed input afterwards.
+func Import(r io.Reader) (*Profile, error) {
+	p, err := parseProto(r)
+	if err != nil {
+		return nil, err
+	}
+	im := &Profile{p: p, nranks: 1}
+	var periods string
+	for _, c := range p.comments {
+		s := p.str(c)
+		switch {
+		case strings.HasPrefix(s, commentProgram):
+			im.program = strings.TrimPrefix(s, commentProgram)
+			im.repro = true
+		case strings.HasPrefix(s, commentNRanks):
+			if n, err := strconv.Atoi(strings.TrimPrefix(s, commentNRanks)); err == nil && n > 0 {
+				im.nranks = n
+			}
+		case strings.HasPrefix(s, commentPeriods):
+			periods = strings.TrimPrefix(s, commentPeriods)
+		}
+	}
+	if im.program == "" {
+		// Foreign profile: name it after the main binary (Go's pprof
+		// writer puts the executable in the first mapping).
+		if len(p.mappings) > 0 {
+			im.program = path.Base(p.str(p.mappings[0].filename))
+		}
+		if im.program == "" || im.program == "." || im.program == "/" {
+			im.program = "pprof"
+		}
+	}
+	im.metrics = make([]source.Metric, len(p.sampleTypes))
+	for i, vt := range p.sampleTypes {
+		name := p.str(vt.typ)
+		if name == "" {
+			name = fmt.Sprintf("values%d", i)
+		}
+		im.metrics[i] = source.Metric{Name: name, Unit: p.str(vt.unit), Period: 1}
+	}
+	if periods != "" {
+		// Positional per-column periods, restoring what pprof's single
+		// profile-wide period cannot carry.
+		for i, f := range strings.Split(periods, ",") {
+			if i >= len(im.metrics) {
+				break
+			}
+			if v, err := strconv.ParseUint(f, 10, 64); err == nil && v > 0 {
+				im.metrics[i].Period = v
+			}
+		}
+	}
+	if im.repro {
+		if err := im.checkRepro(); err != nil {
+			return nil, err
+		}
+	}
+	return im, nil
+}
+
+// checkRepro validates the structural invariants of the lossless encoding
+// beyond what general pprof validation covers, so the repro-mode sample
+// walk cannot fail mid-stream.
+func (im *Profile) checkRepro() error {
+	for i := range im.p.locations {
+		l := &im.p.locations[i]
+		main, _, ok := im.reproLines(l)
+		if !ok {
+			return fmt.Errorf("pprofio: repro-encoded location %d has no scope line", l.id)
+		}
+		fn := im.p.fnByID[main.functionID]
+		if kindOfMark(im.p.str(fn.systemName)) == core.KindRoot {
+			return fmt.Errorf("pprofio: repro-encoded location %d has unknown scope marker %q",
+				l.id, im.p.str(fn.systemName))
+		}
+	}
+	return nil
+}
+
+// reproLines splits a repro-encoded location's lines into the scope line
+// and the optional call-file line.
+func (im *Profile) reproLines(l *location) (main, callFile *line, ok bool) {
+	for i := range l.lines {
+		ln := &l.lines[i]
+		if ln.functionID == 0 {
+			continue
+		}
+		fn := im.p.fnByID[ln.functionID]
+		if im.p.str(fn.systemName) == markCallFile {
+			callFile = ln
+		} else if main == nil {
+			main = ln
+		}
+	}
+	return main, callFile, main != nil
+}
+
+// kindOfMark maps a system_name marker to the scope kind it encodes;
+// KindRoot (never encoded) means "not a marker".
+func kindOfMark(mark string) core.Kind {
+	switch strings.TrimSuffix(mark, markNoSource) {
+	case markFrame:
+		return core.KindFrame
+	case markLoop:
+		return core.KindLoop
+	case markAlien:
+		return core.KindAlien
+	case markStmt:
+		return core.KindStmt
+	}
+	return core.KindRoot
+}
+
+// Program names the measured program.
+func (im *Profile) Program() string { return im.program }
+
+// NRanks reports how many processes the exporting database had merged
+// (from the repro:nranks comment); 1 for foreign profiles.
+func (im *Profile) NRanks() int { return im.nranks }
+
+// Identity is always the zero identity: a pprof profile carries no
+// rank/thread structure (a merged export is a summed profile).
+func (im *Profile) Identity() source.Identity { return source.Identity{} }
+
+// Metrics describes one raw column per pprof sample type.
+func (im *Profile) Metrics() []source.Metric {
+	out := make([]source.Metric, len(im.metrics))
+	copy(out, im.metrics)
+	return out
+}
+
+// Samples streams the profile's samples in file order — the deterministic
+// order that fixes tree creation order.
+func (im *Profile) Samples(emit func(path []source.Scope, values []float64) error) error {
+	var scopes []source.Scope
+	values := make([]float64, len(im.metrics))
+	for i := range im.p.samples {
+		s := &im.p.samples[i]
+		scopes = scopes[:0]
+		if im.repro {
+			scopes = im.reproPath(scopes, s)
+		} else {
+			scopes = im.foreignPath(scopes, s)
+		}
+		for j, v := range s.values {
+			values[j] = float64(v)
+		}
+		if err := emit(scopes, values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reproPath rebuilds the exact scope chain a repro export encoded:
+// one location per tree node, kind in the function's system_name, id in
+// the address, call line in the column, call file in the marker line.
+func (im *Profile) reproPath(scopes []source.Scope, s *sample) []source.Scope {
+	for i := len(s.locs) - 1; i >= 0; i-- {
+		l := im.p.locByID[s.locs[i]]
+		main, callFile, _ := im.reproLines(l)
+		fn := im.p.fnByID[main.functionID]
+		mark := im.p.str(fn.systemName)
+		kind := kindOfMark(mark)
+		sc := source.Scope{
+			Key: core.Key{
+				Kind: kind,
+				File: intern.S(im.p.str(fn.filename)),
+				Line: int(main.line),
+				ID:   l.address,
+			},
+			NoSource: strings.HasSuffix(mark, markNoSource),
+			CallLine: int(main.column),
+		}
+		if kind == core.KindFrame || kind == core.KindAlien {
+			sc.Key.Name = intern.S(im.p.str(fn.name))
+		}
+		if l.mappingID != 0 {
+			sc.Mod = intern.S(im.p.str(im.p.mapByID[l.mappingID].filename))
+		}
+		if callFile != nil {
+			cfn := im.p.fnByID[callFile.functionID]
+			sc.CallFile = intern.S(im.p.str(cfn.filename))
+		}
+		scopes = append(scopes, sc)
+	}
+	return scopes
+}
+
+// foreignPath maps one foreign pprof stack at pprof's own granularity:
+// every symbolized line becomes a Frame keyed by function identity (no
+// call-instruction disambiguation — pprof merges call sites within a
+// caller), with the caller's line as the frame's call site, and the leaf
+// line lands as a Stmt the way correlate attributes sample PCs. Inlined
+// bodies (multiple lines per location) become ordinary frames, matching
+// how Go's pprof presents them.
+func (im *Profile) foreignPath(scopes []source.Scope, s *sample) []source.Scope {
+	var callLine int
+	var callFile intern.Sym
+	var leafFile intern.Sym
+	var leafLine int
+	leafNoSource := true
+	for i := len(s.locs) - 1; i >= 0; i-- {
+		l := im.p.locByID[s.locs[i]]
+		var mod intern.Sym
+		if l.mappingID != 0 {
+			mod = intern.S(im.p.str(im.p.mapByID[l.mappingID].filename))
+		}
+		if len(l.lines) == 0 {
+			// Unsymbolized address: a frame named after it, fused across
+			// samples by name.
+			name := fmt.Sprintf("0x%x", l.address)
+			scopes = append(scopes, source.Scope{
+				Key:      core.Key{Kind: core.KindFrame, Name: intern.S(name)},
+				NoSource: true,
+				Mod:      mod,
+				CallLine: callLine,
+				CallFile: callFile,
+			})
+			callLine, callFile = 0, 0
+			leafFile, leafLine, leafNoSource = 0, 0, true
+			continue
+		}
+		// lines[last] is the outermost caller an inlined body was folded
+		// into; walk callers first.
+		for j := len(l.lines) - 1; j >= 0; j-- {
+			ln := &l.lines[j]
+			var fn *function
+			if ln.functionID != 0 {
+				fn = im.p.fnByID[ln.functionID]
+			}
+			var name, file string
+			var startLine int
+			if fn != nil {
+				name = im.p.str(fn.name)
+				file = im.p.str(fn.filename)
+				startLine = int(fn.startLine)
+			}
+			if name == "" {
+				name = fmt.Sprintf("0x%x", l.address)
+			}
+			fileSym := intern.S(file)
+			scopes = append(scopes, source.Scope{
+				Key: core.Key{
+					Kind: core.KindFrame,
+					Name: intern.S(name),
+					File: fileSym,
+					Line: startLine,
+				},
+				NoSource: file == "",
+				Mod:      mod,
+				CallLine: callLine,
+				CallFile: callFile,
+			})
+			callLine, callFile = int(ln.line), fileSym
+			leafFile, leafLine, leafNoSource = fileSym, int(ln.line), file == ""
+		}
+	}
+	if len(scopes) == 0 {
+		// A sample with no locations still carries cost; attribute it to
+		// a synthetic frame rather than dropping it.
+		scopes = append(scopes, source.Scope{
+			Key:      core.Key{Kind: core.KindFrame, Name: intern.S("<unknown>")},
+			NoSource: true,
+		})
+	}
+	if leafLine != 0 || leafFile != 0 {
+		scopes = append(scopes, source.Scope{
+			Key:      core.Key{Kind: core.KindStmt, File: leafFile, Line: leafLine},
+			NoSource: leafNoSource,
+		})
+	}
+	return scopes
+}

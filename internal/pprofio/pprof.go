@@ -1,0 +1,609 @@
+package pprofio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// maxProfileBytes caps the decompressed size of an imported profile, so a
+// tiny gzip bomb cannot exhaust memory. 256 MiB holds any realistic
+// profile by orders of magnitude.
+const maxProfileBytes = 256 << 20
+
+// valueType is profile.proto's ValueType: string-table indices for a
+// sample dimension's type and unit.
+type valueType struct {
+	typ, unit int64
+}
+
+// sample is one attributed stack: location ids leaf-first, one value per
+// sample type.
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// mapping is the subset of profile.proto's Mapping this bridge uses: the
+// object file (load module) name.
+type mapping struct {
+	id       uint64
+	filename int64
+}
+
+// location is one instrumented address; lines is its symbolization,
+// innermost first (subsequent entries are the callers an inlined body was
+// folded into).
+type location struct {
+	id        uint64
+	mappingID uint64
+	address   uint64
+	lines     []line
+}
+
+type line struct {
+	functionID uint64
+	line       int64
+	column     int64
+}
+
+type function struct {
+	id         uint64
+	name       int64
+	systemName int64
+	filename   int64
+	startLine  int64
+}
+
+// proto is a decoded profile.proto message.
+type proto struct {
+	sampleTypes       []valueType
+	samples           []sample
+	mappings          []mapping
+	locations         []location
+	functions         []function
+	strings           []string
+	timeNanos         int64
+	durationNanos     int64
+	periodType        valueType
+	period            int64
+	comments          []int64
+	defaultSampleType int64
+
+	// lookup tables built by validate
+	locByID map[uint64]*location
+	fnByID  map[uint64]*function
+	mapByID map[uint64]*mapping
+}
+
+// str resolves a string-table index; validate has already bounds-checked
+// every index the decoder stored.
+func (p *proto) str(i int64) string {
+	if i <= 0 || int(i) >= len(p.strings) {
+		return ""
+	}
+	return p.strings[i]
+}
+
+// parseProto decodes one profile.proto message, transparently gunzipping
+// (pprof files are conventionally gzipped, but raw messages are legal).
+func parseProto(r io.Reader) (*proto, error) {
+	raw, err := readAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) >= 2 && raw[0] == 0x1f && raw[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("pprofio: gzip: %w", err)
+		}
+		raw, err = readAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("pprofio: gzip: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("pprofio: gzip: %w", err)
+		}
+	}
+	p := &proto{strings: []string{""}}
+	d := &dec{b: raw}
+	first := true
+	for !d.done() {
+		field, wt, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case fProfileSampleType:
+			vt, err := subValueType(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case fProfileSample:
+			s, err := subSample(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			p.samples = append(p.samples, s)
+		case fProfileMapping:
+			m, err := subMapping(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			p.mappings = append(p.mappings, m)
+		case fProfileLocation:
+			l, err := subLocation(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			p.locations = append(p.locations, l)
+		case fProfileFunction:
+			f, err := subFunction(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			p.functions = append(p.functions, f)
+		case fProfileStringTable:
+			b, err := sub(d, wt)
+			if err != nil {
+				return nil, err
+			}
+			// Index 0 must be the empty string; tolerate writers that
+			// emit it explicitly.
+			if first && len(b) == 0 {
+				first = false
+				continue
+			}
+			first = false
+			p.strings = append(p.strings, string(b))
+		case fProfileTimeNanos:
+			if p.timeNanos, err = subInt(d, wt); err != nil {
+				return nil, err
+			}
+		case fProfileDurationNanos:
+			if p.durationNanos, err = subInt(d, wt); err != nil {
+				return nil, err
+			}
+		case fProfilePeriodType:
+			if p.periodType, err = subValueType(d, wt); err != nil {
+				return nil, err
+			}
+		case fProfilePeriod:
+			if p.period, err = subInt(d, wt); err != nil {
+				return nil, err
+			}
+		case fProfileComment:
+			if p.comments, err = int64s(p.comments, wt, d); err != nil {
+				return nil, err
+			}
+		case fProfileDefaultSampleType:
+			if p.defaultSampleType, err = subInt(d, wt); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validate checks every cross-reference once, so the streaming walk over
+// samples never has to handle dangling ids or out-of-range string indices.
+func (p *proto) validate() error {
+	if len(p.sampleTypes) == 0 {
+		return fmt.Errorf("pprofio: profile declares no sample types")
+	}
+	inStr := func(i int64) bool { return i >= 0 && int(i) < len(p.strings) }
+	for _, vt := range p.sampleTypes {
+		if !inStr(vt.typ) || !inStr(vt.unit) {
+			return fmt.Errorf("pprofio: sample type has out-of-range string index")
+		}
+	}
+	if !inStr(p.periodType.typ) || !inStr(p.periodType.unit) {
+		return fmt.Errorf("pprofio: period type has out-of-range string index")
+	}
+	for _, c := range p.comments {
+		if !inStr(c) {
+			return fmt.Errorf("pprofio: comment has out-of-range string index")
+		}
+	}
+	p.mapByID = make(map[uint64]*mapping, len(p.mappings))
+	for i := range p.mappings {
+		m := &p.mappings[i]
+		if m.id == 0 {
+			return fmt.Errorf("pprofio: mapping with id 0")
+		}
+		if !inStr(m.filename) {
+			return fmt.Errorf("pprofio: mapping %d has out-of-range filename", m.id)
+		}
+		if _, dup := p.mapByID[m.id]; dup {
+			return fmt.Errorf("pprofio: duplicate mapping id %d", m.id)
+		}
+		p.mapByID[m.id] = m
+	}
+	p.fnByID = make(map[uint64]*function, len(p.functions))
+	for i := range p.functions {
+		f := &p.functions[i]
+		if f.id == 0 {
+			return fmt.Errorf("pprofio: function with id 0")
+		}
+		if !inStr(f.name) || !inStr(f.systemName) || !inStr(f.filename) {
+			return fmt.Errorf("pprofio: function %d has out-of-range string index", f.id)
+		}
+		if _, dup := p.fnByID[f.id]; dup {
+			return fmt.Errorf("pprofio: duplicate function id %d", f.id)
+		}
+		p.fnByID[f.id] = f
+	}
+	p.locByID = make(map[uint64]*location, len(p.locations))
+	for i := range p.locations {
+		l := &p.locations[i]
+		if l.id == 0 {
+			return fmt.Errorf("pprofio: location with id 0")
+		}
+		if l.mappingID != 0 && p.mapByID[l.mappingID] == nil {
+			return fmt.Errorf("pprofio: location %d references unknown mapping %d", l.id, l.mappingID)
+		}
+		for _, ln := range l.lines {
+			if ln.functionID != 0 && p.fnByID[ln.functionID] == nil {
+				return fmt.Errorf("pprofio: location %d references unknown function %d", l.id, ln.functionID)
+			}
+		}
+		if _, dup := p.locByID[l.id]; dup {
+			return fmt.Errorf("pprofio: duplicate location id %d", l.id)
+		}
+		p.locByID[l.id] = l
+	}
+	for i := range p.samples {
+		s := &p.samples[i]
+		if len(s.values) != len(p.sampleTypes) {
+			return fmt.Errorf("pprofio: sample %d has %d values, profile declares %d sample types",
+				i, len(s.values), len(p.sampleTypes))
+		}
+		for _, id := range s.locs {
+			if p.locByID[id] == nil {
+				return fmt.Errorf("pprofio: sample %d references unknown location %d", i, id)
+			}
+		}
+	}
+	return nil
+}
+
+// sub reads one length-delimited submessage payload.
+func sub(d *dec, wt int) ([]byte, error) {
+	if wt != wtLen {
+		return nil, fmt.Errorf("pprofio: message field with wire type %d", wt)
+	}
+	return d.bytes()
+}
+
+func subInt(d *dec, wt int) (int64, error) {
+	if wt != wtVarint {
+		return 0, fmt.Errorf("pprofio: scalar field with wire type %d", wt)
+	}
+	v, err := d.varint()
+	return int64(v), err
+}
+
+func subValueType(d *dec, wt int) (valueType, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return valueType{}, err
+	}
+	var vt valueType
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch field {
+		case fValueTypeType:
+			if vt.typ, err = subInt(sd, w); err != nil {
+				return vt, err
+			}
+		case fValueTypeUnit:
+			if vt.unit, err = subInt(sd, w); err != nil {
+				return vt, err
+			}
+		default:
+			if err := sd.skip(w); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func subSample(d *dec, wt int) (sample, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return sample{}, err
+	}
+	var s sample
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case fSampleLocationID:
+			if s.locs, err = uint64s(s.locs, w, sd); err != nil {
+				return s, err
+			}
+		case fSampleValue:
+			if s.values, err = int64s(s.values, w, sd); err != nil {
+				return s, err
+			}
+		default:
+			if err := sd.skip(w); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func subMapping(d *dec, wt int) (mapping, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return mapping{}, err
+	}
+	var m mapping
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return m, err
+		}
+		switch field {
+		case fMappingID:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return m, err
+			}
+			m.id = uint64(v)
+		case fMappingFilename:
+			if m.filename, err = subInt(sd, w); err != nil {
+				return m, err
+			}
+		default:
+			if err := sd.skip(w); err != nil {
+				return m, err
+			}
+		}
+	}
+	return m, nil
+}
+
+func subLocation(d *dec, wt int) (location, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return location{}, err
+	}
+	var l location
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return l, err
+		}
+		switch field {
+		case fLocationID:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return l, err
+			}
+			l.id = uint64(v)
+		case fLocationMappingID:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return l, err
+			}
+			l.mappingID = uint64(v)
+		case fLocationAddress:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return l, err
+			}
+			l.address = uint64(v)
+		case fLocationLine:
+			ln, err := subLine(sd, w)
+			if err != nil {
+				return l, err
+			}
+			l.lines = append(l.lines, ln)
+		default:
+			if err := sd.skip(w); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func subLine(d *dec, wt int) (line, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return line{}, err
+	}
+	var ln line
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return ln, err
+		}
+		switch field {
+		case fLineFunctionID:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return ln, err
+			}
+			ln.functionID = uint64(v)
+		case fLineLine:
+			if ln.line, err = subInt(sd, w); err != nil {
+				return ln, err
+			}
+		case fLineColumn:
+			if ln.column, err = subInt(sd, w); err != nil {
+				return ln, err
+			}
+		default:
+			if err := sd.skip(w); err != nil {
+				return ln, err
+			}
+		}
+	}
+	return ln, nil
+}
+
+func subFunction(d *dec, wt int) (function, error) {
+	b, err := sub(d, wt)
+	if err != nil {
+		return function{}, err
+	}
+	var f function
+	sd := &dec{b: b}
+	for !sd.done() {
+		field, w, err := sd.tag()
+		if err != nil {
+			return f, err
+		}
+		switch field {
+		case fFunctionID:
+			v, err := subInt(sd, w)
+			if err != nil {
+				return f, err
+			}
+			f.id = uint64(v)
+		case fFunctionName:
+			if f.name, err = subInt(sd, w); err != nil {
+				return f, err
+			}
+		case fFunctionSystemName:
+			if f.systemName, err = subInt(sd, w); err != nil {
+				return f, err
+			}
+		case fFunctionFilename:
+			if f.filename, err = subInt(sd, w); err != nil {
+				return f, err
+			}
+		case fFunctionStartLine:
+			if f.startLine, err = subInt(sd, w); err != nil {
+				return f, err
+			}
+		default:
+			if err := sd.skip(w); err != nil {
+				return f, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// readAll is io.ReadAll with the decompression-bomb cap.
+func readAll(r io.Reader) ([]byte, error) {
+	b, err := io.ReadAll(io.LimitReader(r, maxProfileBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("pprofio: read: %w", err)
+	}
+	if len(b) > maxProfileBytes {
+		return nil, fmt.Errorf("pprofio: profile exceeds %d byte limit", maxProfileBytes)
+	}
+	return b, nil
+}
+
+// marshal encodes the message (unconditionally writing the string table,
+// whose index 0 empty string every consumer expects).
+func (p *proto) marshal() []byte {
+	var e enc
+	for _, vt := range p.sampleTypes {
+		e.bytesField(fProfileSampleType, marshalValueType(vt))
+	}
+	for _, s := range p.samples {
+		var se enc
+		se.packedUints(fSampleLocationID, s.locs)
+		se.packedField(fSampleValue, s.values)
+		e.bytesField(fProfileSample, se.b)
+	}
+	for _, m := range p.mappings {
+		var me enc
+		me.uintField(fMappingID, m.id)
+		me.intField(fMappingFilename, m.filename)
+		e.bytesField(fProfileMapping, me.b)
+	}
+	for _, l := range p.locations {
+		var le enc
+		le.uintField(fLocationID, l.id)
+		le.uintField(fLocationMappingID, l.mappingID)
+		le.uintField(fLocationAddress, l.address)
+		for _, ln := range l.lines {
+			var lne enc
+			lne.uintField(fLineFunctionID, ln.functionID)
+			lne.intField(fLineLine, ln.line)
+			lne.intField(fLineColumn, ln.column)
+			le.bytesField(fLocationLine, lne.b)
+		}
+		e.bytesField(fProfileLocation, le.b)
+	}
+	for _, f := range p.functions {
+		var fe enc
+		fe.uintField(fFunctionID, f.id)
+		fe.intField(fFunctionName, f.name)
+		fe.intField(fFunctionSystemName, f.systemName)
+		fe.intField(fFunctionFilename, f.filename)
+		fe.intField(fFunctionStartLine, f.startLine)
+		e.bytesField(fProfileFunction, fe.b)
+	}
+	for _, s := range p.strings {
+		e.bytesField(fProfileStringTable, []byte(s))
+	}
+	e.intField(fProfileTimeNanos, p.timeNanos)
+	e.intField(fProfileDurationNanos, p.durationNanos)
+	if p.periodType != (valueType{}) {
+		e.bytesField(fProfilePeriodType, marshalValueType(p.periodType))
+	}
+	e.intField(fProfilePeriod, p.period)
+	for _, c := range p.comments {
+		e.intField(fProfileComment, c)
+	}
+	e.intField(fProfileDefaultSampleType, p.defaultSampleType)
+	return e.b
+}
+
+func marshalValueType(vt valueType) []byte {
+	var e enc
+	e.intField(fValueTypeType, vt.typ)
+	e.intField(fValueTypeUnit, vt.unit)
+	return e.b
+}
+
+// stringTable interns strings for encoding, preserving first-use order so
+// marshalled bytes are deterministic.
+type stringTable struct {
+	list []string
+	idx  map[string]int64
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{list: []string{""}, idx: map[string]int64{"": 0}}
+}
+
+func (st *stringTable) id(s string) int64 {
+	if i, ok := st.idx[s]; ok {
+		return i
+	}
+	i := int64(len(st.list))
+	st.list = append(st.list, s)
+	st.idx[s] = i
+	return i
+}

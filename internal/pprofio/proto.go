@@ -1,0 +1,271 @@
+// Package pprofio bridges this reproduction to the pprof ecosystem: it
+// imports gzipped profile.proto files (Go runtime/pprof CPU, heap, mutex,
+// block profiles) as format-neutral source.Profiles, and exports any
+// opened experiment database back to pprof. The wire codec is hand-rolled
+// over the protobuf varint encoding — the build must not fetch
+// dependencies, and profile.proto uses only varint and length-delimited
+// fields, so a complete decoder/encoder is small.
+//
+// Import runs in two modes. Foreign profiles (anything produced by Go's
+// runtime/pprof or another pprof writer) map at pprof's own granularity:
+// each stack entry becomes a Frame keyed by function identity, the leaf
+// line becomes a Stmt, and each sample-type column becomes a raw metric
+// plane with period 1. Profiles exported by this package carry "repro:"
+// markers (function system_name scope kinds, location addresses, comment
+// metadata) that make the mapping lossless, so export→import round-trips
+// a pprof-shaped database byte-identically (DESIGN.md §16).
+package pprofio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wire-level field numbers of profile.proto (the pprof interchange
+// schema). Only the fields this bridge reads or writes are named.
+const (
+	// message Profile
+	fProfileSampleType        = 1
+	fProfileSample            = 2
+	fProfileMapping           = 3
+	fProfileLocation          = 4
+	fProfileFunction          = 5
+	fProfileStringTable       = 6
+	fProfileTimeNanos         = 9
+	fProfileDurationNanos     = 10
+	fProfilePeriodType        = 11
+	fProfilePeriod            = 12
+	fProfileComment           = 13
+	fProfileDefaultSampleType = 14
+
+	// message ValueType
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	// message Sample
+	fSampleLocationID = 1
+	fSampleValue      = 2
+
+	// message Mapping
+	fMappingID       = 1
+	fMappingFilename = 5
+
+	// message Location
+	fLocationID        = 1
+	fLocationMappingID = 2
+	fLocationAddress   = 3
+	fLocationLine      = 4
+
+	// message Line
+	fLineFunctionID = 1
+	fLineLine       = 2
+	fLineColumn     = 3
+
+	// message Function
+	fFunctionID         = 1
+	fFunctionName       = 2
+	fFunctionSystemName = 3
+	fFunctionFilename   = 4
+	fFunctionStartLine  = 5
+)
+
+// wire types
+const (
+	wtVarint = 0
+	wtI64    = 1
+	wtLen    = 2
+	wtI32    = 5
+)
+
+// dec is a bounds-checked protobuf wire reader over one buffer.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) done() bool { return d.off >= len(d.b) }
+
+// varint reads one base-128 varint (at most 10 bytes).
+func (d *dec) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.off >= len(d.b) {
+			return 0, fmt.Errorf("pprofio: truncated varint")
+		}
+		c := d.b[d.off]
+		d.off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pprofio: varint overflows 64 bits")
+}
+
+// bytes reads one length-delimited field payload (a view, not a copy).
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)-d.off) {
+		return nil, fmt.Errorf("pprofio: length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+	}
+	p := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return p, nil
+}
+
+// tag reads one field tag and returns (field number, wire type).
+func (d *dec) tag() (int, int, error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if t>>3 > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("pprofio: field number %d out of range", t>>3)
+	}
+	return int(t >> 3), int(t & 7), nil
+}
+
+// skip consumes one field payload of the given wire type.
+func (d *dec) skip(wt int) error {
+	switch wt {
+	case wtVarint:
+		_, err := d.varint()
+		return err
+	case wtI64:
+		if len(d.b)-d.off < 8 {
+			return fmt.Errorf("pprofio: truncated fixed64")
+		}
+		d.off += 8
+		return nil
+	case wtLen:
+		_, err := d.bytes()
+		return err
+	case wtI32:
+		if len(d.b)-d.off < 4 {
+			return fmt.Errorf("pprofio: truncated fixed32")
+		}
+		d.off += 4
+		return nil
+	}
+	return fmt.Errorf("pprofio: unsupported wire type %d", wt)
+}
+
+// int64s appends a varint field value, or the elements of a packed
+// length-delimited payload, to list. profile.proto writers use both
+// encodings for repeated scalars.
+func int64s(list []int64, wt int, d *dec) ([]int64, error) {
+	switch wt {
+	case wtVarint:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(list, int64(v)), nil
+	case wtLen:
+		p, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		pd := &dec{b: p}
+		for !pd.done() {
+			v, err := pd.varint()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, int64(v))
+		}
+		return list, nil
+	}
+	return nil, fmt.Errorf("pprofio: repeated scalar with wire type %d", wt)
+}
+
+func uint64s(list []uint64, wt int, d *dec) ([]uint64, error) {
+	switch wt {
+	case wtVarint:
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(list, v), nil
+	case wtLen:
+		p, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		pd := &dec{b: p}
+		for !pd.done() {
+			v, err := pd.varint()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+		}
+		return list, nil
+	}
+	return nil, fmt.Errorf("pprofio: repeated scalar with wire type %d", wt)
+}
+
+// enc is a protobuf wire writer.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+func (e *enc) tag(field, wt int) { e.varint(uint64(field)<<3 | uint64(wt)) }
+
+// intField writes one varint field, omitting the proto3 zero default.
+func (e *enc) intField(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wtVarint)
+	e.varint(uint64(v))
+}
+
+func (e *enc) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wtVarint)
+	e.varint(v)
+}
+
+// bytesField writes one length-delimited field (submessage or string).
+func (e *enc) bytesField(field int, p []byte) {
+	e.tag(field, wtLen)
+	e.varint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// packedField writes a repeated scalar field in packed encoding.
+func (e *enc) packedField(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var p enc
+	for _, v := range vs {
+		p.varint(uint64(v))
+	}
+	e.bytesField(field, p.b)
+}
+
+func (e *enc) packedUints(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var p enc
+	for _, v := range vs {
+		p.varint(v)
+	}
+	e.bytesField(field, p.b)
+}

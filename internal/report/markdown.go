@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the report for humans. The output is a pure function
+// of the report value, so markdown bytes are as stable as the JSON.
+func (r *Report) Markdown() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Performance report: %s\n\n", r.Program)
+	fmt.Fprintf(&b, "%d ranks, %d scopes, %d metric columns\n", r.Ranks, r.Scopes, len(r.Metrics))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+
+	if len(r.HotPaths) > 0 {
+		b.WriteString("\n## Hot paths\n")
+		for _, hp := range r.HotPaths {
+			fmt.Fprintf(&b, "\n### %s — %s (total %.6g)\n\n", hp.Root, hp.Metric, hp.Total)
+			for i, s := range hp.Steps {
+				fmt.Fprintf(&b, "%s- %s `%s` %.6g (%.0f%%)\n",
+					strings.Repeat("  ", i), s.Label, s.Kind, s.Incl, 100*s.Fraction)
+			}
+		}
+	}
+
+	if len(r.Waste) > 0 {
+		b.WriteString("\n## Waste and parallel efficiency\n")
+		for _, wm := range r.Waste {
+			fmt.Fprintf(&b, "\n### %s\n\n", wm.Metric)
+			fmt.Fprintf(&b, "per-rank mean %.6g, max %.6g → efficiency %.3f, total waste %.6g\n\n",
+				wm.TotalMean, wm.TotalMax, wm.Efficiency, wm.TotalWaste)
+			if len(wm.TopScopes) > 0 {
+				b.WriteString("| scope | waste | factor | mean | max |\n")
+				b.WriteString("|---|---|---|---|---|\n")
+				for _, s := range wm.TopScopes {
+					fmt.Fprintf(&b, "| %s | %.6g | %.3f | %.6g | %.6g |\n",
+						strings.Join(s.Path, " > "), s.Waste, s.Factor, s.Mean, s.Max)
+				}
+			}
+		}
+	}
+
+	if len(r.Imbalance) > 0 {
+		b.WriteString("\n## Load imbalance\n")
+		for _, im := range r.Imbalance {
+			fmt.Fprintf(&b, "\n### %s\n\n", im.Metric)
+			fmt.Fprintf(&b, "%d significant frames, imbalance factor mean %.3f, worst %.3f\n\n",
+				im.Frames, im.MeanFactor, im.MaxFactor)
+			if len(im.Histogram) > 0 {
+				maxCount := 0
+				for _, bin := range im.Histogram {
+					if bin.Count > maxCount {
+						maxCount = bin.Count
+					}
+				}
+				for _, bin := range im.Histogram {
+					bar := ""
+					if maxCount > 0 {
+						bar = strings.Repeat("#", bin.Count*30/maxCount)
+					}
+					fmt.Fprintf(&b, "    [%.3f, %.3f) %-30s %d\n", bin.Lo, bin.Hi, bar, bin.Count)
+				}
+				b.WriteString("\n")
+			}
+			if len(im.Worst) > 0 {
+				b.WriteString("| scope | factor | mean | max |\n")
+				b.WriteString("|---|---|---|---|\n")
+				for _, s := range im.Worst {
+					fmt.Fprintf(&b, "| %s | %.3f | %.6g | %.6g |\n",
+						strings.Join(s.Path, " > "), s.Factor, s.Mean, s.Max)
+				}
+			}
+		}
+	}
+
+	if reg := r.Regressions; reg != nil {
+		fmt.Fprintf(&b, "\n## Regressions vs %s\n\n", reg.BaseLabel)
+		fmt.Fprintf(&b, "%s: total %.6g → %.6g (Δ %.6g, mode %s)\n",
+			reg.Metric, reg.TotalBase, reg.Total, reg.TotalDelta, reg.Mode)
+		if len(reg.Regressions) > 0 {
+			b.WriteString("\n**Regressed**\n\n| scope | base | value | Δ | ratio |\n|---|---|---|---|---|\n")
+			for _, e := range reg.Regressions {
+				fmt.Fprintf(&b, "| %s | %.6g | %.6g | %+.6g | %.3f |\n",
+					strings.Join(e.Path, " > "), e.Base, e.Value, e.Delta, e.Ratio)
+			}
+		}
+		if len(reg.Improvements) > 0 {
+			b.WriteString("\n**Improved**\n\n| scope | base | value | Δ | ratio |\n|---|---|---|---|---|\n")
+			for _, e := range reg.Improvements {
+				fmt.Fprintf(&b, "| %s | %.6g | %.6g | %+.6g | %.3f |\n",
+					strings.Join(e.Path, " > "), e.Base, e.Value, e.Delta, e.Ratio)
+			}
+		}
+	}
+	return []byte(b.String())
+}

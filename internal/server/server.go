@@ -188,6 +188,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/catalog", srv.handleCatalog)
 	mux.HandleFunc("GET /v1/trace", srv.limited(srv.handleTrace, serveWhileDraining))
 	mux.HandleFunc("GET /v1/pick", srv.limited(srv.handlePick, serveWhileDraining))
+	mux.HandleFunc("GET /v1/report", srv.limited(srv.handleReport, serveWhileDraining))
 	mux.HandleFunc("POST /v1/ingest", srv.limited(srv.handleIngest, shedWhileDraining))
 	mux.HandleFunc("POST /v1/compare", srv.limited(srv.handleCompare, shedWhileDraining))
 	mux.HandleFunc("POST /v1/sessions", srv.limited(srv.handleCreate, shedWhileDraining))

@@ -1,0 +1,149 @@
+// Package source is the format-neutral boundary of the ingestion stack:
+// everything that can produce a calling context tree — hpcrun measurement
+// files fused with a structure document (internal/correlate), Go
+// runtime/pprof protos (internal/pprofio), or any future format — is
+// expressed as a Profile: a stream of attributed call-path samples plus
+// metric descriptors and an optional rank/thread identity.
+//
+// Build is the single generic consumer: it materializes the scope chains
+// of every sample into a core.Tree (creating metric columns by name) and
+// accumulates the sample values into the tree's columnar metric store.
+// Because node creation order follows the stream exactly, a source that
+// emits samples in a deterministic order yields a byte-deterministic
+// database — the property the correlate equivalence lock pins.
+package source
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intern"
+	"repro/internal/metric"
+)
+
+// Metric describes one sample-value column of a profile source.
+type Metric struct {
+	// Name is the column name, e.g. "CYCLES" or "cpu/nanoseconds".
+	Name string
+	// Unit is a display unit.
+	Unit string
+	// Period is the number of events one unit of value accounts for; use
+	// 1 when values are already in final units (pprof).
+	Period uint64
+}
+
+// Identity names the thread of execution a profile measured. The zero
+// Identity (rank 0, thread 0) is correct for single-process sources.
+type Identity struct {
+	Rank   int
+	Thread int
+}
+
+// Scope is one element of a sample's attributed call path: the core.Key
+// that identifies the scope within its parent plus the presentation
+// attributes the scope carries. Attribute fields are applied only when
+// set (and call-site fields only once), so revisiting a scope with the
+// same attributes — the invariant every deterministic source upholds —
+// never changes it.
+type Scope struct {
+	// Key identifies the scope within its parent (kind, interned
+	// name/file symbols, line, disambiguating id).
+	Key core.Key
+	// NoSource marks scopes with no source information.
+	NoSource bool
+	// Mod is the load module containing the scope, interned.
+	Mod intern.Sym
+	// CallLine / CallFile locate the call site of a Frame (or the inlined
+	// call of an Alien) in the caller.
+	CallLine int
+	CallFile intern.Sym
+}
+
+// Profile is a format-neutral profile: a deterministic stream of
+// attributed call-path samples.
+type Profile interface {
+	// Program names the measured program.
+	Program() string
+	// Identity reports which process/thread the profile measured.
+	Identity() Identity
+	// Metrics describes the sample-value columns, in value order.
+	Metrics() []Metric
+	// Samples streams every sample: path is the scope chain from the
+	// entry frame to the attributed scope (inclusive, outermost first)
+	// and values holds one entry per metric. Both slices are only valid
+	// during the callback. The stream order must be deterministic — it
+	// fixes the tree's node creation order and therefore the database
+	// bytes.
+	Samples(emit func(path []Scope, values []float64) error) error
+}
+
+// Build streams one profile into an existing tree, creating any missing
+// metric columns (matched by name) and scopes, and returns the column
+// mapping from profile metric index to registry column. Values
+// accumulate, so building several profiles into one tree yields their
+// summed profile.
+func Build(tree *core.Tree, p Profile) ([]int, error) {
+	ms := p.Metrics()
+	cols := make([]int, len(ms))
+	for i, m := range ms {
+		if d := tree.Reg.ByName(m.Name); d != nil {
+			cols[i] = d.ID
+			continue
+		}
+		d, err := tree.Reg.AddRaw(m.Name, m.Unit, m.Period)
+		if err != nil {
+			return nil, fmt.Errorf("source: %w", err)
+		}
+		cols[i] = d.ID
+	}
+	err := p.Samples(func(path []Scope, values []float64) error {
+		if len(values) != len(cols) {
+			return fmt.Errorf("source: sample has %d values, profile declares %d metrics",
+				len(values), len(cols))
+		}
+		n := tree.Root
+		for i := range path {
+			s := &path[i]
+			n = n.Child(s.Key, true)
+			applyScope(n, s)
+		}
+		for i, v := range values {
+			if v != 0 {
+				n.Base.Add(cols[i], v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// applyScope carries a scope's attributes onto its node. Marks are
+// sticky and call-site coordinates are set once: under the deterministic
+// same-attributes invariant this equals unconditional assignment, without
+// ever un-setting an attribute an earlier sample established.
+func applyScope(n *core.Node, s *Scope) {
+	if s.NoSource {
+		n.NoSource = true
+	}
+	if s.Mod != 0 {
+		n.Mod = s.Mod
+	}
+	if (s.CallLine != 0 || s.CallFile != 0) && n.CallLine == 0 && n.CallFile == 0 {
+		n.CallLine = s.CallLine
+		n.CallFile = s.CallFile
+	}
+}
+
+// BuildTree builds a fresh computed tree from one profile: the
+// format-neutral equivalent of correlate.Correlate.
+func BuildTree(p Profile) (*core.Tree, error) {
+	tree := core.NewTree(p.Program(), metric.NewRegistry())
+	if _, err := Build(tree, p); err != nil {
+		return nil, err
+	}
+	tree.ComputeMetrics()
+	return tree, nil
+}
